@@ -1,0 +1,249 @@
+package dyncomp
+
+// Benchmark harness: one benchmark pair (event-driven baseline vs
+// equivalent model) per table/figure of the paper.
+//
+//	go test -bench=. -benchmem
+//
+// Table I    -> BenchmarkTable1/exampleN/{baseline,equivalent}
+// Fig. 5     -> BenchmarkFig5/xX/nodesN (plus xX/baseline as reference)
+// Fig. 6 / case study -> BenchmarkCaseStudy/{baseline,equivalent}
+// TLM-LT motivation  -> BenchmarkQuantum/qQ
+// ComputeInstant cost -> BenchmarkComputeInstant/nodesN
+//
+// The interesting output is the ratio of ns/op between baseline and
+// equivalent benchmarks of the same workload: that is the paper's
+// "simulation speed-up". EXPERIMENTS.md records the measured values.
+
+import (
+	"fmt"
+	"testing"
+
+	"dyncomp/internal/baseline"
+	"dyncomp/internal/core"
+	"dyncomp/internal/derive"
+	"dyncomp/internal/hybrid"
+	"dyncomp/internal/ltdecoup"
+	"dyncomp/internal/lte"
+	"dyncomp/internal/maxplus"
+	"dyncomp/internal/model"
+	"dyncomp/internal/sim"
+	"dyncomp/internal/tdg"
+	"dyncomp/internal/zoo"
+)
+
+const benchTokens = 1000
+
+func benchBaseline(b *testing.B, build func() *model.Architecture) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := baseline.Run(build(), baseline.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(res.Stats.Activations), "activations")
+		}
+	}
+}
+
+func benchEquivalent(b *testing.B, build func() *model.Architecture, opts derive.Options) {
+	b.Helper()
+	b.ReportAllocs()
+	// Model generation precedes simulation (as in the paper); only the
+	// simulation is timed.
+	dres, err := derive.Derive(build(), opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := core.New(dres)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := m.Run(core.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(res.Stats.Activations), "activations")
+		}
+	}
+}
+
+// BenchmarkTable1 reproduces Table I: chained didactic architectures.
+// Speed-up = ns/op(baseline) / ns/op(equivalent) per example.
+func BenchmarkTable1(b *testing.B) {
+	for stages := 1; stages <= 4; stages++ {
+		build := func() *model.Architecture {
+			return zoo.DidacticChain(stages, zoo.DidacticSpec{Tokens: benchTokens, Period: 1200, Seed: 41})
+		}
+		b.Run(fmt.Sprintf("example%d/baseline", stages), func(b *testing.B) {
+			benchBaseline(b, build)
+		})
+		b.Run(fmt.Sprintf("example%d/equivalent", stages), func(b *testing.B) {
+			benchEquivalent(b, build, derive.Options{})
+		})
+	}
+}
+
+// BenchmarkFig5 reproduces the Fig. 5 sweep: for each X size the
+// equivalent model is run with the temporal dependency graph padded to
+// growing node counts; the baseline reference gives the denominator.
+func BenchmarkFig5(b *testing.B) {
+	for _, x := range []int{6, 10, 20, 30} {
+		spec := zoo.PipelineSpec{XSize: x, Tokens: benchTokens, Period: 600, Seed: 17}
+		build := func() *model.Architecture { return zoo.Pipeline(spec) }
+		b.Run(fmt.Sprintf("x%d/baseline", x), func(b *testing.B) {
+			benchBaseline(b, build)
+		})
+		for _, nodes := range []int{10, 100, 1000, 3000} {
+			base := zoo.Pipeline(spec)
+			dres, err := derive.Derive(base, derive.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			pad := nodes - dres.Graph.NodeCount()
+			if pad < 0 {
+				pad = 0
+			}
+			opts := derive.Options{PadNodes: pad}
+			b.Run(fmt.Sprintf("x%d/nodes%d", x, nodes), func(b *testing.B) {
+				benchEquivalent(b, build, opts)
+			})
+		}
+	}
+}
+
+// BenchmarkCaseStudy reproduces the Section V measurement (Fig. 6
+// workload): the LTE receiver processing a stream of symbols. The paper
+// reports a speed-up of 4 at an event ratio of 4.2 for 20000 symbols.
+func BenchmarkCaseStudy(b *testing.B) {
+	build := func() *model.Architecture {
+		return lte.Receiver(lte.Spec{Symbols: benchTokens, Seed: 23})
+	}
+	b.Run("baseline", func(b *testing.B) {
+		benchBaseline(b, build)
+	})
+	b.Run("equivalent", func(b *testing.B) {
+		benchEquivalent(b, build, derive.Options{Reduce: true})
+	})
+	b.Run("equivalent-unreduced", func(b *testing.B) {
+		benchEquivalent(b, build, derive.Options{})
+	})
+}
+
+// BenchmarkHybrid measures partial abstraction on the LTE receiver: the
+// DSP cluster abstracted, the hardware decoder still simulated. Compare
+// with BenchmarkCaseStudy/baseline (nothing abstracted) and
+// BenchmarkCaseStudy/equivalent (everything abstracted).
+func BenchmarkHybrid(b *testing.B) {
+	b.Run("lte-dsp-group", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res, err := hybrid.Run(
+				lte.Receiver(lte.Spec{Symbols: benchTokens, Seed: 23}),
+				hybrid.Options{Group: lte.FunctionNames[:7]})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i == 0 {
+				b.ReportMetric(float64(res.Stats.Activations), "activations")
+			}
+		}
+	})
+}
+
+// BenchmarkQuantum measures the loosely-timed comparator the paper's
+// introduction criticises: faster with larger quanta but inaccurate
+// (compare with BenchmarkTable1/example1/equivalent, which is exact).
+func BenchmarkQuantum(b *testing.B) {
+	for _, q := range []sim.Time{1_000, 100_000} {
+		b.Run(fmt.Sprintf("q%dns", q), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_, err := ltdecoup.Run(
+					zoo.Didactic(zoo.DidacticSpec{Tokens: benchTokens, Period: 900, Seed: 31}),
+					ltdecoup.Options{Quantum: q})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkComputeInstant isolates the cost of one ComputeInstant()
+// action as a function of graph size — the knee position of Fig. 5 is
+// where this cost catches up with the saved kernel events.
+func BenchmarkComputeInstant(b *testing.B) {
+	for _, nodes := range []int{10, 100, 1000, 3000} {
+		dres, err := derive.Derive(
+			zoo.Didactic(zoo.DidacticSpec{Tokens: 1, Period: 100, Seed: 1}),
+			derive.Options{PadNodes: nodes - 7})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ev, err := tdg.NewEvaluator(dres.Graph)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("nodes%d", nodes), func(b *testing.B) {
+			b.ReportAllocs()
+			u := []maxplus.T{0}
+			for i := 0; i < b.N; i++ {
+				u[0] = maxplus.T(i * 100)
+				if _, err := ev.Step(u); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkKernelActivation measures the cost the method saves per event:
+// one timed wait (two goroutine handshakes plus event-queue work).
+func BenchmarkKernelActivation(b *testing.B) {
+	b.ReportAllocs()
+	k := sim.New()
+	k.Spawn("spinner", func(p *sim.Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Wait(1)
+		}
+	})
+	b.ResetTimer()
+	if err := k.Run(sim.Forever); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkMaxPlus measures the algebra primitives underlying
+// ComputeInstant.
+func BenchmarkMaxPlus(b *testing.B) {
+	b.Run("otimes", func(b *testing.B) {
+		acc := maxplus.T(0)
+		for i := 0; i < b.N; i++ {
+			acc = maxplus.Otimes(acc, 1)
+		}
+		_ = acc
+	})
+	b.Run("matrix-apply-16", func(b *testing.B) {
+		m := maxplus.NewMatrix(16, 16)
+		for i := 0; i < 16; i++ {
+			for j := 0; j <= i; j++ {
+				m.Set(i, j, maxplus.T(i+j))
+			}
+		}
+		v := maxplus.NewVector(16)
+		for i := range v {
+			v[i] = maxplus.T(i)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			v = m.Apply(v)
+		}
+	})
+}

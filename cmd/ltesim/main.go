@@ -1,0 +1,85 @@
+// Command ltesim runs the LTE receiver case study (Section V of the
+// paper) with both execution engines and prints a usage report: per-frame
+// parameters, resource utilization, complexity peaks and the measured
+// event saving.
+//
+//	ltesim -frames 10
+//	ltesim -frames 10 -engine reference
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dyncomp/internal/baseline"
+	"dyncomp/internal/core"
+	"dyncomp/internal/derive"
+	"dyncomp/internal/lte"
+	"dyncomp/internal/maxplus"
+	"dyncomp/internal/observe"
+)
+
+func main() {
+	frames := flag.Int("frames", 4, "number of 14-symbol frames")
+	seed := flag.Int64("seed", 23, "frame parameter seed")
+	engine := flag.String("engine", "equivalent", "engine: reference|equivalent|both")
+	flag.Parse()
+
+	symbols := *frames * lte.SymbolsPerFrame
+	fmt.Printf("LTE receiver: %d frames (%d symbols), symbol period %d ns\n\n", *frames, symbols, int64(lte.SymbolPeriod))
+	fmt.Println("Frame parameters:")
+	for f := 0; f < *frames && f < 10; f++ {
+		nprb, qm, rate := lte.FrameParams(*seed, f)
+		fmt.Printf("  frame %2d: %3d PRB, %d bits/sym, code rate %.2f\n", f, nprb, qm, rate)
+	}
+	fmt.Println()
+
+	var refTrace, eqTrace *observe.Trace
+	var refActs, eqActs int64
+	if *engine == "reference" || *engine == "both" {
+		refTrace = observe.NewTrace("reference")
+		res, err := baseline.Run(lte.Receiver(lte.Spec{Symbols: symbols, Seed: *seed}), baseline.Options{Trace: refTrace})
+		fail(err)
+		refActs = res.Stats.Activations
+		report("reference executor", refTrace, refActs)
+	}
+	if *engine == "equivalent" || *engine == "both" {
+		dres, err := derive.Derive(lte.Receiver(lte.Spec{Symbols: symbols, Seed: *seed}), derive.Options{})
+		fail(err)
+		m, err := core.New(dres)
+		fail(err)
+		eqTrace = observe.NewTrace("equivalent")
+		res, err := m.Run(core.Options{Trace: eqTrace})
+		fail(err)
+		eqActs = res.Stats.Activations
+		report("equivalent model", eqTrace, eqActs)
+	}
+	if refTrace != nil && eqTrace != nil {
+		if err := observe.CompareInstants(refTrace, eqTrace); err != nil {
+			fmt.Printf("ACCURACY VIOLATION: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("accuracy: all evolution instants identical; event ratio %.2f\n",
+			float64(refActs)/float64(eqActs))
+	}
+}
+
+func report(name string, tr *observe.Trace, acts int64) {
+	end := tr.EndTime()
+	fmt.Printf("%s: %d kernel activations, makespan %d ns\n", name, acts, int64(end))
+	for _, r := range []string{"DSP", "HW"} {
+		util := tr.Utilization(r, 0, end)
+		s, err := tr.ComplexitySeries(r, 0, end, maxplus.T(10_000))
+		fail(err)
+		fmt.Printf("  %-4s utilization %5.1f%%, peak complexity %6.2f GOPS\n", r, 100*util, s.Max())
+	}
+	fmt.Println()
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,206 @@
+// Package dyncomp is a performance-evaluation library for multi-core
+// architectures implementing the dynamic computation method of Le Nours,
+// Postula and Bergmann (DATE 2014): architecture models are described as
+// statically-scheduled dataflow applications mapped onto platform
+// resources, and simulated either event-by-event (the reference executor)
+// or through an equivalent model that computes evolution instants
+// dynamically over a (max,+) temporal dependency graph, saving most
+// simulation events at zero accuracy cost.
+//
+// # Workflow
+//
+//	a := dyncomp.NewArchitecture("my-soc")
+//	// ... describe channels, functions, resources, mapping, environment
+//	ref, _ := dyncomp.RunReference(a, dyncomp.RunOptions{Record: true})
+//	eq,  _ := dyncomp.RunEquivalent(a, dyncomp.RunOptions{Record: true})
+//	err := dyncomp.CompareTraces(ref.Trace, eq.Trace) // nil: bit-exact
+//
+// The sub-systems live in internal packages: internal/sim (discrete-event
+// kernel), internal/model (architecture description), internal/maxplus
+// ((max,+) algebra), internal/tdg (temporal dependency graphs),
+// internal/derive (automatic graph derivation), internal/baseline and
+// internal/core (the two execution engines), internal/observe (traces and
+// resource usage), internal/lte (the LTE case study) and internal/exp
+// (the paper's experiments).
+package dyncomp
+
+import (
+	"dyncomp/internal/baseline"
+	"dyncomp/internal/core"
+	"dyncomp/internal/derive"
+	"dyncomp/internal/hybrid"
+	"dyncomp/internal/maxplus"
+	"dyncomp/internal/model"
+	"dyncomp/internal/observe"
+	"dyncomp/internal/sim"
+)
+
+// Re-exported modelling types; see internal/model for full documentation.
+type (
+	// Architecture is a complete performance model.
+	Architecture = model.Architecture
+	// Token is one unit of data flowing through the application.
+	Token = model.Token
+	// Load is the computation demand of an execute statement.
+	Load = model.Load
+	// CostFn computes the load of an execute statement for a token.
+	CostFn = model.CostFn
+	// Channel is a point-to-point relation between two functions.
+	Channel = model.Channel
+	// Function is a dataflow application function.
+	Function = model.Function
+	// Resource is a processing resource of the platform.
+	Resource = model.Resource
+	// Read is a blocking channel-read statement.
+	Read = model.Read
+	// Write is a channel-write statement.
+	Write = model.Write
+	// Exec is a resource-occupying execution statement.
+	Exec = model.Exec
+	// Trace is a recorded model evolution.
+	Trace = observe.Trace
+	// Activity is one recorded execution on a resource.
+	Activity = observe.Activity
+	// Series is a binned observation time series (e.g. GOPS).
+	Series = observe.Series
+	// Time is a (max,+) instant or duration in nanosecond ticks.
+	Time = maxplus.T
+)
+
+// Channel protocols.
+const (
+	Rendezvous = model.Rendezvous
+	FIFO       = model.FIFO
+)
+
+// NewArchitecture creates an empty architecture model.
+func NewArchitecture(name string) *Architecture { return model.NewArchitecture(name) }
+
+// NewTrace creates an empty evolution trace.
+func NewTrace(name string) *Trace { return observe.NewTrace(name) }
+
+// FixedOps returns a constant-operation-count cost function.
+func FixedOps(ops float64) CostFn { return model.FixedOps(ops) }
+
+// OpsPerByte returns a cost function of the form base + perByte·size.
+func OpsPerByte(base, perByte float64) CostFn { return model.OpsPerByte(base, perByte) }
+
+// Periodic returns the source schedule u(k) = offset + k·period.
+func Periodic(period, offset Time) model.ScheduleFn { return model.Periodic(period, offset) }
+
+// Eager returns the always-ready source schedule u(k) = 0.
+func Eager() model.ScheduleFn { return model.Eager() }
+
+// RunOptions configures a simulation run.
+type RunOptions struct {
+	// Record enables evolution-instant and resource-activity recording.
+	Record bool
+	// LimitNs bounds the simulated time in nanoseconds (0: run to
+	// completion).
+	LimitNs int64
+	// Reduce prunes value-redundant arcs from the derived temporal
+	// dependency graph (equivalent model only).
+	Reduce bool
+}
+
+// RunResult reports a completed simulation.
+type RunResult struct {
+	// Trace holds the recorded evolution when RunOptions.Record was set.
+	Trace *Trace
+	// Activations counts kernel context switches (the cost the dynamic
+	// computation method removes).
+	Activations int64
+	// Events counts kernel event-queue operations.
+	Events int64
+	// FinalTimeNs is the simulation time reached.
+	FinalTimeNs int64
+	// GraphNodes is the temporal dependency graph size in the paper's
+	// counting (equivalent model only).
+	GraphNodes int
+}
+
+// RunReference simulates the architecture with the event-driven reference
+// executor — every relation among functions is a simulation event.
+func RunReference(a *Architecture, opts RunOptions) (*RunResult, error) {
+	var trace *observe.Trace
+	if opts.Record {
+		trace = observe.NewTrace(a.Name + "/reference")
+	}
+	res, err := baseline.Run(a, baseline.Options{Trace: trace, Limit: sim.Time(opts.LimitNs)})
+	if err != nil {
+		return nil, err
+	}
+	return &RunResult{
+		Trace:       trace,
+		Activations: res.Stats.Activations,
+		Events:      res.Stats.TimedEvents + res.Stats.DeltaNotifies,
+		FinalTimeNs: int64(res.Stats.FinalTime),
+	}, nil
+}
+
+// RunEquivalent derives the architecture's temporal dependency graph and
+// simulates its equivalent model: internal evolution instants are
+// computed, not simulated, so only boundary events reach the kernel. The
+// recorded trace is bit-exact against RunReference.
+func RunEquivalent(a *Architecture, opts RunOptions) (*RunResult, error) {
+	dres, err := derive.Derive(a, derive.Options{Reduce: opts.Reduce})
+	if err != nil {
+		return nil, err
+	}
+	m, err := core.New(dres)
+	if err != nil {
+		return nil, err
+	}
+	var trace *observe.Trace
+	if opts.Record {
+		trace = observe.NewTrace(a.Name + "/equivalent")
+	}
+	res, err := m.Run(core.Options{Trace: trace, Limit: sim.Time(opts.LimitNs)})
+	if err != nil {
+		return nil, err
+	}
+	return &RunResult{
+		Trace:       trace,
+		Activations: res.Stats.Activations,
+		Events:      res.Stats.TimedEvents + res.Stats.DeltaNotifies,
+		FinalTimeNs: int64(res.Stats.FinalTime),
+		GraphNodes:  dres.Graph.NodeCountWithDelays(),
+	}, nil
+}
+
+// RunHybrid simulates the architecture with only the named group of
+// functions abstracted into an equivalent model; the rest runs
+// event-by-event and both halves meet at the group's boundary channels.
+// This is the paper's general "grouping some of the architecture
+// processes". The group must cover whole resources and emit through one
+// boundary output channel.
+func RunHybrid(a *Architecture, group []string, opts RunOptions) (*RunResult, error) {
+	var trace *observe.Trace
+	if opts.Record {
+		trace = observe.NewTrace(a.Name + "/hybrid")
+	}
+	res, err := hybrid.Run(a, hybrid.Options{
+		Group:  group,
+		Trace:  trace,
+		Limit:  sim.Time(opts.LimitNs),
+		Reduce: opts.Reduce,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &RunResult{
+		Trace:       trace,
+		Activations: res.Stats.Activations,
+		Events:      res.Stats.TimedEvents + res.Stats.DeltaNotifies,
+		FinalTimeNs: int64(res.Stats.FinalTime),
+		GraphNodes:  res.GraphNodes,
+	}, nil
+}
+
+// CompareTraces checks two traces for bit-exact agreement of every
+// evolution instant; a nil result is the paper's accuracy criterion.
+func CompareTraces(a, b *Trace) error { return observe.CompareInstants(a, b) }
+
+// InstantError returns the mean absolute difference between the instants
+// of two traces in nanoseconds (0 for exact methods).
+func InstantError(a, b *Trace) float64 { return observe.MeanAbsInstantError(a, b) }

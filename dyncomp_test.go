@@ -1,0 +1,128 @@
+package dyncomp
+
+import (
+	"testing"
+
+	"dyncomp/internal/zoo"
+)
+
+// buildSmoke is the quickstart architecture: a three-stage pipeline with
+// data-dependent durations.
+func buildSmoke(tokens int) *Architecture {
+	a := NewArchitecture("smoke")
+	in := a.AddChannel("in", Rendezvous, 0)
+	mid := a.AddChannel("mid", Rendezvous, 0)
+	out := a.AddChannel("out", Rendezvous, 0)
+	f1 := a.AddFunction("stage1",
+		Read{Ch: in}, Exec{Label: "T1", Cost: OpsPerByte(100, 2)}, Write{Ch: mid})
+	f2 := a.AddFunction("stage2",
+		Read{Ch: mid}, Exec{Label: "T2", Cost: OpsPerByte(150, 1)}, Write{Ch: out})
+	p1 := a.AddProcessor("CPU0", 1e9)
+	p2 := a.AddProcessor("CPU1", 1e9)
+	a.Map(p1, f1)
+	a.Map(p2, f2)
+	a.AddSource("gen", in, Periodic(500, 0), func(k int) Token {
+		return Token{Size: int64(64 + k%32)}
+	}, tokens)
+	a.AddSink("env", out)
+	return a
+}
+
+func TestFacadeEndToEnd(t *testing.T) {
+	ref, err := RunReference(buildSmoke(300), RunOptions{Record: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eq, err := RunEquivalent(buildSmoke(300), RunOptions{Record: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CompareTraces(ref.Trace, eq.Trace); err != nil {
+		t.Fatalf("traces differ: %v", err)
+	}
+	if InstantError(ref.Trace, eq.Trace) != 0 {
+		t.Fatal("nonzero instant error")
+	}
+	if eq.Activations >= ref.Activations {
+		t.Fatalf("no event saving: %d vs %d", eq.Activations, ref.Activations)
+	}
+	if eq.GraphNodes == 0 {
+		t.Fatal("graph nodes not reported")
+	}
+	if ref.FinalTimeNs == 0 || ref.Events == 0 {
+		t.Fatalf("stats incomplete: %+v", ref)
+	}
+}
+
+func TestFacadeTimeLimit(t *testing.T) {
+	ref, err := RunReference(buildSmoke(1000), RunOptions{LimitNs: 10_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.FinalTimeNs != 10_000 {
+		t.Fatalf("final time = %d", ref.FinalTimeNs)
+	}
+	if ref.Trace != nil {
+		t.Fatal("trace recorded without Record")
+	}
+}
+
+func TestFacadeReduce(t *testing.T) {
+	full, err := RunEquivalent(zoo.Didactic(zoo.DidacticSpec{Tokens: 50, Period: 500, Seed: 1}), RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	red, err := RunEquivalent(zoo.Didactic(zoo.DidacticSpec{Tokens: 50, Period: 500, Seed: 1}), RunOptions{Reduce: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if red.GraphNodes > full.GraphNodes {
+		t.Fatalf("reduction grew the graph: %d > %d", red.GraphNodes, full.GraphNodes)
+	}
+}
+
+func TestFacadeHybrid(t *testing.T) {
+	ref, err := RunReference(buildSmoke(200), RunOptions{Record: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hyb, err := RunHybrid(buildSmoke(200), []string{"stage1", "stage2"}, RunOptions{Record: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CompareTraces(ref.Trace, hyb.Trace); err != nil {
+		t.Fatalf("hybrid traces differ: %v", err)
+	}
+	if hyb.GraphNodes == 0 {
+		t.Fatal("graph nodes not reported")
+	}
+	if _, err := RunHybrid(buildSmoke(10), []string{"nope"}, RunOptions{}); err == nil {
+		t.Fatal("expected error for unknown group member")
+	}
+}
+
+func TestFacadeRejectsInvalid(t *testing.T) {
+	a := NewArchitecture("broken")
+	a.AddChannel("M", Rendezvous, 0)
+	if _, err := RunReference(a, RunOptions{}); err == nil {
+		t.Fatal("expected error")
+	}
+	if _, err := RunEquivalent(a, RunOptions{}); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestCostHelpers(t *testing.T) {
+	if FixedOps(5)(Token{}).Ops != 5 {
+		t.Fatal("FixedOps")
+	}
+	if OpsPerByte(1, 2)(Token{Size: 3}).Ops != 7 {
+		t.Fatal("OpsPerByte")
+	}
+	if Periodic(10, 1)(2) != 21 {
+		t.Fatal("Periodic")
+	}
+	if Eager()(5) != 0 {
+		t.Fatal("Eager")
+	}
+}

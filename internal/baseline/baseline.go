@@ -1,0 +1,220 @@
+// Package baseline is the event-driven reference executor: it compiles an
+// architecture model onto the discrete-event kernel with one simulation
+// process per application function, exhibiting every relation among
+// functions as kernel events — the "first model" that Section V of the
+// paper compares against.
+//
+// Its semantics are exactly those of the temporal-dependency-graph
+// derivation (internal/derive): rendezvous/FIFO transfer instants, static
+// rotation of mapped functions with windowed concurrency, data-dependent
+// execution durations. The recorded evolution instants of the two engines
+// must agree bit-exact; integration tests enforce this.
+package baseline
+
+import (
+	"fmt"
+
+	"dyncomp/internal/chanrt"
+	"dyncomp/internal/maxplus"
+	"dyncomp/internal/model"
+	"dyncomp/internal/observe"
+	"dyncomp/internal/sim"
+)
+
+// Options configures a baseline run.
+type Options struct {
+	// Trace, when non-nil, records evolution instants and resource
+	// activity. Recording costs time; benchmark runs leave it nil.
+	Trace *observe.Trace
+	// Limit bounds simulation time; zero means run until the event queue
+	// drains (all source tokens consumed).
+	Limit sim.Time
+}
+
+// Result reports a completed run.
+type Result struct {
+	Stats sim.Stats
+	Trace *observe.Trace
+}
+
+// Run simulates the architecture event-by-event until every source is
+// exhausted and the pipeline has drained. The architecture must validate.
+func Run(a *model.Architecture, opts Options) (*Result, error) {
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	limit := opts.Limit
+	if limit <= 0 {
+		limit = sim.Forever
+	}
+
+	k := sim.New()
+	if _, err := Attach(k, a, AttachOptions{Trace: opts.Trace}); err != nil {
+		return nil, err
+	}
+	if err := k.Run(limit); err != nil {
+		return nil, err
+	}
+	return &Result{Stats: k.Stats(), Trace: opts.Trace}, nil
+}
+
+// AttachOptions configures Attach.
+type AttachOptions struct {
+	// Trace records instants and activities of the attached processes.
+	Trace *observe.Trace
+	// Skip excludes functions from spawning (their channels still get
+	// runtimes unless provided). Partial abstraction replaces the skipped
+	// group with an equivalent model.
+	Skip func(f *model.Function) bool
+	// Chans supplies pre-created runtimes for specific channels (boundary
+	// channels of a partial abstraction); missing channels get fresh
+	// runtimes recording into Trace.
+	Chans map[*model.Channel]chanrt.RT
+	// SkipChannel excludes channels entirely (internal channels of an
+	// abstracted group).
+	SkipChannel func(ch *model.Channel) bool
+}
+
+// Runtime exposes the channel runtimes created by Attach.
+type Runtime struct {
+	Chans map[*model.Channel]chanrt.RT
+}
+
+// Attach spawns event-driven processes for the architecture's functions,
+// sources and sinks onto an existing kernel. The architecture must have
+// been validated. Partial setups (hybrid models) use Skip/Chans to carve
+// out the abstracted group.
+func Attach(k *sim.Kernel, a *model.Architecture, opts AttachOptions) (*Runtime, error) {
+	b := &builder{arch: a, kernel: k, trace: opts.Trace, chans: map[*model.Channel]chanrt.RT{}}
+	for ch, rt := range opts.Chans {
+		b.chans[ch] = rt
+	}
+	if err := b.build(opts); err != nil {
+		return nil, err
+	}
+	return &Runtime{Chans: b.chans}, nil
+}
+
+type builder struct {
+	arch   *model.Architecture
+	kernel *sim.Kernel
+	trace  *observe.Trace
+	chans  map[*model.Channel]chanrt.RT
+}
+
+func (b *builder) build(opts AttachOptions) error {
+	for _, ch := range b.arch.Channels {
+		if _, ok := b.chans[ch]; ok {
+			continue
+		}
+		if opts.SkipChannel != nil && opts.SkipChannel(ch) {
+			continue
+		}
+		b.chans[ch] = chanrt.New(b.kernel, ch, b.trace)
+	}
+
+	resources := map[*model.Resource]*resourceRT{}
+	for _, f := range b.arch.Functions {
+		if opts.Skip != nil && opts.Skip(f) {
+			continue
+		}
+		if _, ok := resources[f.Resource]; !ok {
+			resources[f.Resource] = newResourceRT(b.kernel, f.Resource)
+		}
+		execs := make(map[int]*model.ExecInfo)
+		for i := range f.Body {
+			if _, ok := f.Body[i].(model.Exec); ok {
+				info, err := b.arch.ExecInfoOf(f, i)
+				if err != nil {
+					return err
+				}
+				execs[i] = info
+			}
+		}
+		fn := f
+		rt := resources[f.Resource]
+		b.kernel.Spawn(fn.Name, func(p *sim.Proc) {
+			b.runFunction(p, fn, rt, execs)
+		})
+	}
+
+	for _, s := range b.arch.Sources {
+		src := s
+		ch := b.chans[s.Ch]
+		if ch == nil {
+			return fmt.Errorf("baseline: source %q has no channel runtime", s.Name)
+		}
+		b.kernel.Spawn(src.Name, func(p *sim.Proc) {
+			for k := 0; k < src.Count; k++ {
+				u := src.Schedule(k)
+				if u.IsEpsilon() {
+					panic(fmt.Sprintf("baseline: source %q schedule(%d) is ε", src.Name, k))
+				}
+				p.WaitUntil(sim.Time(u))
+				tok := src.Tokens(k)
+				tok.K = k
+				ch.Write(p, tok)
+			}
+		})
+	}
+
+	for _, s := range b.arch.Sinks {
+		ch := b.chans[s.Ch]
+		if ch == nil {
+			return fmt.Errorf("baseline: sink %q has no channel runtime", s.Name)
+		}
+		b.kernel.Spawn(s.Name, func(p *sim.Proc) {
+			for {
+				ch.Read(p)
+			}
+		})
+	}
+	return nil
+}
+
+// runFunction executes one application function: acquire the turn in the
+// resource rotation, run the body statements, release the turn.
+func (b *builder) runFunction(p *sim.Proc, f *model.Function, rt *resourceRT, execs map[int]*model.ExecInfo) {
+	m := len(f.Resource.Rotation)
+	skip := GateSkipped(f)
+	var cur model.Token
+	for k := 0; ; k++ {
+		turn := k*m + f.RotIndex
+		rt.waitTurn(p, turn, skip)
+		for i, st := range f.Body {
+			switch s := st.(type) {
+			case model.Read:
+				cur = b.chans[s.Ch].Read(p)
+			case model.Write:
+				b.chans[s.Ch].Write(p, cur)
+			case model.Exec:
+				info := execs[i]
+				load := s.Cost(cur)
+				dur := f.Resource.DurationOf(load)
+				if b.trace != nil {
+					now := maxplus.T(p.Now())
+					b.trace.RecordActivity(observe.Activity{
+						Resource: f.Resource.Name,
+						Label:    info.Label,
+						K:        k,
+						Start:    now,
+						End:      maxplus.Otimes(now, dur),
+						Ops:      load.Ops,
+					})
+				}
+				if dur > 0 {
+					p.Wait(sim.Time(dur))
+				}
+			}
+		}
+		// Bodies ending in an Exec have no transfer marking the turn end;
+		// record the auxiliary end instant for comparison with the
+		// equivalent model.
+		if b.trace != nil {
+			if _, ok := f.Body[len(f.Body)-1].(model.Exec); ok {
+				b.trace.RecordInstant("end:"+f.Name, maxplus.T(p.Now()))
+			}
+		}
+		rt.endTurn(turn, f.RotIndex)
+	}
+}

@@ -1,0 +1,188 @@
+package chanrt
+
+import (
+	"testing"
+
+	"dyncomp/internal/maxplus"
+	"dyncomp/internal/model"
+	"dyncomp/internal/observe"
+	"dyncomp/internal/sim"
+)
+
+func TestRendezvousWriterFirst(t *testing.T) {
+	k := sim.New()
+	tr := observe.NewTrace("t")
+	ch := NewRV(k, &model.Channel{Name: "M"}, tr)
+	var got model.Token
+	var readAt, writeDone sim.Time
+	k.Spawn("writer", func(p *sim.Proc) {
+		p.Wait(5)
+		ch.Write(p, model.Token{K: 1, Size: 42})
+		writeDone = p.Now()
+	})
+	k.Spawn("reader", func(p *sim.Proc) {
+		p.Wait(20)
+		got = ch.Read(p)
+		readAt = p.Now()
+	})
+	if err := k.Run(sim.Forever); err != nil {
+		t.Fatal(err)
+	}
+	if got.Size != 42 {
+		t.Fatalf("token = %+v", got)
+	}
+	// Transfer at max(5, 20) = 20; the blocked writer resumes then.
+	if readAt != 20 || writeDone != 20 {
+		t.Fatalf("readAt=%d writeDone=%d, want 20/20", readAt, writeDone)
+	}
+	xs := tr.Instants("M")
+	if len(xs) != 1 || xs[0] != 20 {
+		t.Fatalf("instants = %v", xs)
+	}
+}
+
+func TestRendezvousReaderFirst(t *testing.T) {
+	k := sim.New()
+	tr := observe.NewTrace("t")
+	ch := NewRV(k, &model.Channel{Name: "M"}, tr)
+	var readAt sim.Time
+	k.Spawn("reader", func(p *sim.Proc) {
+		ch.Read(p)
+		readAt = p.Now()
+	})
+	k.Spawn("writer", func(p *sim.Proc) {
+		p.Wait(7)
+		ch.Write(p, model.Token{})
+	})
+	if err := k.Run(sim.Forever); err != nil {
+		t.Fatal(err)
+	}
+	if readAt != 7 {
+		t.Fatalf("readAt = %d, want 7", readAt)
+	}
+}
+
+func TestRendezvousSequence(t *testing.T) {
+	k := sim.New()
+	tr := observe.NewTrace("t")
+	ch := NewRV(k, &model.Channel{Name: "M"}, tr)
+	const n = 50
+	k.Spawn("writer", func(p *sim.Proc) {
+		for i := 0; i < n; i++ {
+			p.Wait(3)
+			ch.Write(p, model.Token{K: i})
+		}
+	})
+	var seen []int
+	k.Spawn("reader", func(p *sim.Proc) {
+		for i := 0; i < n; i++ {
+			p.Wait(5)
+			tok := ch.Read(p)
+			seen = append(seen, tok.K)
+		}
+	})
+	if err := k.Run(sim.Forever); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != n {
+		t.Fatalf("read %d tokens", len(seen))
+	}
+	for i, v := range seen {
+		if v != i {
+			t.Fatalf("token order broken at %d: %d", i, v)
+		}
+	}
+	// Reader is the slow side: transfers every 5 ticks.
+	xs := tr.Instants("M")
+	for i := 1; i < len(xs); i++ {
+		if xs[i]-xs[i-1] != 5 {
+			t.Fatalf("transfer spacing %v at %d", xs[i]-xs[i-1], i)
+		}
+	}
+}
+
+func TestFIFOBuffering(t *testing.T) {
+	k := sim.New()
+	tr := observe.NewTrace("t")
+	ch := NewFIFO(k, &model.Channel{Name: "F", Kind: model.FIFO, Capacity: 2}, tr)
+	var writeTimes []sim.Time
+	k.Spawn("writer", func(p *sim.Proc) {
+		for i := 0; i < 4; i++ {
+			ch.Write(p, model.Token{K: i})
+			writeTimes = append(writeTimes, p.Now())
+		}
+	})
+	k.Spawn("reader", func(p *sim.Proc) {
+		for i := 0; i < 4; i++ {
+			p.Wait(10)
+			ch.Read(p)
+		}
+	})
+	if err := k.Run(sim.Forever); err != nil {
+		t.Fatal(err)
+	}
+	// First two writes immediate; third waits for the first read (t=10),
+	// fourth for the second (t=20).
+	want := []sim.Time{0, 0, 10, 20}
+	for i, w := range want {
+		if writeTimes[i] != w {
+			t.Fatalf("write %d at %d, want %d (all: %v)", i, writeTimes[i], w, writeTimes)
+		}
+	}
+	if got := ch.WriteInstant(2); got != 10 {
+		t.Fatalf("WriteInstant(2) = %v", got)
+	}
+	if got := ch.WriteInstant(99); got != maxplus.Epsilon {
+		t.Fatalf("WriteInstant(99) = %v, want ε", got)
+	}
+	if got := ch.WriteInstant(-1); got != maxplus.Epsilon {
+		t.Fatalf("WriteInstant(-1) = %v, want ε", got)
+	}
+	// Trace labels.
+	if len(tr.Instants("F.w")) != 4 || len(tr.Instants("F.r")) != 4 {
+		t.Fatalf("labels: %v", tr.Labels())
+	}
+}
+
+func TestFIFOReaderBlocksWhenEmpty(t *testing.T) {
+	k := sim.New()
+	ch := NewFIFO(k, &model.Channel{Name: "F", Kind: model.FIFO, Capacity: 4}, nil)
+	var readAt sim.Time
+	k.Spawn("reader", func(p *sim.Proc) {
+		ch.Read(p)
+		readAt = p.Now()
+	})
+	k.Spawn("writer", func(p *sim.Proc) {
+		p.Wait(33)
+		ch.Write(p, model.Token{})
+	})
+	if err := k.Run(sim.Forever); err != nil {
+		t.Fatal(err)
+	}
+	if readAt != 33 {
+		t.Fatalf("readAt = %d", readAt)
+	}
+}
+
+func TestNewSelectsProtocol(t *testing.T) {
+	k := sim.New()
+	if _, ok := New(k, &model.Channel{Name: "a", Kind: model.Rendezvous}, nil).(*RV); !ok {
+		t.Fatal("expected RV")
+	}
+	if _, ok := New(k, &model.Channel{Name: "b", Kind: model.FIFO, Capacity: 1}, nil).(*FIFO); !ok {
+		t.Fatal("expected FIFO")
+	}
+	if err := k.Run(0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNilTraceRecordsNothing(t *testing.T) {
+	k := sim.New()
+	ch := NewRV(k, &model.Channel{Name: "M"}, nil)
+	k.Spawn("w", func(p *sim.Proc) { ch.Write(p, model.Token{}) })
+	k.Spawn("r", func(p *sim.Proc) { ch.Read(p) })
+	if err := k.Run(sim.Forever); err != nil {
+		t.Fatal(err)
+	}
+}

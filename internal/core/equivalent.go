@@ -1,0 +1,308 @@
+// Package core implements the paper's contribution: the equivalent model.
+//
+// An equivalent model replaces all architecture processes with two kinds
+// of lightweight simulation processes (Fig. 4 of the paper):
+//
+//   - Reception processes accept input tokens at the architecture
+//     boundary. Whenever an iteration's inputs are complete, they perform
+//     the ComputeInstant() action — evaluating the temporal dependency
+//     graph in zero simulation time — which yields every internal
+//     evolution instant and the output instants y(k).
+//   - Emission processes replay the stored output instants: each waits
+//     until simulation time reaches y(k) and only then emits the output
+//     token.
+//
+// Only boundary events remain visible to the simulation kernel; all
+// internal events are saved. Because the internal instants are still
+// computed, resource usage is reconstructed exactly on a local
+// observation time (Fig. 2b) without involving the simulator.
+package core
+
+import (
+	"fmt"
+
+	"dyncomp/internal/chanrt"
+	"dyncomp/internal/derive"
+	"dyncomp/internal/maxplus"
+	"dyncomp/internal/observe"
+	"dyncomp/internal/sim"
+	"dyncomp/internal/tdg"
+)
+
+// Options configures an equivalent-model run.
+type Options struct {
+	// Trace, when non-nil, records the computed evolution instants and the
+	// reconstructed resource activity, bit-exact against the reference
+	// executor.
+	Trace *observe.Trace
+	// Limit bounds simulation time; zero means run to completion.
+	Limit sim.Time
+}
+
+// Result reports a completed run.
+type Result struct {
+	Stats      sim.Stats
+	Trace      *observe.Trace
+	Iterations int
+}
+
+// Model is a runnable equivalent model built from a derived temporal
+// dependency graph.
+type Model struct {
+	res  *derive.Result
+	iter int // iterations to simulate (source token count)
+}
+
+// New builds an equivalent model from a derivation result. All sources of
+// the architecture must produce the same token count (single-rate
+// evolution), and every output must drain into an environment sink (the
+// abstraction boundary of the paper's experiments).
+func New(res *derive.Result) (*Model, error) {
+	if len(res.Inputs) == 0 {
+		return nil, fmt.Errorf("core: architecture %q has no inputs", res.Arch.Name)
+	}
+	count := res.Inputs[0].Source.Count
+	for _, ib := range res.Inputs[1:] {
+		if ib.Source.Count != count {
+			return nil, fmt.Errorf("core: sources %q and %q produce different token counts (%d vs %d)",
+				res.Inputs[0].Source.Name, ib.Source.Name, count, ib.Source.Count)
+		}
+	}
+	return &Model{res: res, iter: count}, nil
+}
+
+// Run simulates the equivalent model.
+func (m *Model) Run(opts Options) (*Result, error) {
+	limit := opts.Limit
+	if limit <= 0 {
+		limit = sim.Forever
+	}
+	k := sim.New()
+	ev, err := tdg.NewEvaluator(m.res.Graph)
+	if err != nil {
+		return nil, err
+	}
+
+	eng := &engine{
+		model:   m,
+		kernel:  k,
+		eval:    ev,
+		trace:   opts.Trace,
+		arrived: make([]int, len(m.res.Inputs)),
+		inputs:  make([]maxplus.T, len(m.res.Inputs)),
+		outputs: make([][]maxplus.T, len(m.res.Outputs)),
+		stepped: k.NewEvent("stepped"),
+		emitted: k.NewEvent("emitted"),
+	}
+	if opts.Trace != nil {
+		eng.vals = make([]maxplus.T, m.res.Graph.NodeCount())
+	}
+	eng.build()
+	if err := k.Run(limit); err != nil {
+		return nil, err
+	}
+	return &Result{Stats: k.Stats(), Trace: opts.Trace, Iterations: ev.K()}, nil
+}
+
+// engine is the running state of one equivalent-model simulation.
+type engine struct {
+	model  *Model
+	kernel *sim.Kernel
+	eval   *tdg.Evaluator
+	trace  *observe.Trace
+	vals   []maxplus.T
+
+	// arrivals per input: arrived[i] counts delivered iterations; the
+	// engine steps iteration k once every input has arrived[i] > k.
+	arrived []int
+	inputs  []maxplus.T // arrival instants of the pending iteration
+	pending int         // number of inputs that delivered the pending iteration
+
+	outputs [][]maxplus.T // computed y(k) per output, grown by Step
+	stepped *sim.Event    // broadcast after each arrival and ComputeInstant
+	emitted *sim.Event    // broadcast after each computed output batch
+}
+
+func (e *engine) build() {
+	m := e.model
+	arch := m.res.Arch
+
+	// Boundary channels keep their real runtimes; instants are recorded
+	// from the computed values (not by the runtimes) to keep a single
+	// source of truth.
+	inChans := make([]chanrt.RT, len(m.res.Inputs))
+	for i, ib := range m.res.Inputs {
+		inChans[i] = chanrt.New(e.kernel, ib.Channel, nil)
+	}
+	outChans := make([]chanrt.RT, len(m.res.Outputs))
+	for j, ob := range m.res.Outputs {
+		outChans[j] = chanrt.New(e.kernel, ob.Channel, nil)
+	}
+
+	// Environment sources, exactly as in the reference executor.
+	for i, ib := range m.res.Inputs {
+		src := ib.Source
+		ch := inChans[i]
+		e.kernel.Spawn(src.Name, func(p *sim.Proc) {
+			for k := 0; k < src.Count; k++ {
+				u := src.Schedule(k)
+				if u.IsEpsilon() {
+					panic(fmt.Sprintf("core: source %q schedule(%d) is ε", src.Name, k))
+				}
+				p.WaitUntil(sim.Time(u))
+				tok := src.Tokens(k)
+				tok.K = k
+				ch.Write(p, tok)
+			}
+		})
+	}
+
+	// Reception processes: gate, accept, compute.
+	for i := range m.res.Inputs {
+		idx := i
+		ib := m.res.Inputs[i]
+		ch := inChans[i]
+		e.kernel.Spawn("Reception:"+ib.Channel.Name, func(p *sim.Proc) {
+			e.runReception(p, idx, ib, ch)
+		})
+	}
+
+	// Emission processes replay stored output instants.
+	for j := range m.res.Outputs {
+		idx := j
+		ob := m.res.Outputs[j]
+		ch := outChans[j]
+		e.kernel.Spawn("Emission:"+ob.Channel.Name, func(p *sim.Proc) {
+			for k := 0; k < m.iter; k++ {
+				for len(e.outputs[idx]) <= k {
+					p.WaitEvent(e.emitted)
+				}
+				y := e.outputs[idx][k]
+				if y == maxplus.Epsilon {
+					continue // this iteration produces no output yet
+				}
+				p.WaitUntil(sim.Time(y))
+				tok := arch.TokenOf(ob.Channel, k)
+				ch.Write(p, tok)
+			}
+		})
+	}
+
+	// Environment sinks.
+	for j, ob := range m.res.Outputs {
+		ch := outChans[j]
+		e.kernel.Spawn(ob.Sink.Name, func(p *sim.Proc) {
+			for {
+				ch.Read(p)
+			}
+		})
+	}
+}
+
+// runReception is the Reception process of one input: for each iteration
+// it evaluates the readiness gate — from already-computed history plus,
+// for same-iteration terms, from other inputs' observed arrivals —
+// accepts the token (the rendezvous realizes max(u(k), gate)), and
+// triggers ComputeInstant when the iteration's inputs are complete.
+func (e *engine) runReception(p *sim.Proc, idx int, ib derive.InputBinding, ch chanrt.RT) {
+	fifo, _ := ch.(*chanrt.FIFO)
+	for k := 0; k < e.model.iter; k++ {
+		// The delayed gate needs iteration k-1 fully computed; the
+		// same-iteration terms need the referenced inputs' k-th arrivals.
+		for !e.gateReady(ib, k) {
+			p.WaitEvent(e.stepped)
+		}
+		gate, err := e.eval.PeekDelayed(ib.Gate, k)
+		if err != nil {
+			panic(fmt.Sprintf("core: %v", err))
+		}
+		for _, sg := range ib.SameIterGate {
+			v := e.inputs[sg.InputIndex]
+			if sg.Weight != nil {
+				v = maxplus.Otimes(v, sg.Weight(k))
+			}
+			gate = maxplus.Oplus(gate, v)
+		}
+		if !gate.IsEpsilon() && sim.Time(gate) > p.Now() {
+			p.WaitUntil(sim.Time(gate))
+		}
+		ch.Read(p)
+		arrival := maxplus.T(p.Now())
+		if fifo != nil {
+			// For FIFO inputs the boundary instant is the write instant,
+			// not the read instant.
+			arrival = fifo.WriteInstant(k)
+		}
+		e.deliver(k, idx, arrival)
+	}
+}
+
+// gateReady reports whether everything the k-th gate of ib depends on has
+// been computed or observed.
+func (e *engine) gateReady(ib derive.InputBinding, k int) bool {
+	if e.eval.K() < k {
+		return false
+	}
+	for _, sg := range ib.SameIterGate {
+		if e.arrived[sg.InputIndex] <= k {
+			return false
+		}
+	}
+	return true
+}
+
+// deliver records one input arrival and steps the evaluator once the
+// iteration is complete. The step happens in zero simulation time.
+func (e *engine) deliver(k, idx int, arrival maxplus.T) {
+	e.inputs[idx] = arrival
+	e.arrived[idx] = k + 1
+	e.pending++
+	if e.pending < len(e.inputs) {
+		e.stepped.Notify() // other receptions may gate on this arrival
+		return
+	}
+	e.pending = 0
+
+	y, err := e.eval.Step(e.inputs)
+	if err != nil {
+		panic(fmt.Sprintf("core: ComputeInstant failed: %v", err))
+	}
+	for j := range e.outputs {
+		e.outputs[j] = append(e.outputs[j], y[j])
+	}
+	if e.trace != nil {
+		e.record(k)
+	}
+	e.stepped.Notify()
+	e.emitted.Notify()
+}
+
+// record reconstructs the observable evolution of iteration k from the
+// computed instants: every labelled instant and every execution activity,
+// on the local observation time (no simulator involvement).
+func (e *engine) record(k int) {
+	e.eval.ValuesInto(e.vals)
+	g := e.model.res.Graph
+	for _, n := range g.Nodes() {
+		label, ok := e.model.res.Labels[n.ID]
+		if !ok {
+			continue
+		}
+		e.trace.RecordInstant(label, e.vals[n.ID])
+	}
+	for _, pr := range e.model.res.Probes {
+		start := pr.Start(e.vals[pr.Base], k)
+		if start == maxplus.Epsilon {
+			continue
+		}
+		load := pr.Exec.Load(k)
+		e.trace.RecordActivity(observe.Activity{
+			Resource: pr.Exec.Resource.Name,
+			Label:    pr.Exec.Label,
+			K:        k,
+			Start:    start,
+			End:      maxplus.Otimes(start, pr.Exec.Resource.DurationOf(load)),
+			Ops:      load.Ops,
+		})
+	}
+}

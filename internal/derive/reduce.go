@@ -1,0 +1,97 @@
+package derive
+
+import (
+	"dyncomp/internal/tdg"
+)
+
+// reduce removes value-redundant weightless arcs from the graph: an arc
+// (a → n, delay d, weight e) is redundant when another path from a to n
+// has a total delay not exceeding d. Because every arc weight is a
+// non-negative duration and evolution instants are non-decreasing in k
+// (sources have non-decreasing schedules), such a path already enforces
+// x_n(k) ≥ x_a(k-d), so removing the arc changes no instant.
+//
+// The paper's hand-written graphs are minimal in this sense; the
+// derivation keeps redundant own-previous-end gates unless reduction is
+// requested. Reduction shrinks the graph (fewer nodes in the Table-I
+// counting, cheaper ComputeInstant) at zero accuracy cost — an ablation
+// the benchmarks measure.
+//
+// Arcs are removed one at a time, re-testing against the updated graph,
+// so mutually-justifying arcs cannot erase each other.
+func reduce(g *tdg.Graph) int {
+	removed := 0
+	for {
+		victimTo, victimIdx := findRedundantArc(g)
+		if victimTo < 0 {
+			return removed
+		}
+		i := 0
+		g.FilterIncoming(tdg.NodeID(victimTo), func(tdg.Arc) bool {
+			keep := i != victimIdx
+			i++
+			return keep
+		})
+		removed++
+	}
+}
+
+// findRedundantArc returns the target node and arc index of one redundant
+// arc, or (-1, -1).
+func findRedundantArc(g *tdg.Graph) (int, int) {
+	for _, n := range g.Nodes() {
+		arcs := g.Incoming(n.ID)
+		for i, a := range arcs {
+			if a.Weight != nil {
+				continue
+			}
+			if hasAltPath(g, a.From, n.ID, a.Delay, i) {
+				return int(n.ID), i
+			}
+		}
+	}
+	return -1, -1
+}
+
+// hasAltPath reports whether a path from src to dst with total delay ≤
+// budget exists that does not use arc skipIdx of dst's incoming list.
+// It runs a 0-weighted BFS layered by accumulated delay (delays are tiny
+// integers, so a simple Dijkstra over (node, delay) suffices).
+func hasAltPath(g *tdg.Graph, src, dst tdg.NodeID, budget, skipIdx int) bool {
+	n := g.NodeCount()
+	// best[v] = minimal accumulated delay to reach v from src.
+	best := make([]int, n)
+	for i := range best {
+		best[i] = budget + 1
+	}
+	best[src] = 0
+	// Outgoing adjacency with the skipped arc excluded.
+	type edge struct {
+		to    tdg.NodeID
+		delay int
+	}
+	out := make([][]edge, n)
+	for _, node := range g.Nodes() {
+		for i, a := range g.Incoming(node.ID) {
+			if node.ID == dst && i == skipIdx {
+				continue
+			}
+			out[a.From] = append(out[a.From], edge{to: node.ID, delay: a.Delay})
+		}
+	}
+	// Bellman-Ford style relaxation; graphs are small and delays
+	// non-negative, so a simple worklist converges quickly.
+	work := []tdg.NodeID{src}
+	for len(work) > 0 {
+		v := work[0]
+		work = work[1:]
+		for _, e := range out[v] {
+			nd := best[v] + e.delay
+			if nd < best[e.to] {
+				best[e.to] = nd
+				work = append(work, e.to)
+			}
+		}
+	}
+	return best[dst] <= budget
+}

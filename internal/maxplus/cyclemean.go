@@ -1,0 +1,74 @@
+package maxplus
+
+// MaxCycleMean computes the maximum cycle mean λ of a square (max,+)
+// matrix A using Karp's algorithm. λ is the (max,+) eigenvalue of A: for
+// the autonomous recurrence X(k) = A ⊗ X(k-1) it is the asymptotic period
+// of the system, i.e. the inverse throughput of the modeled architecture
+// when execution durations are constant.
+//
+// The second return value reports whether the precedence graph of A
+// contains at least one circuit; when it does not (nilpotent A), λ is
+// undefined and ok is false.
+//
+// Complexity is O(n³) in time and O(n²) in space.
+func MaxCycleMean(a *Matrix) (lambda float64, ok bool) {
+	if a.Rows() != a.Cols() {
+		panic("maxplus: cycle mean of non-square matrix")
+	}
+	n := a.Rows()
+	if n == 0 {
+		return 0, false
+	}
+
+	// d[k][v] = maximum weight of a path of exactly k arcs ending at v,
+	// starting anywhere. Using an artificial uniform source (all starts
+	// allowed) keeps every strongly connected component reachable.
+	d := make([][]T, n+1)
+	for k := range d {
+		d[k] = make([]T, n)
+	}
+	for v := 0; v < n; v++ {
+		d[0][v] = E
+	}
+	for k := 1; k <= n; k++ {
+		for v := 0; v < n; v++ {
+			best := Epsilon
+			for u := 0; u < n; u++ {
+				w := a.At(v, u) // arc u -> v has weight A[v][u] (A acts on column vectors)
+				if w == Epsilon || d[k-1][u] == Epsilon {
+					continue
+				}
+				best = Oplus(best, Otimes(d[k-1][u], w))
+			}
+			d[k][v] = best
+		}
+	}
+
+	// λ = max_v min_{0<=k<n, d[n][v] finite} (d[n][v] - d[k][v]) / (n - k)
+	found := false
+	for v := 0; v < n; v++ {
+		if d[n][v] == Epsilon {
+			continue
+		}
+		minRatio := 0.0
+		first := true
+		for k := 0; k < n; k++ {
+			if d[k][v] == Epsilon {
+				continue
+			}
+			ratio := float64(d[n][v]-d[k][v]) / float64(n-k)
+			if first || ratio < minRatio {
+				minRatio = ratio
+				first = false
+			}
+		}
+		if first {
+			continue
+		}
+		if !found || minRatio > lambda {
+			lambda = minRatio
+			found = true
+		}
+	}
+	return lambda, found
+}

@@ -1,0 +1,81 @@
+package maxplus
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMaxCycleMeanSimpleCycle(t *testing.T) {
+	// Two nodes, 0 -> 1 weight 3, 1 -> 0 weight 5: cycle mean (3+5)/2 = 4.
+	a := NewMatrix(2, 2)
+	a.Set(1, 0, 3)
+	a.Set(0, 1, 5)
+	lambda, ok := MaxCycleMean(a)
+	if !ok {
+		t.Fatal("expected a circuit")
+	}
+	if math.Abs(lambda-4) > 1e-9 {
+		t.Fatalf("lambda = %v, want 4", lambda)
+	}
+}
+
+func TestMaxCycleMeanPicksHeaviestCycle(t *testing.T) {
+	// Self loop weight 2 on node 0; cycle 1<->2 with mean 6.
+	a := NewMatrix(3, 3)
+	a.Set(0, 0, 2)
+	a.Set(2, 1, 4)
+	a.Set(1, 2, 8)
+	lambda, ok := MaxCycleMean(a)
+	if !ok {
+		t.Fatal("expected a circuit")
+	}
+	if math.Abs(lambda-6) > 1e-9 {
+		t.Fatalf("lambda = %v, want 6", lambda)
+	}
+}
+
+func TestMaxCycleMeanNilpotent(t *testing.T) {
+	a := NewMatrix(3, 3)
+	a.Set(1, 0, 5)
+	a.Set(2, 1, 2)
+	if _, ok := MaxCycleMean(a); ok {
+		t.Fatal("acyclic matrix should have no cycle mean")
+	}
+}
+
+func TestMaxCycleMeanEmpty(t *testing.T) {
+	if _, ok := MaxCycleMean(NewMatrix(0, 0)); ok {
+		t.Fatal("empty matrix should have no cycle mean")
+	}
+}
+
+func TestMaxCycleMeanNonSquarePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MaxCycleMean(NewMatrix(2, 3))
+}
+
+// The cycle mean bounds the asymptotic growth of the autonomous recurrence
+// X(k) = A ⊗ X(k-1): after many steps, max-entry growth per step -> λ.
+func TestCycleMeanMatchesRecurrenceGrowth(t *testing.T) {
+	a := NewMatrix(3, 3)
+	a.Set(1, 0, 10)
+	a.Set(2, 1, 20)
+	a.Set(0, 2, 30) // single cycle, mean (10+20+30)/3 = 20
+	lambda, ok := MaxCycleMean(a)
+	if !ok {
+		t.Fatal("expected a circuit")
+	}
+	x := Vector{0, 0, 0}
+	const steps = 300
+	for i := 0; i < steps; i++ {
+		x = a.Apply(x)
+	}
+	growth := float64(x[0]) / steps
+	if math.Abs(growth-lambda) > 1.0 {
+		t.Fatalf("recurrence growth %v does not match cycle mean %v", growth, lambda)
+	}
+}

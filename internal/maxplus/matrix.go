@@ -1,0 +1,230 @@
+package maxplus
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Matrix is a dense (max,+) matrix. Entries that are ε denote the absence
+// of a dependency; the zero matrix (all ε) is the additive identity of the
+// matrix semiring.
+type Matrix struct {
+	rows, cols int
+	a          []T // row-major
+}
+
+// NewMatrix returns a rows×cols matrix with every entry ε.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic("maxplus: negative matrix dimension")
+	}
+	a := make([]T, rows*cols)
+	for i := range a {
+		a[i] = Epsilon
+	}
+	return &Matrix{rows: rows, cols: cols, a: a}
+}
+
+// Identity returns the n×n (max,+) identity matrix: e on the diagonal,
+// ε elsewhere.
+func Identity(n int) *Matrix {
+	m := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, E)
+	}
+	return m
+}
+
+// Rows returns the number of rows.
+func (m *Matrix) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *Matrix) Cols() int { return m.cols }
+
+// At returns entry (i, j).
+func (m *Matrix) At(i, j int) T {
+	m.check(i, j)
+	return m.a[i*m.cols+j]
+}
+
+// Set assigns entry (i, j).
+func (m *Matrix) Set(i, j int, x T) {
+	m.check(i, j)
+	m.a[i*m.cols+j] = x
+}
+
+func (m *Matrix) check(i, j int) {
+	if i < 0 || i >= m.rows || j < 0 || j >= m.cols {
+		panic(fmt.Sprintf("maxplus: index (%d,%d) out of range %dx%d", i, j, m.rows, m.cols))
+	}
+}
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	c := &Matrix{rows: m.rows, cols: m.cols, a: make([]T, len(m.a))}
+	copy(c.a, m.a)
+	return c
+}
+
+// Oplus returns the entrywise maximum m ⊕ n. Dimensions must match.
+func (m *Matrix) Oplus(n *Matrix) *Matrix {
+	if m.rows != n.rows || m.cols != n.cols {
+		panic(fmt.Sprintf("maxplus: matrix size mismatch %dx%d vs %dx%d", m.rows, m.cols, n.rows, n.cols))
+	}
+	out := NewMatrix(m.rows, m.cols)
+	for i := range m.a {
+		out.a[i] = Oplus(m.a[i], n.a[i])
+	}
+	return out
+}
+
+// Otimes returns the (max,+) matrix product m ⊗ n, where
+// (m⊗n)[i][j] = ⊕_k m[i][k] ⊗ n[k][j].
+func (m *Matrix) Otimes(n *Matrix) *Matrix {
+	if m.cols != n.rows {
+		panic(fmt.Sprintf("maxplus: matrix product mismatch %dx%d vs %dx%d", m.rows, m.cols, n.rows, n.cols))
+	}
+	out := NewMatrix(m.rows, n.cols)
+	for i := 0; i < m.rows; i++ {
+		for k := 0; k < m.cols; k++ {
+			mik := m.a[i*m.cols+k]
+			if mik == Epsilon {
+				continue
+			}
+			for j := 0; j < n.cols; j++ {
+				nkj := n.a[k*n.cols+j]
+				if nkj == Epsilon {
+					continue
+				}
+				idx := i*out.cols + j
+				out.a[idx] = Oplus(out.a[idx], Otimes(mik, nkj))
+			}
+		}
+	}
+	return out
+}
+
+// Apply returns the matrix-vector product m ⊗ v.
+func (m *Matrix) Apply(v Vector) Vector {
+	if m.cols != len(v) {
+		panic(fmt.Sprintf("maxplus: apply mismatch %dx%d vs vector %d", m.rows, m.cols, len(v)))
+	}
+	out := NewVector(m.rows)
+	for i := 0; i < m.rows; i++ {
+		acc := Epsilon
+		row := m.a[i*m.cols : (i+1)*m.cols]
+		for j, x := range row {
+			if x == Epsilon || v[j] == Epsilon {
+				continue
+			}
+			acc = Oplus(acc, Otimes(x, v[j]))
+		}
+		out[i] = acc
+	}
+	return out
+}
+
+// Power returns m ⊗ m ⊗ ... ⊗ m (p factors). Power(0) is the identity.
+// m must be square and p non-negative.
+func (m *Matrix) Power(p int) *Matrix {
+	if m.rows != m.cols {
+		panic("maxplus: power of non-square matrix")
+	}
+	if p < 0 {
+		panic("maxplus: negative matrix power")
+	}
+	out := Identity(m.rows)
+	base := m.Clone()
+	for p > 0 {
+		if p&1 == 1 {
+			out = out.Otimes(base)
+		}
+		base = base.Otimes(base)
+		p >>= 1
+	}
+	return out
+}
+
+// Equal reports whether m and n have identical dimensions and entries.
+func (m *Matrix) Equal(n *Matrix) bool {
+	if m.rows != n.rows || m.cols != n.cols {
+		return false
+	}
+	for i := range m.a {
+		if m.a[i] != n.a[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// IsNilpotent reports whether some power of m up to m^rows is the all-ε
+// matrix. Nilpotency of the instantaneous dependency matrix A(k,0) is
+// exactly the condition under which the implicit recurrence
+// X = A0⊗X ⊕ b has a unique finite least solution (no zero-delay cycles).
+func (m *Matrix) IsNilpotent() bool {
+	if m.rows != m.cols {
+		return false
+	}
+	p := m.Clone()
+	for i := 0; i < m.rows; i++ {
+		if p.isAllEpsilon() {
+			return true
+		}
+		p = p.Otimes(m)
+	}
+	return p.isAllEpsilon()
+}
+
+func (m *Matrix) isAllEpsilon() bool {
+	for _, x := range m.a {
+		if x != Epsilon {
+			return false
+		}
+	}
+	return true
+}
+
+// Star returns the Kleene star A* = I ⊕ A ⊕ A² ⊕ ... ⊕ A^(n-1), defined
+// when A has no positive-weight circuit. For the nilpotent matrices
+// produced by temporal dependency graphs the series is finite. Star
+// panics if A has a circuit of positive weight (the series would diverge).
+func (m *Matrix) Star() *Matrix {
+	if m.rows != m.cols {
+		panic("maxplus: star of non-square matrix")
+	}
+	n := m.rows
+	out := Identity(n)
+	p := Identity(n)
+	for i := 1; i <= n; i++ {
+		p = p.Otimes(m)
+		if i == n {
+			// A^n must contribute nothing new if no positive circuit
+			// exists; a strictly positive diagonal betrays divergence.
+			for d := 0; d < n; d++ {
+				if p.At(d, d) > E {
+					panic("maxplus: star diverges (positive-weight circuit)")
+				}
+			}
+			break
+		}
+		out = out.Oplus(p)
+	}
+	return out
+}
+
+// String renders the matrix in row-per-line form with ε shown symbolically.
+func (m *Matrix) String() string {
+	var b strings.Builder
+	for i := 0; i < m.rows; i++ {
+		b.WriteByte('[')
+		for j := 0; j < m.cols; j++ {
+			if j > 0 {
+				b.WriteByte(' ')
+			}
+			b.WriteString(m.At(i, j).String())
+		}
+		b.WriteString("]\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,264 @@
+package maxplus
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// genMatrix draws an n×n matrix with ~half of its entries finite.
+func genMatrix(r *rand.Rand, n int) *Matrix {
+	m := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if r.Intn(2) == 0 {
+				m.Set(i, j, T(r.Int63n(1000)))
+			}
+		}
+	}
+	return m
+}
+
+// Generate lets testing/quick produce random square matrices of size 1..6.
+func (*Matrix) Generate(r *rand.Rand, _ int) reflect.Value {
+	return reflect.ValueOf(genMatrix(r, 1+r.Intn(6)))
+}
+
+func sameSize(ms ...*Matrix) bool {
+	for _, m := range ms[1:] {
+		if m.Rows() != ms[0].Rows() || m.Cols() != ms[0].Cols() {
+			return false
+		}
+	}
+	return true
+}
+
+func TestMatrixBasics(t *testing.T) {
+	m := NewMatrix(2, 3)
+	if m.Rows() != 2 || m.Cols() != 3 {
+		t.Fatalf("dims = %dx%d", m.Rows(), m.Cols())
+	}
+	if m.At(1, 2) != Epsilon {
+		t.Fatal("new matrix not ε-filled")
+	}
+	m.Set(1, 2, 7)
+	if m.At(1, 2) != 7 {
+		t.Fatal("Set/At roundtrip failed")
+	}
+	c := m.Clone()
+	c.Set(0, 0, 1)
+	if m.At(0, 0) != Epsilon {
+		t.Fatal("Clone aliases storage")
+	}
+}
+
+func TestMatrixPanicsOnBadIndex(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on out-of-range index")
+		}
+	}()
+	NewMatrix(2, 2).At(2, 0)
+}
+
+func TestMatrixPanicsOnBadDims(t *testing.T) {
+	cases := []func(){
+		func() { NewMatrix(-1, 2) },
+		func() { NewMatrix(2, 2).Oplus(NewMatrix(3, 3)) },
+		func() { NewMatrix(2, 3).Otimes(NewMatrix(2, 3)) },
+		func() { NewMatrix(2, 3).Power(2) },
+		func() { NewMatrix(2, 2).Power(-1) },
+		func() { NewMatrix(2, 3).Star() },
+		func() { NewMatrix(2, 3).Apply(NewVector(2)) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d: expected panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestIdentityIsNeutral(t *testing.T) {
+	if err := quick.Check(func(m *Matrix) bool {
+		id := Identity(m.Rows())
+		return m.Otimes(id).Equal(m) && id.Otimes(m).Equal(m)
+	}, quickCfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMatrixOtimesAssociative(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 300; i++ {
+		n := 1 + r.Intn(5)
+		a, b, c := genMatrix(r, n), genMatrix(r, n), genMatrix(r, n)
+		left := a.Otimes(b).Otimes(c)
+		right := a.Otimes(b.Otimes(c))
+		if !left.Equal(right) {
+			t.Fatalf("⊗ not associative:\n%v%v%v", a, b, c)
+		}
+	}
+}
+
+func TestMatrixDistributive(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	for i := 0; i < 300; i++ {
+		n := 1 + r.Intn(5)
+		a, b, c := genMatrix(r, n), genMatrix(r, n), genMatrix(r, n)
+		left := a.Otimes(b.Oplus(c))
+		right := a.Otimes(b).Oplus(a.Otimes(c))
+		if !left.Equal(right) || !sameSize(left, right) {
+			t.Fatalf("⊗ does not distribute over ⊕")
+		}
+	}
+}
+
+func TestApplyMatchesOtimes(t *testing.T) {
+	// m.Apply(v) must equal treating v as an n×1 matrix.
+	r := rand.New(rand.NewSource(9))
+	for i := 0; i < 300; i++ {
+		n := 1 + r.Intn(5)
+		m := genMatrix(r, n)
+		v := NewVector(n)
+		for j := range v {
+			if r.Intn(4) > 0 {
+				v[j] = T(r.Int63n(1000))
+			}
+		}
+		col := NewMatrix(n, 1)
+		for j := range v {
+			col.Set(j, 0, v[j])
+		}
+		want := m.Otimes(col)
+		got := m.Apply(v)
+		for j := range v {
+			if got[j] != want.At(j, 0) {
+				t.Fatalf("Apply mismatch at %d: %v vs %v", j, got[j], want.At(j, 0))
+			}
+		}
+	}
+}
+
+func TestPower(t *testing.T) {
+	m := NewMatrix(2, 2)
+	m.Set(0, 1, 3)
+	m.Set(1, 0, 4)
+	p0 := m.Power(0)
+	if !p0.Equal(Identity(2)) {
+		t.Fatal("m^0 != I")
+	}
+	p2 := m.Power(2)
+	if p2.At(0, 0) != 7 || p2.At(1, 1) != 7 {
+		t.Fatalf("m^2 = %v", p2)
+	}
+	p3 := m.Power(3)
+	if !p3.Equal(m.Otimes(m).Otimes(m)) {
+		t.Fatal("m^3 mismatch")
+	}
+}
+
+func TestNilpotent(t *testing.T) {
+	// Strictly upper triangular matrices are nilpotent.
+	m := NewMatrix(3, 3)
+	m.Set(0, 1, 5)
+	m.Set(1, 2, 2)
+	if !m.IsNilpotent() {
+		t.Fatal("upper triangular matrix should be nilpotent")
+	}
+	// A self loop is not.
+	m.Set(2, 2, 0)
+	if m.IsNilpotent() {
+		t.Fatal("matrix with diagonal entry should not be nilpotent")
+	}
+	// Non-square is never nilpotent by convention.
+	if NewMatrix(2, 3).IsNilpotent() {
+		t.Fatal("non-square reported nilpotent")
+	}
+}
+
+func TestStarOfNilpotent(t *testing.T) {
+	// For the chain 0 -> 1 -> 2 with weights 5 and 2:
+	// A*[2][0] must be 7 (path), diagonal must be e.
+	m := NewMatrix(3, 3)
+	m.Set(1, 0, 5) // arc 0->1: X1 depends on X0 (+5)
+	m.Set(2, 1, 2)
+	s := m.Star()
+	if s.At(0, 0) != E || s.At(1, 1) != E || s.At(2, 2) != E {
+		t.Fatalf("star diagonal not e:\n%v", s)
+	}
+	if s.At(1, 0) != 5 || s.At(2, 1) != 2 || s.At(2, 0) != 7 {
+		t.Fatalf("star paths wrong:\n%v", s)
+	}
+}
+
+func TestStarSolvesImplicitEquation(t *testing.T) {
+	// x = A⊗x ⊕ b has least solution x = A*⊗b for nilpotent A.
+	r := rand.New(rand.NewSource(10))
+	for i := 0; i < 200; i++ {
+		n := 2 + r.Intn(5)
+		a := NewMatrix(n, n)
+		// Random strictly lower-triangular (nilpotent) matrix.
+		for row := 0; row < n; row++ {
+			for col := 0; col < row; col++ {
+				if r.Intn(2) == 0 {
+					a.Set(row, col, T(r.Int63n(100)))
+				}
+			}
+		}
+		b := NewVector(n)
+		for j := range b {
+			b[j] = T(r.Int63n(1000))
+		}
+		x := a.Star().Apply(b)
+		// Verify x = A⊗x ⊕ b.
+		want := a.Apply(x).Oplus(b)
+		if !x.Equal(want) {
+			t.Fatalf("star solution does not satisfy fixpoint\nA=\n%vb=%v\nx=%v\nwant=%v", a, b, x, want)
+		}
+	}
+}
+
+func TestStarDivergencePanics(t *testing.T) {
+	m := NewMatrix(2, 2)
+	m.Set(0, 1, 1)
+	m.Set(1, 0, 1) // positive circuit of weight 2
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for diverging star")
+		}
+	}()
+	m.Star()
+}
+
+func TestStarAllowsZeroWeightCircuit(t *testing.T) {
+	// A circuit of weight exactly 0 (e) does not diverge.
+	m := NewMatrix(2, 2)
+	m.Set(0, 1, 0)
+	m.Set(1, 0, 0)
+	s := m.Star()
+	if s.At(0, 1) != 0 || s.At(1, 0) != 0 {
+		t.Fatalf("star of zero-circuit wrong:\n%v", s)
+	}
+}
+
+func TestMatrixString(t *testing.T) {
+	m := NewMatrix(1, 2)
+	m.Set(0, 0, 4)
+	s := m.String()
+	if !strings.Contains(s, "4") || !strings.Contains(s, "ε") {
+		t.Fatalf("String() = %q", s)
+	}
+}
+
+func TestMatrixEqualDifferentDims(t *testing.T) {
+	if NewMatrix(1, 2).Equal(NewMatrix(2, 1)) {
+		t.Fatal("matrices of different dims reported equal")
+	}
+}

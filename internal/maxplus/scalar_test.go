@@ -1,0 +1,162 @@
+package maxplus
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// Generate implements testing/quick.Generator so that property-based tests
+// draw scalars that are ε with probability ~1/8 and otherwise bounded
+// finite values (so overflow saturation does not interfere with the
+// algebraic identities under test).
+func (T) Generate(r *rand.Rand, _ int) reflect.Value {
+	return reflect.ValueOf(genT(r))
+}
+
+func genT(r *rand.Rand) T {
+	if r.Intn(8) == 0 {
+		return Epsilon
+	}
+	return T(r.Int63n(1<<40) - 1<<39)
+}
+
+var quickCfg = &quick.Config{MaxCount: 2000}
+
+func TestOplusBasics(t *testing.T) {
+	if got := Oplus(3, 5); got != 5 {
+		t.Fatalf("Oplus(3,5) = %v, want 5", got)
+	}
+	if got := Oplus(Epsilon, 7); got != 7 {
+		t.Fatalf("Oplus(ε,7) = %v, want 7", got)
+	}
+	if got := Oplus(Epsilon, Epsilon); got != Epsilon {
+		t.Fatalf("Oplus(ε,ε) = %v, want ε", got)
+	}
+	if got := OplusN(); got != Epsilon {
+		t.Fatalf("OplusN() = %v, want ε", got)
+	}
+	if got := OplusN(1, 9, 4); got != 9 {
+		t.Fatalf("OplusN(1,9,4) = %v, want 9", got)
+	}
+}
+
+func TestOtimesBasics(t *testing.T) {
+	if got := Otimes(3, 5); got != 8 {
+		t.Fatalf("Otimes(3,5) = %v, want 8", got)
+	}
+	if got := Otimes(Epsilon, 5); got != Epsilon {
+		t.Fatalf("Otimes(ε,5) = %v, want ε", got)
+	}
+	if got := Otimes(5, Epsilon); got != Epsilon {
+		t.Fatalf("Otimes(5,ε) = %v, want ε", got)
+	}
+	if got := Otimes(E, 11); got != 11 {
+		t.Fatalf("Otimes(e,11) = %v, want 11", got)
+	}
+	if got := OtimesN(); got != E {
+		t.Fatalf("OtimesN() = %v, want e", got)
+	}
+	if got := OtimesN(1, 2, 3); got != 6 {
+		t.Fatalf("OtimesN(1,2,3) = %v, want 6", got)
+	}
+}
+
+func TestOtimesSaturates(t *testing.T) {
+	if got := Otimes(Top, 1); got != Top {
+		t.Fatalf("Otimes(Top,1) = %v, want Top", got)
+	}
+	if got := Otimes(Top-1, Top-1); got != Top {
+		t.Fatalf("Otimes(Top-1,Top-1) = %v, want Top", got)
+	}
+	// Negative saturation must not wrap around into a large positive value
+	// and must not collide with the ε sentinel.
+	big := Epsilon + 2
+	got := Otimes(big, big)
+	if got == Epsilon || got > 0 {
+		t.Fatalf("negative saturation produced %v", got)
+	}
+}
+
+func TestScalarString(t *testing.T) {
+	if Epsilon.String() != "ε" {
+		t.Fatalf("Epsilon.String() = %q", Epsilon.String())
+	}
+	if T(42).String() != "42" {
+		t.Fatalf("T(42).String() = %q", T(42).String())
+	}
+	if Epsilon.GoString() != "maxplus.Epsilon" {
+		t.Fatalf("GoString = %q", Epsilon.GoString())
+	}
+	if T(-3).GoString() != "maxplus.T(-3)" {
+		t.Fatalf("GoString = %q", T(-3).GoString())
+	}
+}
+
+// Properties of ⊕: commutative, associative, idempotent, identity ε.
+func TestOplusCommutative(t *testing.T) {
+	if err := quick.Check(func(x, y T) bool {
+		return Oplus(x, y) == Oplus(y, x)
+	}, quickCfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOplusAssociative(t *testing.T) {
+	if err := quick.Check(func(x, y, z T) bool {
+		return Oplus(Oplus(x, y), z) == Oplus(x, Oplus(y, z))
+	}, quickCfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOplusIdempotentWithIdentity(t *testing.T) {
+	if err := quick.Check(func(x T) bool {
+		return Oplus(x, x) == x && Oplus(x, Epsilon) == x
+	}, quickCfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Properties of ⊗: commutative, associative, identity e, absorbing ε,
+// distributes over ⊕.
+func TestOtimesCommutativeAssociative(t *testing.T) {
+	if err := quick.Check(func(x, y, z T) bool {
+		return Otimes(x, y) == Otimes(y, x) &&
+			Otimes(Otimes(x, y), z) == Otimes(x, Otimes(y, z))
+	}, quickCfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOtimesIdentityAbsorbing(t *testing.T) {
+	if err := quick.Check(func(x T) bool {
+		return Otimes(x, E) == x && Otimes(x, Epsilon) == Epsilon
+	}, quickCfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOtimesDistributesOverOplus(t *testing.T) {
+	if err := quick.Check(func(x, y, z T) bool {
+		return Otimes(x, Oplus(y, z)) == Oplus(Otimes(x, y), Otimes(x, z))
+	}, quickCfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMinAndIsEpsilon(t *testing.T) {
+	if !Epsilon.IsEpsilon() {
+		t.Fatal("Epsilon.IsEpsilon() = false")
+	}
+	if T(0).IsEpsilon() {
+		t.Fatal("T(0).IsEpsilon() = true")
+	}
+	if Min(3, 5) != 3 || Min(5, 3) != 3 {
+		t.Fatal("Min broken")
+	}
+	if Min(Epsilon, 5) != Epsilon {
+		t.Fatal("Min should treat ε as smallest")
+	}
+}

@@ -1,0 +1,168 @@
+package maxplus
+
+import (
+	"errors"
+	"fmt"
+)
+
+// System is the linear (max,+) recurrence of the paper's equations (7)-(10):
+//
+//	X(k) = ⊕_{i=0..a} A_i(k) ⊗ X(k-i)  ⊕  ⊕_{j=0..b} B_j(k) ⊗ U(k-j)
+//	Y(k) = ⊕_{l=0..c} C_l(k) ⊗ X(k-l)  ⊕  ⊕_{m=0..d} D_m(k) ⊗ U(k-m)
+//
+// The matrices may vary with k (data-dependent execution durations); they
+// are produced by a MatrixProvider. A0(k) — the instantaneous dependency
+// matrix — must be nilpotent: the implicit part X(k) = A0⊗X(k) ⊕ r is
+// then solved exactly by X(k) = A0* ⊗ r.
+type System struct {
+	nx, nu, ny int
+	maxDelayX  int // a
+	maxDelayU  int // b, also covers d
+	provider   MatrixProvider
+
+	// histories: hx[0] is X(k-1), hx[1] is X(k-2), ...
+	hx []Vector
+	hu []Vector
+	k  int
+}
+
+// MatrixProvider supplies the (possibly k-dependent) matrices of a System.
+// Implementations must return matrices of consistent dimensions:
+// A(k,i): nx×nx, B(k,j): nx×nu, C(k,l): ny×nx, D(k,m): ny×nu.
+type MatrixProvider interface {
+	A(k, i int) *Matrix
+	B(k, j int) *Matrix
+	C(k, l int) *Matrix
+	D(k, m int) *Matrix
+}
+
+// ConstProvider is a MatrixProvider with k-independent matrices. Nil slots
+// are treated as all-ε matrices of the right size.
+type ConstProvider struct {
+	NX, NU, NY int
+	AS         []*Matrix // AS[i] = A(·, i)
+	BS         []*Matrix
+	CS         []*Matrix
+	DS         []*Matrix
+}
+
+// A returns A(k,i); the all-ε matrix when unspecified.
+func (p *ConstProvider) A(_, i int) *Matrix {
+	if i < len(p.AS) && p.AS[i] != nil {
+		return p.AS[i]
+	}
+	return NewMatrix(p.NX, p.NX)
+}
+
+// B returns B(k,j); the all-ε matrix when unspecified.
+func (p *ConstProvider) B(_, j int) *Matrix {
+	if j < len(p.BS) && p.BS[j] != nil {
+		return p.BS[j]
+	}
+	return NewMatrix(p.NX, p.NU)
+}
+
+// C returns C(k,l); the all-ε matrix when unspecified.
+func (p *ConstProvider) C(_, l int) *Matrix {
+	if l < len(p.CS) && p.CS[l] != nil {
+		return p.CS[l]
+	}
+	return NewMatrix(p.NY, p.NX)
+}
+
+// D returns D(k,m); the all-ε matrix when unspecified.
+func (p *ConstProvider) D(_, m int) *Matrix {
+	if m < len(p.DS) && p.DS[m] != nil {
+		return p.DS[m]
+	}
+	return NewMatrix(p.NY, p.NU)
+}
+
+// NewSystem creates a recurrence with nx intermediate instants, nu inputs
+// and ny outputs, depending on at most maxDelayX past X vectors and
+// maxDelayU past U vectors. Histories are initialised to ε ("never
+// happened"), matching a system that has not evolved yet.
+func NewSystem(nx, nu, ny, maxDelayX, maxDelayU int, p MatrixProvider) (*System, error) {
+	if nx <= 0 || nu <= 0 || ny <= 0 {
+		return nil, fmt.Errorf("maxplus: system dimensions must be positive (nx=%d nu=%d ny=%d)", nx, nu, ny)
+	}
+	if maxDelayX < 0 || maxDelayU < 0 {
+		return nil, errors.New("maxplus: negative delay depth")
+	}
+	if p == nil {
+		return nil, errors.New("maxplus: nil matrix provider")
+	}
+	s := &System{nx: nx, nu: nu, ny: ny, maxDelayX: maxDelayX, maxDelayU: maxDelayU, provider: p}
+	s.hx = make([]Vector, maxDelayX)
+	for i := range s.hx {
+		s.hx[i] = NewVector(nx)
+	}
+	s.hu = make([]Vector, maxDelayU)
+	for i := range s.hu {
+		s.hu[i] = NewVector(nu)
+	}
+	return s, nil
+}
+
+// K returns the index of the next iteration to be computed.
+func (s *System) K() int { return s.k }
+
+// Step advances the recurrence by one iteration using the input instants
+// u = U(k). It returns X(k) and Y(k). Step is the algebraic core of the
+// paper's ComputeInstant() action.
+func (s *System) Step(u Vector) (x, y Vector, err error) {
+	if len(u) != s.nu {
+		return nil, nil, fmt.Errorf("maxplus: input size %d, want %d", len(u), s.nu)
+	}
+	k := s.k
+
+	// r = ⊕_{i=1..a} A_i ⊗ X(k-i) ⊕ ⊕_{j=0..b} B_j ⊗ U(k-j)
+	r := NewVector(s.nx)
+	for i := 1; i <= s.maxDelayX; i++ {
+		r = r.Oplus(s.provider.A(k, i).Apply(s.hx[i-1]))
+	}
+	r = r.Oplus(s.provider.B(k, 0).Apply(u))
+	for j := 1; j <= s.maxDelayU; j++ {
+		r = r.Oplus(s.provider.B(k, j).Apply(s.hu[j-1]))
+	}
+
+	// Solve the implicit part X = A0 ⊗ X ⊕ r as X = A0* ⊗ r.
+	a0 := s.provider.A(k, 0)
+	if !a0.IsNilpotent() {
+		return nil, nil, errors.New("maxplus: A(k,0) is not nilpotent (zero-delay dependency cycle)")
+	}
+	x = a0.Star().Apply(r)
+
+	// Y(k) = ⊕ C_l ⊗ X(k-l) ⊕ ⊕ D_m ⊗ U(k-m)
+	y = s.provider.C(k, 0).Apply(x)
+	for l := 1; l <= s.maxDelayX; l++ {
+		y = y.Oplus(s.provider.C(k, l).Apply(s.hx[l-1]))
+	}
+	y = y.Oplus(s.provider.D(k, 0).Apply(u))
+	for m := 1; m <= s.maxDelayU; m++ {
+		y = y.Oplus(s.provider.D(k, m).Apply(s.hu[m-1]))
+	}
+
+	// Shift histories.
+	if s.maxDelayX > 0 {
+		copy(s.hx[1:], s.hx[:len(s.hx)-1])
+		s.hx[0] = x.Clone()
+	}
+	if s.maxDelayU > 0 {
+		copy(s.hu[1:], s.hu[:len(s.hu)-1])
+		s.hu[0] = u.Clone()
+	}
+	s.k++
+	return x, y, nil
+}
+
+// Reset clears the histories back to ε and rewinds k to zero.
+func (s *System) Reset() {
+	for i := range s.hx {
+		s.hx[i] = NewVector(s.nx)
+	}
+	for i := range s.hu {
+		s.hu[i] = NewVector(s.nu)
+	}
+	s.k = 0
+}

@@ -1,0 +1,261 @@
+package maxplus
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// funcProvider adapts closures to the MatrixProvider interface.
+type funcProvider struct {
+	a func(k, i int) *Matrix
+	b func(k, j int) *Matrix
+	c func(k, l int) *Matrix
+	d func(k, m int) *Matrix
+}
+
+func (p funcProvider) A(k, i int) *Matrix { return p.a(k, i) }
+func (p funcProvider) B(k, j int) *Matrix { return p.b(k, j) }
+func (p funcProvider) C(k, l int) *Matrix { return p.c(k, l) }
+func (p funcProvider) D(k, m int) *Matrix { return p.d(k, m) }
+
+// didacticDurations returns the six execution durations of the paper's
+// didactic example for iteration k, deterministically pseudo-random.
+func didacticDurations(k int) (ti1, tj1, ti2, ti3, tj3, ti4 T) {
+	r := rand.New(rand.NewSource(int64(k) + 1000))
+	f := func() T { return T(1 + r.Int63n(50)) }
+	return f(), f(), f(), f(), f(), f()
+}
+
+// didacticProvider builds the matrices of equations (1)-(6) of the paper:
+//
+//	xM1(k) = u(k) ⊕ xM4(k-1)
+//	xM2(k) = xM1(k)⊗Ti1(k) ⊕ xM5(k-1)
+//	xM3(k) = xM2(k)⊗Tj1(k) ⊕ xM4(k-1)
+//	xM4(k) = xM3(k)⊗Ti2(k) ⊕ xM2(k)⊗Ti3(k) ⊕ xM5(k-1)
+//	xM5(k) = xM4(k)⊗Tj3(k) ⊕ xM6(k-1)
+//	y(k)   = xM6(k) = xM5(k)⊗Ti4(k)
+//
+// Indices: X = [xM1 xM2 xM3 xM4 xM5 xM6].
+func didacticProvider() MatrixProvider {
+	return funcProvider{
+		a: func(k, i int) *Matrix {
+			m := NewMatrix(6, 6)
+			switch i {
+			case 0:
+				ti1, tj1, ti2, ti3, tj3, ti4 := didacticDurations(k)
+				m.Set(1, 0, ti1)
+				m.Set(2, 1, tj1)
+				m.Set(3, 2, ti2)
+				m.Set(3, 1, ti3)
+				m.Set(4, 3, tj3)
+				m.Set(5, 4, ti4)
+			case 1:
+				m.Set(0, 3, E) // xM1 <- xM4(k-1)
+				m.Set(1, 4, E) // xM2 <- xM5(k-1)
+				m.Set(2, 3, E) // xM3 <- xM4(k-1)
+				m.Set(3, 4, E) // xM4 <- xM5(k-1)
+				m.Set(4, 5, E) // xM5 <- xM6(k-1)
+			}
+			return m
+		},
+		b: func(k, j int) *Matrix {
+			m := NewMatrix(6, 1)
+			if j == 0 {
+				m.Set(0, 0, E)
+			}
+			return m
+		},
+		c: func(k, l int) *Matrix {
+			m := NewMatrix(1, 6)
+			if l == 0 {
+				m.Set(0, 5, E)
+			}
+			return m
+		},
+		d: func(k, m int) *Matrix { return NewMatrix(1, 1) },
+	}
+}
+
+// didacticDirect evaluates equations (1)-(6) literally, as a reference.
+func didacticDirect(n int, u func(k int) T) (xs []Vector, ys []T) {
+	prev := NewVector(6)
+	for k := 0; k < n; k++ {
+		ti1, tj1, ti2, ti3, tj3, ti4 := didacticDurations(k)
+		x := NewVector(6)
+		x[0] = Oplus(u(k), prev[3])
+		x[1] = Oplus(Otimes(x[0], ti1), prev[4])
+		x[2] = Oplus(Otimes(x[1], tj1), prev[3])
+		x[3] = OplusN(Otimes(x[2], ti2), Otimes(x[1], ti3), prev[4])
+		x[4] = Oplus(Otimes(x[3], tj3), prev[5])
+		x[5] = Otimes(x[4], ti4)
+		xs = append(xs, x)
+		ys = append(ys, x[5])
+		prev = x
+	}
+	return xs, ys
+}
+
+func TestSystemReproducesDidacticEquations(t *testing.T) {
+	sys, err := NewSystem(6, 1, 1, 1, 0, didacticProvider())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const period = 100
+	u := func(k int) T { return T(int64(k) * period) }
+
+	wantX, wantY := didacticDirect(200, u)
+	for k := 0; k < 200; k++ {
+		x, y, err := sys.Step(Vector{u(k)})
+		if err != nil {
+			t.Fatalf("step %d: %v", k, err)
+		}
+		if !x.Equal(wantX[k]) {
+			t.Fatalf("k=%d: X=%v want %v", k, x, wantX[k])
+		}
+		if y[0] != wantY[k] {
+			t.Fatalf("k=%d: Y=%v want %v", k, y[0], wantY[k])
+		}
+	}
+	if sys.K() != 200 {
+		t.Fatalf("K() = %d", sys.K())
+	}
+}
+
+func TestSystemFirstIterationIgnoresEmptyHistory(t *testing.T) {
+	// At k=0 all history is ε; X(0) must depend only on U(0).
+	sys, err := NewSystem(6, 1, 1, 1, 0, didacticProvider())
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, y, err := sys.Step(Vector{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ti1, tj1, ti2, ti3, tj3, ti4 := didacticDurations(0)
+	if x[0] != 0 {
+		t.Fatalf("xM1(0) = %v", x[0])
+	}
+	if x[1] != ti1 {
+		t.Fatalf("xM2(0) = %v, want %v", x[1], ti1)
+	}
+	wantXM4 := Oplus(Otimes(Otimes(ti1, tj1), ti2), Otimes(ti1, ti3))
+	if x[3] != wantXM4 {
+		t.Fatalf("xM4(0) = %v, want %v", x[3], wantXM4)
+	}
+	wantY := OtimesN(wantXM4, tj3, ti4)
+	if y[0] != wantY {
+		t.Fatalf("y(0) = %v, want %v", y[0], wantY)
+	}
+}
+
+func TestSystemReset(t *testing.T) {
+	sys, err := NewSystem(6, 1, 1, 1, 0, didacticProvider())
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, _, err := sys.Step(Vector{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := sys.Step(Vector{100}); err != nil {
+		t.Fatal(err)
+	}
+	sys.Reset()
+	if sys.K() != 0 {
+		t.Fatal("Reset did not rewind k")
+	}
+	again, _, err := sys.Step(Vector{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.Equal(first) {
+		t.Fatalf("after Reset X(0)=%v, want %v", again, first)
+	}
+}
+
+func TestSystemRejectsBadInput(t *testing.T) {
+	sys, err := NewSystem(6, 1, 1, 1, 0, didacticProvider())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := sys.Step(Vector{1, 2}); err == nil {
+		t.Fatal("expected error for wrong input size")
+	}
+}
+
+func TestSystemRejectsNonNilpotentA0(t *testing.T) {
+	p := &ConstProvider{NX: 2, NU: 1, NY: 1}
+	a0 := NewMatrix(2, 2)
+	a0.Set(0, 1, 1)
+	a0.Set(1, 0, 1) // zero-delay cycle
+	p.AS = []*Matrix{a0}
+	b := NewMatrix(2, 1)
+	b.Set(0, 0, E)
+	p.BS = []*Matrix{b}
+	c := NewMatrix(1, 2)
+	c.Set(0, 1, E)
+	p.CS = []*Matrix{c}
+	sys, err := NewSystem(2, 1, 1, 0, 0, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := sys.Step(Vector{0}); err == nil {
+		t.Fatal("expected nilpotency error")
+	}
+}
+
+func TestNewSystemValidation(t *testing.T) {
+	if _, err := NewSystem(0, 1, 1, 0, 0, &ConstProvider{}); err == nil {
+		t.Fatal("expected error for nx=0")
+	}
+	if _, err := NewSystem(1, 1, 1, -1, 0, &ConstProvider{}); err == nil {
+		t.Fatal("expected error for negative delay")
+	}
+	if _, err := NewSystem(1, 1, 1, 0, 0, nil); err == nil {
+		t.Fatal("expected error for nil provider")
+	}
+}
+
+func TestConstProviderDefaults(t *testing.T) {
+	p := &ConstProvider{NX: 2, NU: 3, NY: 4}
+	if p.A(0, 5).Rows() != 2 || p.A(0, 5).Cols() != 2 {
+		t.Fatal("A default size wrong")
+	}
+	if p.B(0, 5).Cols() != 3 {
+		t.Fatal("B default size wrong")
+	}
+	if p.C(0, 5).Rows() != 4 {
+		t.Fatal("C default size wrong")
+	}
+	if p.D(0, 5).Rows() != 4 || p.D(0, 5).Cols() != 3 {
+		t.Fatal("D default size wrong")
+	}
+}
+
+// Property: the computed X(k) is monotone in the input instants — feeding a
+// later u(k) can never make any instant earlier (causality).
+func TestSystemMonotoneInInput(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		s1, _ := NewSystem(6, 1, 1, 1, 0, didacticProvider())
+		s2, _ := NewSystem(6, 1, 1, 1, 0, didacticProvider())
+		var tm T
+		for k := 0; k < 20; k++ {
+			tm = Otimes(tm, T(r.Int63n(100)))
+			shift := T(r.Int63n(50))
+			x1, y1, err1 := s1.Step(Vector{tm})
+			x2, y2, err2 := s2.Step(Vector{Otimes(tm, shift)})
+			if err1 != nil || err2 != nil {
+				t.Fatal(err1, err2)
+			}
+			for i := range x1 {
+				if x2[i] < x1[i] {
+					t.Fatalf("k=%d: later input made instant %d earlier (%v < %v)", k, i, x2[i], x1[i])
+				}
+			}
+			if y2[0] < y1[0] {
+				t.Fatalf("k=%d: later input made output earlier", k)
+			}
+		}
+	}
+}

@@ -1,0 +1,86 @@
+package maxplus
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Vector is a column vector of (max,+) scalars. The zero value is an empty
+// vector; use NewVector to create one filled with ε.
+type Vector []T
+
+// NewVector returns a vector of n entries, all ε.
+func NewVector(n int) Vector {
+	v := make(Vector, n)
+	for i := range v {
+		v[i] = Epsilon
+	}
+	return v
+}
+
+// Clone returns a copy of v.
+func (v Vector) Clone() Vector {
+	w := make(Vector, len(v))
+	copy(w, v)
+	return w
+}
+
+// Oplus returns the entrywise maximum v ⊕ w. Both vectors must have the
+// same length.
+func (v Vector) Oplus(w Vector) Vector {
+	if len(v) != len(w) {
+		panic(fmt.Sprintf("maxplus: vector size mismatch %d vs %d", len(v), len(w)))
+	}
+	out := make(Vector, len(v))
+	for i := range v {
+		out[i] = Oplus(v[i], w[i])
+	}
+	return out
+}
+
+// Scale returns the vector with every entry multiplied (⊗, i.e. shifted)
+// by the scalar a.
+func (v Vector) Scale(a T) Vector {
+	out := make(Vector, len(v))
+	for i := range v {
+		out[i] = Otimes(a, v[i])
+	}
+	return out
+}
+
+// Equal reports whether v and w have identical length and entries.
+func (v Vector) Equal(w Vector) bool {
+	if len(v) != len(w) {
+		return false
+	}
+	for i := range v {
+		if v[i] != w[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// AllFinite reports whether no entry of v is ε.
+func (v Vector) AllFinite() bool {
+	for _, x := range v {
+		if x == Epsilon {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the vector as "[x0 x1 ...]" with ε shown symbolically.
+func (v Vector) String() string {
+	var b strings.Builder
+	b.WriteByte('[')
+	for i, x := range v {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(x.String())
+	}
+	b.WriteByte(']')
+	return b.String()
+}

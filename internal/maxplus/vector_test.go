@@ -1,0 +1,87 @@
+package maxplus
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestVectorBasics(t *testing.T) {
+	v := NewVector(3)
+	for _, x := range v {
+		if x != Epsilon {
+			t.Fatal("NewVector not ε-filled")
+		}
+	}
+	if v.AllFinite() {
+		t.Fatal("ε vector reported finite")
+	}
+	v[0], v[1], v[2] = 1, 2, 3
+	if !v.AllFinite() {
+		t.Fatal("finite vector reported non-finite")
+	}
+	c := v.Clone()
+	c[0] = 99
+	if v[0] != 1 {
+		t.Fatal("Clone aliases storage")
+	}
+}
+
+func TestVectorOplusScale(t *testing.T) {
+	v := Vector{1, Epsilon, 5}
+	w := Vector{0, 7, 2}
+	got := v.Oplus(w)
+	want := Vector{1, 7, 5}
+	if !got.Equal(want) {
+		t.Fatalf("Oplus = %v, want %v", got, want)
+	}
+	s := v.Scale(10)
+	if !s.Equal(Vector{11, Epsilon, 15}) {
+		t.Fatalf("Scale = %v", s)
+	}
+}
+
+func TestVectorOplusSizeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Vector{1}.Oplus(Vector{1, 2})
+}
+
+func TestVectorEqual(t *testing.T) {
+	if (Vector{1, 2}).Equal(Vector{1}) {
+		t.Fatal("different lengths reported equal")
+	}
+	if (Vector{1, 2}).Equal(Vector{1, 3}) {
+		t.Fatal("different entries reported equal")
+	}
+	if !(Vector{Epsilon, 2}).Equal(Vector{Epsilon, 2}) {
+		t.Fatal("equal vectors reported different")
+	}
+}
+
+func TestVectorString(t *testing.T) {
+	got := Vector{1, Epsilon}.String()
+	if got != "[1 ε]" {
+		t.Fatalf("String() = %q", got)
+	}
+}
+
+// Property: Scale distributes over Oplus.
+func TestVectorScaleDistributes(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 500; i++ {
+		n := 1 + r.Intn(6)
+		v, w := NewVector(n), NewVector(n)
+		for j := 0; j < n; j++ {
+			v[j], w[j] = genT(r), genT(r)
+		}
+		a := genT(r)
+		left := v.Oplus(w).Scale(a)
+		right := v.Scale(a).Oplus(w.Scale(a))
+		if !left.Equal(right) {
+			t.Fatalf("scale does not distribute: a=%v v=%v w=%v", a, v, w)
+		}
+	}
+}

@@ -1,0 +1,180 @@
+package observe
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"dyncomp/internal/maxplus"
+)
+
+// Utilization returns the fraction of [from, to) during which the resource
+// is busy, counting overlapping activities once (hardware resources may
+// run several units concurrently; utilization measures occupancy of the
+// resource as a whole, as the solid line of Fig. 2b does).
+func (t *Trace) Utilization(resource string, from, to maxplus.T) float64 {
+	if to <= from {
+		return 0
+	}
+	type edge struct {
+		at    maxplus.T
+		delta int
+	}
+	var edges []edge
+	for _, a := range t.activities[resource] {
+		s, e := clampInterval(a.Start, a.End, from, to)
+		if s >= e {
+			continue
+		}
+		edges = append(edges, edge{s, +1}, edge{e, -1})
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].at != edges[j].at {
+			return edges[i].at < edges[j].at
+		}
+		return edges[i].delta < edges[j].delta // close before open at ties
+	})
+	var busy int64
+	depth := 0
+	var last maxplus.T
+	for _, e := range edges {
+		if depth > 0 {
+			busy += int64(e.at - last)
+		}
+		depth += e.delta
+		last = e.at
+	}
+	return float64(busy) / float64(to-from)
+}
+
+// BusyTime returns the total busy time of the resource in [from, to),
+// counting concurrent units separately (i.e. the integral of parallel
+// occupancy).
+func (t *Trace) BusyTime(resource string, from, to maxplus.T) maxplus.T {
+	var busy int64
+	for _, a := range t.activities[resource] {
+		s, e := clampInterval(a.Start, a.End, from, to)
+		if s < e {
+			busy += int64(e - s)
+		}
+	}
+	return maxplus.T(busy)
+}
+
+func clampInterval(s, e, from, to maxplus.T) (maxplus.T, maxplus.T) {
+	if s == maxplus.Epsilon || e == maxplus.Epsilon {
+		return 0, 0
+	}
+	if s < from {
+		s = from
+	}
+	if e > to {
+		e = to
+	}
+	return s, e
+}
+
+// Series is a binned time series: Values[i] covers
+// [From + i·BinWidth, From + (i+1)·BinWidth).
+type Series struct {
+	From     maxplus.T
+	BinWidth maxplus.T
+	Values   []float64
+}
+
+// Bins returns the number of bins.
+func (s *Series) Bins() int { return len(s.Values) }
+
+// TimeOf returns the start time of bin i.
+func (s *Series) TimeOf(i int) maxplus.T {
+	return s.From + maxplus.T(int64(i)*int64(s.BinWidth))
+}
+
+// Max returns the largest bin value.
+func (s *Series) Max() float64 {
+	m := 0.0
+	for _, v := range s.Values {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// ComplexitySeries computes the computational complexity per time unit of
+// a resource — the GOPS traces of Fig. 6b/6c. Each activity's operations
+// are spread uniformly over its interval and accumulated into bins of the
+// given width; bin values are in operations per nanosecond, which equals
+// GOPS when ticks are nanoseconds.
+func (t *Trace) ComplexitySeries(resource string, from, to, binWidth maxplus.T) (*Series, error) {
+	if binWidth <= 0 {
+		return nil, fmt.Errorf("observe: bin width must be positive, got %v", binWidth)
+	}
+	if to <= from {
+		return nil, fmt.Errorf("observe: empty window [%v, %v)", from, to)
+	}
+	nbins := int((int64(to-from) + int64(binWidth) - 1) / int64(binWidth))
+	s := &Series{From: from, BinWidth: binWidth, Values: make([]float64, nbins)}
+	for _, a := range t.activities[resource] {
+		if a.End <= a.Start || a.Ops <= 0 {
+			continue
+		}
+		rate := a.Ops / float64(a.End-a.Start) // ops per tick
+		lo, hi := clampInterval(a.Start, a.End, from, to)
+		if lo >= hi {
+			continue
+		}
+		firstBin := int(int64(lo-from) / int64(binWidth))
+		lastBin := int((int64(hi-from) - 1) / int64(binWidth))
+		for b := firstBin; b <= lastBin && b < nbins; b++ {
+			bs := from + maxplus.T(int64(b)*int64(binWidth))
+			be := bs + binWidth
+			cs, ce := lo, hi
+			if cs < bs {
+				cs = bs
+			}
+			if ce > be {
+				ce = be
+			}
+			if ce > cs {
+				s.Values[b] += rate * float64(ce-cs)
+			}
+		}
+	}
+	for i := range s.Values {
+		s.Values[i] /= float64(binWidth)
+	}
+	return s, nil
+}
+
+// WriteCSV writes the series as "time,value" rows.
+func (s *Series) WriteCSV(w io.Writer) error {
+	if _, err := io.WriteString(w, "time_ns,value\n"); err != nil {
+		return err
+	}
+	for i, v := range s.Values {
+		if _, err := fmt.Fprintf(w, "%d,%g\n", int64(s.TimeOf(i)), v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteInstantsCSV writes every instant label of the trace as
+// "label,k,time" rows, labels in first-recorded order.
+func (t *Trace) WriteInstantsCSV(w io.Writer) error {
+	if _, err := io.WriteString(w, "label,k,time_ns\n"); err != nil {
+		return err
+	}
+	for _, label := range t.labels {
+		for k, x := range t.instants[label] {
+			if x == maxplus.Epsilon {
+				continue
+			}
+			if _, err := fmt.Fprintf(w, "%s,%d,%d\n", label, k, int64(x)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

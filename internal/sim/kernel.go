@@ -1,0 +1,215 @@
+// Package sim implements a deterministic discrete-event simulation kernel
+// in the style of the SystemC reference simulator.
+//
+// Processes are goroutines that the kernel runs strictly one at a time:
+// resuming a process and receiving its yield each cost one channel
+// handshake, which reproduces the context-switch cost structure that
+// event-driven architecture models pay in SystemC. The dynamic computation
+// method of the paper removes kernel events; this kernel makes the savings
+// measurable, because every saved event is a saved pair of handshakes plus
+// event-queue work.
+//
+// The kernel is strictly deterministic: simultaneous events are processed
+// in scheduling order (FIFO by sequence number), and only one process ever
+// executes at a time.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Time is a simulation instant or duration in integer ticks (1 tick = 1 ns
+// by convention throughout this repository).
+type Time int64
+
+// Forever may be passed to Kernel.Run as the time limit to run until the
+// event queue drains.
+const Forever Time = math.MaxInt64
+
+// Stats counts the kernel work performed during a run. The paper's "number
+// of simulation events" corresponds to TimedEvents + DeltaNotifies, and its
+// "context switches" to Activations.
+type Stats struct {
+	Activations   int64 // process resumes (context switches)
+	TimedEvents   int64 // entries pushed on the time-ordered event queue
+	DeltaNotifies int64 // immediate notifications
+	FinalTime     Time  // simulation time when Run returned
+}
+
+// Kernel is a discrete-event simulator instance. Create one with New,
+// spawn processes, then call Run. A Kernel must not be used from multiple
+// goroutines; process bodies interact with it only through their Proc.
+type Kernel struct {
+	now      Time
+	queue    eventQueue
+	runnable []*Proc // ready at the current time, FIFO order
+	procs    []*Proc
+	parked   chan struct{} // signalled by a process when it yields
+	seq      int64
+	running  bool
+	stopping bool
+	failure  error
+	stats    Stats
+}
+
+// New returns an empty kernel at time zero.
+func New() *Kernel {
+	return &Kernel{parked: make(chan struct{})}
+}
+
+// Now returns the current simulation time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Stats returns the counters accumulated so far.
+func (k *Kernel) Stats() Stats {
+	s := k.stats
+	s.FinalTime = k.now
+	return s
+}
+
+// Spawn registers a process with the given name and body. The body starts
+// executing at simulation time zero, in spawn order. Spawn must be called
+// before Run.
+func (k *Kernel) Spawn(name string, body func(p *Proc)) *Proc {
+	if k.running {
+		panic("sim: Spawn called while kernel is running")
+	}
+	p := &Proc{
+		name:   name,
+		k:      k,
+		resume: make(chan struct{}),
+	}
+	k.procs = append(k.procs, p)
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(stopSignal); !ok {
+					k.failure = fmt.Errorf("sim: process %q panicked: %v", p.name, r)
+				}
+			}
+			p.done = true
+			k.parked <- struct{}{}
+		}()
+		<-p.resume
+		if k.stopping {
+			panic(stopSignal{})
+		}
+		body(p)
+	}()
+	// Every process gets an initial activation at time zero.
+	k.push(0, entry{wake: p})
+	return p
+}
+
+// stopSignal aborts a process goroutine during kernel shutdown; it is
+// recovered by the spawn wrapper and never escapes the package.
+type stopSignal struct{}
+
+// entry is a scheduled occurrence: either waking a parked process or firing
+// an event (releasing its waiters).
+type entry struct {
+	wake *Proc
+	fire *Event
+}
+
+type queued struct {
+	t   Time
+	seq int64
+	e   entry
+}
+
+type eventQueue []queued
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].t != q[j].t {
+		return q[i].t < q[j].t
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(queued)) }
+func (q *eventQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+func (k *Kernel) push(t Time, e entry) {
+	k.seq++
+	heap.Push(&k.queue, queued{t: t, seq: k.seq, e: e})
+	k.stats.TimedEvents++
+}
+
+// Run executes the simulation until the event queue drains, the time limit
+// is exceeded, or a process fails. It returns the first process failure,
+// if any. After Run returns, every process goroutine has terminated.
+func (k *Kernel) Run(limit Time) error {
+	if k.running {
+		return fmt.Errorf("sim: Run reentered")
+	}
+	k.running = true
+	defer func() { k.running = false }()
+
+	for k.failure == nil {
+		// Drain the runnable set of the current delta.
+		for len(k.runnable) > 0 && k.failure == nil {
+			p := k.runnable[0]
+			k.runnable = k.runnable[1:]
+			k.activate(p)
+		}
+		if k.failure != nil {
+			break
+		}
+		if len(k.queue) == 0 {
+			break
+		}
+		next := k.queue[0].t
+		if next > limit {
+			k.now = limit
+			break
+		}
+		it := heap.Pop(&k.queue).(queued)
+		k.now = it.t
+		k.dispatch(it.e)
+	}
+	k.shutdown()
+	return k.failure
+}
+
+func (k *Kernel) dispatch(e entry) {
+	switch {
+	case e.wake != nil:
+		if !e.wake.done {
+			k.runnable = append(k.runnable, e.wake)
+		}
+	case e.fire != nil:
+		e.fire.release()
+	}
+}
+
+// activate hands control to p and blocks until it parks again.
+func (k *Kernel) activate(p *Proc) {
+	if p.done {
+		return
+	}
+	k.stats.Activations++
+	p.resume <- struct{}{}
+	<-k.parked
+}
+
+// shutdown terminates every process goroutine that is still alive.
+func (k *Kernel) shutdown() {
+	k.stopping = true
+	for _, p := range k.procs {
+		if p.done {
+			continue
+		}
+		p.resume <- struct{}{}
+		<-k.parked
+	}
+}

@@ -1,0 +1,42 @@
+package tdg
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteDOT renders the graph in Graphviz DOT form, in the style of the
+// paper's Fig. 3: solid arcs for zero-delay dependencies, dashed arcs for
+// delayed ones annotated with (k-d).
+func (g *Graph) WriteDOT(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", g.Name)
+	b.WriteString("  rankdir=LR;\n")
+	for _, n := range g.nodes {
+		shape := "ellipse"
+		switch n.Kind {
+		case Input:
+			shape = "invtriangle"
+		case Output:
+			shape = "doublecircle"
+		case Pad:
+			shape = "point"
+		}
+		fmt.Fprintf(&b, "  n%d [label=%q shape=%s];\n", n.ID, n.Name, shape)
+	}
+	for to, arcs := range g.in {
+		for _, a := range arcs {
+			attr := ""
+			if a.Delay > 0 {
+				attr = fmt.Sprintf(" [style=dashed label=\"(k-%d)\"]", a.Delay)
+			} else if a.Weight == nil {
+				attr = " [label=\"e\"]"
+			}
+			fmt.Fprintf(&b, "  n%d -> n%d%s;\n", a.From, to, attr)
+		}
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,188 @@
+package tdg
+
+import (
+	"fmt"
+
+	"dyncomp/internal/maxplus"
+)
+
+// Evaluator executes ComputeInstant() over a frozen graph: each Step(k)
+// computes every evolution instant of iteration k from the inputs u(k) and
+// the bounded history of previous iterations.
+//
+// The evaluator keeps one ring buffer per node sized by the graph's
+// maximum delay, so memory is O(nodes × (maxDelay+1)) regardless of how
+// many iterations are computed.
+type Evaluator struct {
+	g      *Graph
+	k      int
+	depth  int         // ring depth = maxDelay + 1
+	ring   []maxplus.T // ring[node*depth + (k mod depth)]
+	outBuf []maxplus.T // reused by Step
+}
+
+// NewEvaluator creates an evaluator over a frozen graph.
+func NewEvaluator(g *Graph) (*Evaluator, error) {
+	if !g.frozen {
+		return nil, fmt.Errorf("tdg: graph %q is not frozen", g.Name)
+	}
+	depth := g.maxDelay + 1
+	ring := make([]maxplus.T, len(g.nodes)*depth)
+	for i := range ring {
+		ring[i] = maxplus.Epsilon
+	}
+	return &Evaluator{
+		g:      g,
+		depth:  depth,
+		ring:   ring,
+		outBuf: make([]maxplus.T, len(g.outputs)),
+	}, nil
+}
+
+// K returns the index of the next iteration to be computed.
+func (e *Evaluator) K() int { return e.k }
+
+// Graph returns the underlying graph.
+func (e *Evaluator) Graph() *Graph { return e.g }
+
+// Step computes all evolution instants of the next iteration k from the
+// input instants u (one per input node, in declaration order) and returns
+// the output instants y(k). The returned slice is reused by the next Step.
+//
+// Step performs no simulation work: it is the zero-simulation-time
+// ComputeInstant() action of the paper.
+func (e *Evaluator) Step(u []maxplus.T) ([]maxplus.T, error) {
+	if len(u) != len(e.g.inputs) {
+		return nil, fmt.Errorf("tdg: %d inputs supplied, graph %q has %d", len(u), e.g.Name, len(e.g.inputs))
+	}
+	k := e.k
+	slot := k % e.depth
+	for i, id := range e.g.inputs {
+		e.ring[int(id)*e.depth+slot] = u[i]
+	}
+	for _, id := range e.g.topo {
+		n := e.g.nodes[id]
+		if n.Kind == Input {
+			continue
+		}
+		acc := maxplus.Epsilon
+		for _, a := range e.g.in[id] {
+			if a.Delay > k {
+				continue // references an iteration before the origin: ε
+			}
+			src := e.ring[int(a.From)*e.depth+((k-a.Delay)%e.depth)]
+			if src == maxplus.Epsilon {
+				continue
+			}
+			v := src
+			if a.Weight != nil {
+				v = maxplus.Otimes(src, a.Weight(k))
+			}
+			if v > acc {
+				acc = v
+			}
+		}
+		e.ring[int(id)*e.depth+slot] = acc
+	}
+	for i, id := range e.g.outputs {
+		e.outBuf[i] = e.ring[int(id)*e.depth+slot]
+	}
+	e.k++
+	return e.outBuf, nil
+}
+
+// Value returns the instant of the given node at the most recently
+// computed iteration. It panics if no iteration has been computed.
+func (e *Evaluator) Value(id NodeID) maxplus.T {
+	if e.k == 0 {
+		panic("tdg: Value before first Step")
+	}
+	return e.ring[int(id)*e.depth+((e.k-1)%e.depth)]
+}
+
+// ValuesInto copies the instants of all nodes at the most recently
+// computed iteration into dst (which must have NodeCount entries), in node
+// ID order.
+func (e *Evaluator) ValuesInto(dst []maxplus.T) {
+	if e.k == 0 {
+		panic("tdg: ValuesInto before first Step")
+	}
+	if len(dst) != len(e.g.nodes) {
+		panic(fmt.Sprintf("tdg: ValuesInto dst size %d, want %d", len(dst), len(e.g.nodes)))
+	}
+	slot := (e.k - 1) % e.depth
+	for i := range e.g.nodes {
+		dst[i] = e.ring[i*e.depth+slot]
+	}
+}
+
+// Reset rewinds the evaluator to iteration zero and clears all history.
+func (e *Evaluator) Reset() {
+	e.k = 0
+	for i := range e.ring {
+		e.ring[i] = maxplus.Epsilon
+	}
+}
+
+// SetValue overrides the stored instant of a node at iteration k. The
+// iteration must already be computed and still within the history window.
+// Partial abstraction uses this to replace an output node's provisional
+// emission-ready instant y(k) with the observed boundary transfer instant
+// once the external reader has taken the token.
+func (e *Evaluator) SetValue(id NodeID, k int, v maxplus.T) error {
+	if !e.g.valid(id) {
+		return fmt.Errorf("tdg: SetValue on unknown node %d", id)
+	}
+	if k >= e.k || k < 0 {
+		return fmt.Errorf("tdg: SetValue(%d) outside computed range [0, %d)", k, e.k)
+	}
+	if e.k-k > e.depth {
+		return fmt.Errorf("tdg: SetValue(%d) outside history window (depth %d, at %d)", k, e.depth, e.k)
+	}
+	e.ring[int(id)*e.depth+(k%e.depth)] = v
+	return nil
+}
+
+// ValueAt returns the stored instant of a node at iteration k, which must
+// be computed and within the history window.
+func (e *Evaluator) ValueAt(id NodeID, k int) (maxplus.T, error) {
+	if !e.g.valid(id) {
+		return maxplus.Epsilon, fmt.Errorf("tdg: ValueAt on unknown node %d", id)
+	}
+	if k >= e.k || k < 0 || e.k-k > e.depth {
+		return maxplus.Epsilon, fmt.Errorf("tdg: ValueAt(%d) outside window (at %d, depth %d)", k, e.k, e.depth)
+	}
+	return e.ring[int(id)*e.depth+(k%e.depth)], nil
+}
+
+// PeekDelayed evaluates ⊕ over the given arcs for iteration k using only
+// already-computed history. Every arc must carry a positive delay not
+// exceeding the graph's maximum delay, and iteration k-1 must have been
+// computed (or k must be 0). The equivalent model uses this to obtain the
+// readiness gate of an input channel before iteration k's inputs exist.
+func (e *Evaluator) PeekDelayed(arcs []Arc, k int) (maxplus.T, error) {
+	if k > e.k {
+		return maxplus.Epsilon, fmt.Errorf("tdg: PeekDelayed(%d) ahead of computed iteration %d", k, e.k)
+	}
+	acc := maxplus.Epsilon
+	for _, a := range arcs {
+		if a.Delay < 1 {
+			return maxplus.Epsilon, fmt.Errorf("tdg: PeekDelayed requires delayed arcs, got delay %d", a.Delay)
+		}
+		if a.Delay > k {
+			continue
+		}
+		src := e.ring[int(a.From)*e.depth+((k-a.Delay)%e.depth)]
+		if src == maxplus.Epsilon {
+			continue
+		}
+		v := src
+		if a.Weight != nil {
+			v = maxplus.Otimes(src, a.Weight(k))
+		}
+		if v > acc {
+			acc = v
+		}
+	}
+	return acc, nil
+}

@@ -1,0 +1,162 @@
+package zoo
+
+import (
+	"fmt"
+
+	"dyncomp/internal/maxplus"
+	"dyncomp/internal/model"
+	"dyncomp/internal/workload"
+)
+
+// RandomSpec parameterizes Random.
+type RandomSpec struct {
+	Seed   int64
+	Tokens int
+}
+
+// Random builds a randomized — but always valid and feasibly scheduled —
+// architecture: a pipeline of 2..5 blocks, each either a single function
+// or a fork-join diamond, over randomly chosen channel protocols,
+// resource kinds, sharing patterns and cost functions. Everything is a
+// pure function of the seed.
+//
+// The property-based integration tests run the reference executor and
+// the equivalent model on hundreds of these and require bit-exact
+// agreement of every evolution instant.
+func Random(spec RandomSpec) *model.Architecture {
+	r := &randSrc{seed: spec.Seed}
+	a := model.NewArchitecture(fmt.Sprintf("random-%d", spec.Seed))
+
+	nblocks := 2 + r.intn(4)
+	// A shared processor that some blocks may map onto (in pipeline
+	// order, so the rotation stays feasible).
+	shared := a.AddProcessor("Pshared", 1e9)
+
+	cur := a.AddChannel("c_in", r.chanKind(), r.capacity())
+	tokens := spec.Tokens
+	if tokens <= 0 {
+		tokens = 1
+	}
+	sched := model.Eager()
+	if r.intn(2) == 0 {
+		period := maxplus.T(300 + r.intn(1500))
+		sched = model.Periodic(period, maxplus.T(r.intn(100)))
+	}
+	seed := spec.Seed
+	a.AddSource("src", cur, sched, func(k int) model.Token {
+		return model.Token{Size: workload.SizeStream(seed, 32, 128)(k)}
+	}, tokens)
+
+	for bi := 0; bi < nblocks; bi++ {
+		if r.intn(3) == 0 {
+			cur = r.diamond(a, bi, cur)
+		} else {
+			cur = r.stage(a, bi, cur, shared)
+		}
+	}
+	a.AddSink("env", cur)
+	return a
+}
+
+// randSrc is a deterministic random stream over workload.Hash64.
+type randSrc struct {
+	seed int64
+	n    int
+}
+
+func (r *randSrc) intn(n int) int {
+	r.n++
+	return int(workload.Hash64(r.seed, r.n) % uint64(n))
+}
+
+func (r *randSrc) chanKind() model.ChannelKind {
+	if r.intn(3) == 0 {
+		return model.FIFO
+	}
+	return model.Rendezvous
+}
+
+func (r *randSrc) capacity() int { return 1 + r.intn(3) }
+
+func (r *randSrc) cost() model.CostFn {
+	base := float64(50 + r.intn(400))
+	perByte := float64(r.intn(4))
+	return model.OpsPerByte(base, perByte)
+}
+
+// stage appends a single-function block, mapped either onto the shared
+// processor or a fresh resource. A function whose body ends in an Exec
+// never goes on the shared processor: a successor gated by its auxiliary
+// end instant could then depend on its own read — an infeasible static
+// schedule (the derivation would reject it as a zero-delay cycle).
+func (r *randSrc) stage(a *model.Architecture, bi int, in *model.Channel, shared *model.Resource) *model.Channel {
+	out := a.AddChannel(fmt.Sprintf("c%d", bi), r.chanKind(), r.capacity())
+	body := []model.Stmt{model.Read{Ch: in}}
+	nexec := 1 + r.intn(2)
+	for e := 0; e < nexec; e++ {
+		body = append(body, model.Exec{Label: fmt.Sprintf("T%d_%d", bi, e), Cost: r.cost()})
+	}
+	body = append(body, model.Write{Ch: out})
+	trailing := r.intn(4) == 0
+	if trailing {
+		// Trailing execution: exercises auxiliary end-of-turn nodes.
+		body = append(body, model.Exec{Label: fmt.Sprintf("T%d_post", bi), Cost: r.cost()})
+	}
+	f := a.AddFunction(fmt.Sprintf("F%d", bi), body...)
+	switch choice := r.intn(3); {
+	case choice == 0 && !trailing:
+		a.Map(shared, f)
+	case choice == 1:
+		a.Map(a.AddProcessor(fmt.Sprintf("P%d", bi), 1e9+float64(r.intn(3))*5e8), f)
+	default:
+		a.Map(a.AddHardware(fmt.Sprintf("H%d", bi), 1e9+float64(r.intn(3))*5e8), f)
+	}
+	return out
+}
+
+// diamond appends a fork-join block in the style of the didactic example:
+// a splitter on a processor, two workers on a second resource, the join
+// on the splitter's processor.
+func (r *randSrc) diamond(a *model.Architecture, bi int, in *model.Channel) *model.Channel {
+	name := func(s string) string { return fmt.Sprintf("%s%d", s, bi) }
+	l := a.AddChannel(name("dl"), r.chanKind(), r.capacity())
+	rr := a.AddChannel(name("dr"), r.chanKind(), r.capacity())
+	lo := a.AddChannel(name("dlo"), r.chanKind(), r.capacity())
+	ro := a.AddChannel(name("dro"), r.chanKind(), r.capacity())
+	out := a.AddChannel(name("dout"), r.chanKind(), r.capacity())
+
+	split := a.AddFunction(name("split"),
+		model.Read{Ch: in},
+		model.Exec{Label: name("Tsplit"), Cost: r.cost()},
+		model.Write{Ch: l},
+		model.Write{Ch: rr},
+	)
+	workL := a.AddFunction(name("workL"),
+		model.Read{Ch: l},
+		model.Exec{Label: name("TworkL"), Cost: r.cost()},
+		model.Write{Ch: lo},
+	)
+	workR := a.AddFunction(name("workR"),
+		model.Read{Ch: rr},
+		model.Exec{Label: name("TworkR"), Cost: r.cost()},
+		model.Write{Ch: ro},
+	)
+	join := a.AddFunction(name("join"),
+		model.Read{Ch: lo},
+		model.Exec{Label: name("TjoinL"), Cost: r.cost()},
+		model.Read{Ch: ro},
+		model.Exec{Label: name("TjoinR"), Cost: r.cost()},
+		model.Write{Ch: out},
+	)
+	p := a.AddProcessor(name("Pd"), 1e9)
+	a.Map(p, split, join)
+	if r.intn(2) == 0 {
+		a.Map(a.AddHardware(name("Hd"), 2e9), workL, workR)
+	} else {
+		// Two workers on one sequential processor would deadlock behind
+		// the join's rotation gate; give each its own.
+		a.Map(a.AddProcessor(name("PwL"), 2e9), workL)
+		a.Map(a.AddProcessor(name("PwR"), 2e9), workR)
+	}
+	return out
+}

@@ -1,0 +1,209 @@
+// Package zoo builds the reference architectures used throughout the
+// repository: the paper's didactic example (Fig. 1), the chained variants
+// behind Table I, and the synthetic pipelines behind the Fig. 5 complexity
+// sweep. Tests, examples, benchmarks and the experiment harness all share
+// these constructors so that every engine sees identical models.
+package zoo
+
+import (
+	"fmt"
+
+	"dyncomp/internal/maxplus"
+	"dyncomp/internal/model"
+	"dyncomp/internal/workload"
+)
+
+// DidacticSpec parameterizes the didactic example.
+type DidacticSpec struct {
+	Tokens  int       // number of tokens produced through M1
+	Period  maxplus.T // source period; 0 means an eager source
+	Seed    int64     // token size stream seed
+	UseFIFO bool      // use capacity-2 FIFO channels instead of rendezvous
+}
+
+// didactic cost bases in operations; with 1 GOPS resources the execution
+// durations are (base + size) nanoseconds, data-dependent through the
+// token size.
+var didacticBases = map[string]float64{
+	"Ti1": 100, "Tj1": 140, "Ti2": 120, "Ti3": 180, "Tj3": 160, "Ti4": 110,
+}
+
+const (
+	didacticSpeed    = 1e9 // ops/s for P1 and P2
+	didacticSizeMin  = 64
+	didacticSizeSpan = 192
+)
+
+// DidacticSize returns the size of the k-th token for a given seed.
+func DidacticSize(seed int64, k int) int64 {
+	return workload.SizeStream(seed, didacticSizeMin, didacticSizeSpan)(k)
+}
+
+// DidacticDurations returns the six execution durations of iteration k in
+// ticks, exactly as both engines will compute them.
+func DidacticDurations(seed int64, k int) (ti1, tj1, ti2, ti3, tj3, ti4 maxplus.T) {
+	size := float64(DidacticSize(seed, k))
+	d := func(label string) maxplus.T {
+		return maxplus.T(didacticBases[label] + size) // speed 1e9 => ns = ops
+	}
+	return d("Ti1"), d("Tj1"), d("Ti2"), d("Ti3"), d("Tj3"), d("Ti4")
+}
+
+// Didactic builds the paper's Fig. 1 architecture: functions F1..F4 over
+// channels M1..M6, F1+F2 on processor P1, F3+F4 on dedicated hardware P2,
+// source F0 and an environment sink.
+func Didactic(spec DidacticSpec) *model.Architecture {
+	a, _ := didacticStage(model.NewArchitecture("didactic"), 0, spec, nil)
+	return a
+}
+
+// DidacticChain builds n didactic stages connected in series: the M6 of
+// stage s feeds the M1 of stage s+1. These are the larger architecture
+// models of Table I — each added stage contributes 9 temporal dependency
+// graph nodes (6 instants + 3 delayed references), giving 10/19/28/37
+// nodes for 1/2/3/4 stages.
+func DidacticChain(n int, spec DidacticSpec) *model.Architecture {
+	if n < 1 {
+		panic("zoo: chain needs at least one stage")
+	}
+	a := model.NewArchitecture(fmt.Sprintf("didactic-chain-%d", n))
+	var in *model.Channel
+	for s := 0; s < n; s++ {
+		a, in = didacticStage(a, s, spec, in)
+	}
+	a.AddSink("env", in)
+	return a
+}
+
+// didacticStage appends one didactic stage to a. When in is nil the stage
+// is fed by a fresh source (and the caller of Didactic adds the sink);
+// otherwise the stage reads from in. It returns the stage's output
+// channel. For the single-stage Didactic, the sink is added here.
+func didacticStage(a *model.Architecture, s int, spec DidacticSpec, in *model.Channel) (*model.Architecture, *model.Channel) {
+	suffix := ""
+	if s > 0 || in != nil {
+		suffix = fmt.Sprintf("_%d", s+1)
+	}
+	kind := model.Rendezvous
+	capacity := 0
+	if spec.UseFIFO {
+		kind = model.FIFO
+		capacity = 2
+	}
+	name := func(base string) string { return base + suffix }
+
+	var m1 *model.Channel
+	if in == nil {
+		m1 = a.AddChannel(name("M1"), kind, capacity)
+		sched := model.Eager()
+		if spec.Period > 0 {
+			sched = model.Periodic(spec.Period, 0)
+		}
+		tokens := spec.Tokens
+		if tokens <= 0 {
+			tokens = 1
+		}
+		seed := spec.Seed
+		a.AddSource("F0", m1, sched, func(k int) model.Token {
+			return model.Token{Size: DidacticSize(seed, k)}
+		}, tokens)
+	} else {
+		m1 = in
+	}
+	m2 := a.AddChannel(name("M2"), kind, capacity)
+	m3 := a.AddChannel(name("M3"), kind, capacity)
+	m4 := a.AddChannel(name("M4"), kind, capacity)
+	m5 := a.AddChannel(name("M5"), kind, capacity)
+	m6 := a.AddChannel(name("M6"), kind, capacity)
+
+	cost := func(label string) model.CostFn {
+		base := didacticBases[label]
+		return func(t model.Token) model.Load {
+			return model.Load{Ops: base + float64(t.Size)}
+		}
+	}
+	f1 := a.AddFunction(name("F1"),
+		model.Read{Ch: m1},
+		model.Exec{Label: name("Ti1"), Cost: cost("Ti1")},
+		model.Write{Ch: m2},
+		model.Exec{Label: name("Tj1"), Cost: cost("Tj1")},
+		model.Write{Ch: m3},
+	)
+	f2 := a.AddFunction(name("F2"),
+		model.Read{Ch: m3},
+		model.Exec{Label: name("Ti2"), Cost: cost("Ti2")},
+		model.Write{Ch: m4},
+	)
+	f3 := a.AddFunction(name("F3"),
+		model.Read{Ch: m2},
+		model.Exec{Label: name("Ti3"), Cost: cost("Ti3")},
+		model.Read{Ch: m4},
+		model.Exec{Label: name("Tj3"), Cost: cost("Tj3")},
+		model.Write{Ch: m5},
+	)
+	f4 := a.AddFunction(name("F4"),
+		model.Read{Ch: m5},
+		model.Exec{Label: name("Ti4"), Cost: cost("Ti4")},
+		model.Write{Ch: m6},
+	)
+	p1 := a.AddProcessor(name("P1"), didacticSpeed)
+	p2 := a.AddHardware(name("P2"), didacticSpeed)
+	a.Map(p1, f1, f2)
+	a.Map(p2, f3, f4)
+
+	if in == nil && a.Name == "didactic" {
+		a.AddSink("env", m6)
+	}
+	return a, m6
+}
+
+// PipelineSpec parameterizes the synthetic pipelines of the Fig. 5 sweep.
+type PipelineSpec struct {
+	XSize  int // number of channel transfer instants (the paper's "X size")
+	Tokens int
+	Period maxplus.T // 0 means eager
+	Seed   int64
+}
+
+// Pipeline builds a linear pipeline with XSize transfer instants:
+// XSize-1 functions, each on its own processor, reading C_{i-1} and
+// writing C_i. The number of saveable events grows with XSize while the
+// temporal dependency graph stays minimal, which is exactly the knob the
+// Fig. 5 experiment turns.
+func Pipeline(spec PipelineSpec) *model.Architecture {
+	if spec.XSize < 2 {
+		panic("zoo: pipeline needs XSize >= 2")
+	}
+	a := model.NewArchitecture(fmt.Sprintf("pipeline-x%d", spec.XSize))
+	nfun := spec.XSize - 1
+	chs := make([]*model.Channel, spec.XSize)
+	for i := range chs {
+		chs[i] = a.AddChannel(fmt.Sprintf("C%d", i), model.Rendezvous, 0)
+	}
+	for i := 0; i < nfun; i++ {
+		base := 80 + 10*float64(i%7)
+		f := a.AddFunction(fmt.Sprintf("S%d", i+1),
+			model.Read{Ch: chs[i]},
+			model.Exec{Label: fmt.Sprintf("T%d", i+1), Cost: func(t model.Token) model.Load {
+				return model.Load{Ops: base + float64(t.Size)}
+			}},
+			model.Write{Ch: chs[i+1]},
+		)
+		p := a.AddProcessor(fmt.Sprintf("P%d", i+1), 1e9)
+		a.Map(p, f)
+	}
+	sched := model.Eager()
+	if spec.Period > 0 {
+		sched = model.Periodic(spec.Period, 0)
+	}
+	tokens := spec.Tokens
+	if tokens <= 0 {
+		tokens = 1
+	}
+	seed := spec.Seed
+	a.AddSource("src", chs[0], sched, func(k int) model.Token {
+		return model.Token{Size: workload.SizeStream(seed, 32, 96)(k)}
+	}, tokens)
+	a.AddSink("env", chs[spec.XSize-1])
+	return a
+}

@@ -1,0 +1,134 @@
+package zoo
+
+import (
+	"testing"
+
+	"dyncomp/internal/model"
+)
+
+func TestDidacticValidates(t *testing.T) {
+	a := Didactic(DidacticSpec{Tokens: 10, Period: 100, Seed: 1})
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Functions) != 4 || len(a.Channels) != 6 {
+		t.Fatalf("functions=%d channels=%d", len(a.Functions), len(a.Channels))
+	}
+	if len(a.Sources) != 1 || len(a.Sinks) != 1 {
+		t.Fatalf("sources=%d sinks=%d", len(a.Sources), len(a.Sinks))
+	}
+	if a.Name != "didactic" {
+		t.Fatalf("name = %q", a.Name)
+	}
+}
+
+func TestDidacticChainValidates(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4} {
+		a := DidacticChain(n, DidacticSpec{Tokens: 10, Period: 100, Seed: 1})
+		if err := a.Validate(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if got := len(a.Functions); got != 4*n {
+			t.Fatalf("n=%d: %d functions", n, got)
+		}
+		if got := len(a.Channels); got != 6+5*(n-1) {
+			t.Fatalf("n=%d: %d channels", n, got)
+		}
+		if got := len(a.Resources); got != 2*n {
+			t.Fatalf("n=%d: %d resources", n, got)
+		}
+	}
+}
+
+func TestDidacticChainPanicsOnZeroStages(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	DidacticChain(0, DidacticSpec{})
+}
+
+func TestDidacticDurationsMatchCosts(t *testing.T) {
+	spec := DidacticSpec{Tokens: 5, Period: 100, Seed: 42}
+	a := Didactic(spec)
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	execs, err := a.Execs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byLabel := map[string]*model.ExecInfo{}
+	for _, e := range execs {
+		byLabel[e.Label] = e
+	}
+	for k := 0; k < 5; k++ {
+		ti1, tj1, ti2, ti3, tj3, ti4 := DidacticDurations(spec.Seed, k)
+		checks := map[string]interface{ IsEpsilon() bool }{}
+		_ = checks
+		if byLabel["Ti1"].Duration(k) != ti1 {
+			t.Fatalf("Ti1(%d) mismatch", k)
+		}
+		if byLabel["Tj1"].Duration(k) != tj1 {
+			t.Fatalf("Tj1(%d) mismatch", k)
+		}
+		if byLabel["Ti2"].Duration(k) != ti2 {
+			t.Fatalf("Ti2(%d) mismatch", k)
+		}
+		if byLabel["Ti3"].Duration(k) != ti3 {
+			t.Fatalf("Ti3(%d) mismatch", k)
+		}
+		if byLabel["Tj3"].Duration(k) != tj3 {
+			t.Fatalf("Tj3(%d) mismatch", k)
+		}
+		if byLabel["Ti4"].Duration(k) != ti4 {
+			t.Fatalf("Ti4(%d) mismatch", k)
+		}
+	}
+}
+
+func TestDidacticFIFOVariant(t *testing.T) {
+	a := Didactic(DidacticSpec{Tokens: 10, Period: 100, Seed: 1, UseFIFO: true})
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, ch := range a.Channels {
+		if ch.Kind != model.FIFO || ch.Capacity != 2 {
+			t.Fatalf("channel %s: kind=%v cap=%d", ch.Name, ch.Kind, ch.Capacity)
+		}
+	}
+}
+
+func TestPipelineValidates(t *testing.T) {
+	for _, x := range []int{2, 6, 30} {
+		a := Pipeline(PipelineSpec{XSize: x, Tokens: 10, Period: 100, Seed: 1})
+		if err := a.Validate(); err != nil {
+			t.Fatalf("x=%d: %v", x, err)
+		}
+		if got := len(a.Functions); got != x-1 {
+			t.Fatalf("x=%d: %d functions", x, got)
+		}
+		if got := len(a.Channels); got != x {
+			t.Fatalf("x=%d: %d channels", x, got)
+		}
+	}
+}
+
+func TestPipelinePanicsOnTinyX(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Pipeline(PipelineSpec{XSize: 1})
+}
+
+func TestDidacticSizeRange(t *testing.T) {
+	for k := 0; k < 1000; k++ {
+		s := DidacticSize(9, k)
+		if s < 64 || s >= 256 {
+			t.Fatalf("size out of range: %d", s)
+		}
+	}
+}
