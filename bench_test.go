@@ -203,6 +203,71 @@ func BenchmarkComputeInstant(b *testing.B) {
 	}
 }
 
+// BenchmarkSweep measures the design-space sweep engine on a 36-point
+// parameter grid (period × seed) sharing one structural shape (a
+// 3-stage didactic chain, derived with arc reduction as the paper's
+// hand-minimal graphs are):
+//
+//   - naive: one RunEquivalent per point, re-deriving and re-reducing
+//     the temporal dependency graph every time (36 derivations per
+//     sweep);
+//   - cached: dyncomp.Sweep with the structure-keyed derive cache
+//     (1 derivation per sweep) on one worker;
+//   - cached-parallel: the same with one worker per processor.
+//
+// The naive/cached ns/op ratio is the derivation saving; the
+// "derives/op" metric shows each strategy's Derive count.
+func BenchmarkSweep(b *testing.B) {
+	periods := []int64{600, 800, 1000, 1200, 1400, 1600}
+	seeds := []int64{1, 2, 3, 4, 5, 6}
+	const sweepTokens = 20
+	build := func(period, seed int64) *model.Architecture {
+		return zoo.DidacticChain(3, zoo.DidacticSpec{
+			Tokens: sweepTokens, Period: maxplus.T(period), Seed: seed})
+	}
+	axes := []SweepAxis{
+		{Name: "period", Values: periods},
+		{Name: "seed", Values: seeds},
+	}
+	gen := func(p SweepPoint) (*Architecture, error) {
+		return build(p.Get("period", 1200), p.Get("seed", 1)), nil
+	}
+
+	b.Run("naive", func(b *testing.B) {
+		b.ReportAllocs()
+		before := derive.Calls()
+		for i := 0; i < b.N; i++ {
+			for _, period := range periods {
+				for _, seed := range seeds {
+					if _, err := RunEquivalent(build(period, seed), RunOptions{Reduce: true}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		}
+		b.ReportMetric(float64(derive.Calls()-before)/float64(b.N), "derives/op")
+	})
+	for _, cfg := range []struct {
+		name    string
+		workers int
+	}{{"cached", 1}, {"cached-parallel", 0}} {
+		b.Run(cfg.name, func(b *testing.B) {
+			b.ReportAllocs()
+			before := derive.Calls()
+			for i := 0; i < b.N; i++ {
+				res, err := Sweep(axes, gen, SweepOptions{Workers: cfg.workers, Reduce: true})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Stats.Failed > 0 {
+					b.Fatalf("%d points failed", res.Stats.Failed)
+				}
+			}
+			b.ReportMetric(float64(derive.Calls()-before)/float64(b.N), "derives/op")
+		})
+	}
+}
+
 // BenchmarkKernelActivation measures the cost the method saves per event:
 // one timed wait (two goroutine handshakes plus event-queue work).
 func BenchmarkKernelActivation(b *testing.B) {

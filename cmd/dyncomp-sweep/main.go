@@ -1,0 +1,300 @@
+// Command dyncomp-sweep explores a design space: it expands a grid of
+// named parameter axes, builds one architecture per grid point from a
+// scenario, and evaluates every point concurrently with the equivalent
+// model, deriving each structural shape's temporal dependency graph only
+// once.
+//
+//	dyncomp-sweep -scenario pipeline -axes "xsize=6,10,20;tokens=1000" -workers 8
+//	dyncomp-sweep -scenario didactic -axes "stages=1:4:1;period=800,1200" -baseline
+//	dyncomp-sweep -scenario lte -axes "symbols=1000,2000" -format json
+//
+// Scenarios and their parameters (absent axes use defaults):
+//
+//	pipeline  xsize, tokens, period, seed      (Fig. 5 synthetic pipeline)
+//	didactic  stages, tokens, period, seed, fifo  (Table I chained example)
+//	random    seed, tokens                     (randomized valid architecture)
+//	lte       symbols, seed                    (Section V LTE receiver)
+//
+// Axis syntax: semicolon-separated "name=v1,v2,..." lists, where each
+// item is an integer or a lo:hi:step range (inclusive).
+//
+// -format selects table (default), csv or json; -baseline pairs every
+// point with an event-driven reference run and reports event ratios and
+// speed-ups.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"dyncomp/internal/lte"
+	"dyncomp/internal/model"
+	"dyncomp/internal/sim"
+	"dyncomp/internal/sweep"
+	"dyncomp/internal/zoo"
+)
+
+func main() {
+	scenario := flag.String("scenario", "pipeline", "architecture scenario: pipeline|didactic|random|lte")
+	axesSpec := flag.String("axes", "", `grid axes, e.g. "xsize=6,10,20;tokens=500:2000:500"`)
+	workers := flag.Int("workers", 0, "worker-pool size (0: all processors)")
+	baseline := flag.Bool("baseline", false, "pair every point with a reference-executor run")
+	reduce := flag.Bool("reduce", false, "prune value-redundant arcs from derived graphs")
+	limit := flag.Int64("limit", 0, "simulated-time bound per point in ns (0: to completion)")
+	format := flag.String("format", "table", "output format: table|csv|json")
+	flag.Parse()
+
+	switch *format {
+	case "table", "csv", "json":
+	default:
+		fatal(fmt.Errorf("unknown format %q (table|csv|json)", *format))
+	}
+	gen, err := generator(*scenario)
+	if err != nil {
+		fatal(err)
+	}
+	axes, err := parseAxes(*axesSpec)
+	if err != nil {
+		fatal(err)
+	}
+
+	opts := sweep.Options{Workers: *workers, Baseline: *baseline}
+	opts.Derive.Reduce = *reduce
+	if *limit > 0 {
+		opts.Limit = sim.Time(*limit)
+	}
+	res, err := sweep.Run(axes, gen, opts)
+	if err != nil {
+		fatal(err)
+	}
+
+	switch *format {
+	case "table":
+		err = writeTable(os.Stdout, res, *baseline)
+	case "csv":
+		err = writeCSV(os.Stdout, res, *baseline)
+	case "json":
+		err = writeJSON(os.Stdout, res)
+	default:
+		err = fmt.Errorf("unknown format %q", *format)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if res.Stats.Failed > 0 {
+		fmt.Fprintf(os.Stderr, "dyncomp-sweep: %d of %d points failed\n", res.Stats.Failed, res.Stats.Points)
+		for _, pr := range res.Points {
+			if pr.Err != nil {
+				fmt.Fprintf(os.Stderr, "  %v\n", pr.Err)
+			}
+		}
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "dyncomp-sweep: %v\n", err)
+	os.Exit(1)
+}
+
+func generator(scenario string) (sweep.Generator, error) {
+	switch scenario {
+	case "pipeline":
+		return func(p sweep.Point) (*model.Architecture, error) { return zoo.PipelineFromParams(p), nil }, nil
+	case "didactic":
+		return func(p sweep.Point) (*model.Architecture, error) { return zoo.DidacticFromParams(p), nil }, nil
+	case "random":
+		return func(p sweep.Point) (*model.Architecture, error) { return zoo.RandomFromParams(p), nil }, nil
+	case "lte":
+		return func(p sweep.Point) (*model.Architecture, error) {
+			return lte.Receiver(lte.Spec{
+				Symbols: int(p.Get("symbols", 1000)),
+				Seed:    p.Get("seed", 23),
+			}), nil
+		}, nil
+	default:
+		return nil, fmt.Errorf("unknown scenario %q (pipeline|didactic|random|lte)", scenario)
+	}
+}
+
+// parseAxes parses "a=1,2,3;b=10:30:10" into grid axes.
+func parseAxes(spec string) ([]sweep.Axis, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, fmt.Errorf("no axes given (-axes \"name=v1,v2,...\")")
+	}
+	var axes []sweep.Axis
+	for _, part := range strings.Split(spec, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, list, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("axis %q: want name=values", part)
+		}
+		ax := sweep.Axis{Name: strings.TrimSpace(name)}
+		for _, item := range strings.Split(list, ",") {
+			item = strings.TrimSpace(item)
+			if item == "" {
+				continue
+			}
+			vals, err := parseItem(item)
+			if err != nil {
+				return nil, fmt.Errorf("axis %q: %w", ax.Name, err)
+			}
+			ax.Values = append(ax.Values, vals...)
+		}
+		axes = append(axes, ax)
+	}
+	return axes, nil
+}
+
+// parseItem parses one integer or one inclusive lo:hi:step range.
+func parseItem(item string) ([]int64, error) {
+	if !strings.Contains(item, ":") {
+		v, err := strconv.ParseInt(item, 10, 64)
+		if err != nil {
+			return nil, err
+		}
+		return []int64{v}, nil
+	}
+	parts := strings.Split(item, ":")
+	if len(parts) != 3 {
+		return nil, fmt.Errorf("range %q: want lo:hi:step", item)
+	}
+	var lo, hi, step int64
+	for i, dst := range []*int64{&lo, &hi, &step} {
+		v, err := strconv.ParseInt(strings.TrimSpace(parts[i]), 10, 64)
+		if err != nil {
+			return nil, err
+		}
+		*dst = v
+	}
+	if step <= 0 || hi < lo {
+		return nil, fmt.Errorf("range %q: want lo <= hi and step > 0", item)
+	}
+	var vals []int64
+	for v := lo; v <= hi; v += step {
+		vals = append(vals, v)
+	}
+	return vals, nil
+}
+
+func writeTable(w *os.File, res *sweep.Result, baseline bool) error {
+	if len(res.Points) == 0 {
+		return nil
+	}
+	for _, n := range res.Points[0].Point.Names {
+		fmt.Fprintf(w, "%-10s ", n)
+	}
+	fmt.Fprintf(w, "%12s %12s %14s %8s %12s", "activations", "events", "final(ns)", "nodes", "wall")
+	if baseline {
+		fmt.Fprintf(w, " %12s %10s", "event ratio", "speed-up")
+	}
+	fmt.Fprintln(w)
+	for _, pr := range res.Points {
+		if pr.Err != nil {
+			fmt.Fprintf(w, "%s: ERROR %v\n", pr.Point, pr.Err)
+			continue
+		}
+		for _, v := range pr.Point.Values {
+			fmt.Fprintf(w, "%-10d ", v)
+		}
+		fmt.Fprintf(w, "%12d %12d %14d %8d %12s",
+			pr.Run.Activations, pr.Run.Events, pr.Run.FinalTimeNs, pr.Run.GraphNodes, pr.Run.Wall)
+		if baseline {
+			fmt.Fprintf(w, " %12.2f %10.2f", pr.EventRatio, pr.SpeedUp)
+		}
+		fmt.Fprintln(w)
+	}
+	st := res.Stats
+	fmt.Fprintf(w, "\n%d points, %d shapes, %d derivations, %d cache hits, %s total\n",
+		st.Points, st.Shapes, st.DeriveCalls, st.CacheHits, st.Wall)
+	if baseline && st.SpeedUp.N > 0 {
+		fmt.Fprintf(w, "speed-up    min %.2f  max %.2f  mean %.2f  geomean %.2f\n",
+			st.SpeedUp.Min, st.SpeedUp.Max, st.SpeedUp.Mean, st.SpeedUp.Geomean)
+		fmt.Fprintf(w, "event ratio min %.2f  max %.2f  mean %.2f  geomean %.2f\n",
+			st.EventRatio.Min, st.EventRatio.Max, st.EventRatio.Mean, st.EventRatio.Geomean)
+	}
+	return nil
+}
+
+func writeCSV(w *os.File, res *sweep.Result, baseline bool) error {
+	if len(res.Points) == 0 {
+		return nil
+	}
+	cols := append([]string{}, res.Points[0].Point.Names...)
+	cols = append(cols, "activations", "events", "final_ns", "graph_nodes", "wall_ns")
+	if baseline {
+		cols = append(cols, "baseline_activations", "baseline_wall_ns", "event_ratio", "speed_up")
+	}
+	fmt.Fprintln(w, strings.Join(cols, ","))
+	for _, pr := range res.Points {
+		if pr.Err != nil {
+			continue
+		}
+		row := make([]string, 0, len(cols))
+		for _, v := range pr.Point.Values {
+			row = append(row, strconv.FormatInt(v, 10))
+		}
+		row = append(row,
+			strconv.FormatInt(pr.Run.Activations, 10),
+			strconv.FormatInt(pr.Run.Events, 10),
+			strconv.FormatInt(pr.Run.FinalTimeNs, 10),
+			strconv.Itoa(pr.Run.GraphNodes),
+			strconv.FormatInt(pr.Run.Wall.Nanoseconds(), 10))
+		if baseline && pr.Baseline != nil {
+			row = append(row,
+				strconv.FormatInt(pr.Baseline.Activations, 10),
+				strconv.FormatInt(pr.Baseline.Wall.Nanoseconds(), 10),
+				fmt.Sprintf("%.4f", pr.EventRatio),
+				fmt.Sprintf("%.4f", pr.SpeedUp))
+		}
+		fmt.Fprintln(w, strings.Join(row, ","))
+	}
+	return nil
+}
+
+type jsonPoint struct {
+	Params      map[string]int64 `json:"params"`
+	Activations int64            `json:"activations"`
+	Events      int64            `json:"events"`
+	FinalTimeNs int64            `json:"final_time_ns"`
+	GraphNodes  int              `json:"graph_nodes"`
+	WallNs      int64            `json:"wall_ns"`
+	EventRatio  float64          `json:"event_ratio,omitempty"`
+	SpeedUp     float64          `json:"speed_up,omitempty"`
+	Error       string           `json:"error,omitempty"`
+}
+
+func writeJSON(w *os.File, res *sweep.Result) error {
+	out := struct {
+		Points []jsonPoint `json:"points"`
+		Stats  sweep.Stats `json:"stats"`
+	}{Stats: res.Stats}
+	for _, pr := range res.Points {
+		jp := jsonPoint{Params: map[string]int64{}}
+		for i, n := range pr.Point.Names {
+			jp.Params[n] = pr.Point.Values[i]
+		}
+		if pr.Err != nil {
+			jp.Error = pr.Err.Error()
+		} else {
+			jp.Activations = pr.Run.Activations
+			jp.Events = pr.Run.Events
+			jp.FinalTimeNs = pr.Run.FinalTimeNs
+			jp.GraphNodes = pr.Run.GraphNodes
+			jp.WallNs = pr.Run.Wall.Nanoseconds()
+			jp.EventRatio = pr.EventRatio
+			jp.SpeedUp = pr.SpeedUp
+		}
+		out.Points = append(out.Points, jp)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

@@ -1,8 +1,10 @@
 package dyncomp
 
 import (
+	"fmt"
 	"testing"
 
+	"dyncomp/internal/derive"
 	"dyncomp/internal/zoo"
 )
 
@@ -124,5 +126,127 @@ func TestCostHelpers(t *testing.T) {
 	}
 	if Eager()(5) != 0 {
 		t.Fatal("Eager")
+	}
+}
+
+// sweepArch parameterizes the smoke architecture for design-space
+// sweeps: every parameter is a dynamic (non-structural) knob, so the
+// whole grid shares one temporal dependency graph shape.
+func sweepArch(tokens, period, size int64) *Architecture {
+	a := NewArchitecture("smoke")
+	in := a.AddChannel("in", Rendezvous, 0)
+	mid := a.AddChannel("mid", Rendezvous, 0)
+	out := a.AddChannel("out", Rendezvous, 0)
+	f1 := a.AddFunction("stage1",
+		Read{Ch: in}, Exec{Label: "T1", Cost: OpsPerByte(100, 2)}, Write{Ch: mid})
+	f2 := a.AddFunction("stage2",
+		Read{Ch: mid}, Exec{Label: "T2", Cost: OpsPerByte(150, 1)}, Write{Ch: out})
+	a.Map(a.AddProcessor("CPU0", 1e9), f1)
+	a.Map(a.AddProcessor("CPU1", 1e9), f2)
+	a.AddSource("gen", in, Periodic(Time(period), 0), func(k int) Token {
+		return Token{Size: size + int64(k%32)}
+	}, int(tokens))
+	a.AddSink("env", out)
+	return a
+}
+
+// The sweep acceptance property: a ≥32-point grid produces per-point
+// results bit-identical to individual RunEquivalent calls while deriving
+// the shared structural shape exactly once.
+func TestSweepMatchesRunEquivalent(t *testing.T) {
+	axes := []SweepAxis{
+		{Name: "tokens", Values: []int64{20, 40, 60}},
+		{Name: "period", Values: []int64{300, 500}},
+		{Name: "size", Values: []int64{32, 64, 96, 128, 160, 192}},
+	}
+	gen := func(p SweepPoint) (*Architecture, error) {
+		return sweepArch(p.Get("tokens", 1), p.Get("period", 500), p.Get("size", 64)), nil
+	}
+	before := derive.Calls()
+	res, err := Sweep(axes, gen, SweepOptions{Workers: 8, Record: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 36 {
+		t.Fatalf("grid size %d, want 36", len(res.Points))
+	}
+	if got := derive.Calls() - before; got != 1 {
+		t.Fatalf("Derive ran %d times across the grid, want 1", got)
+	}
+	if res.Stats.DeriveCalls != 1 || res.Stats.Shapes != 1 || res.Stats.CacheHits != 35 {
+		t.Fatalf("cache stats: %+v", res.Stats)
+	}
+	for i, pr := range res.Points {
+		if pr.Err != nil {
+			t.Fatalf("point %d: %v", i, pr.Err)
+		}
+		want, err := RunEquivalent(gen2arch(t, gen, pr.Point), RunOptions{Record: true})
+		if err != nil {
+			t.Fatalf("point %d: RunEquivalent: %v", i, err)
+		}
+		if err := CompareTraces(want.Trace, pr.Trace); err != nil {
+			t.Fatalf("point %d (%s) not bit-identical to RunEquivalent: %v", i, pr.Point, err)
+		}
+		if want.Activations != pr.Activations || want.Events != pr.Events ||
+			want.FinalTimeNs != pr.FinalTimeNs || want.GraphNodes != pr.GraphNodes {
+			t.Fatalf("point %d stats differ:\nsweep: %+v\ndirect: %+v", i, pr.RunResult, *want)
+		}
+	}
+}
+
+func gen2arch(t *testing.T, gen SweepGenerator, p SweepPoint) *Architecture {
+	t.Helper()
+	a, err := gen(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+// Sweeping with Baseline pairs every point with a reference run and
+// aggregates the paper's ratios.
+func TestSweepBaselineAggregates(t *testing.T) {
+	axes := []SweepAxis{{Name: "tokens", Values: []int64{30, 60}}}
+	gen := func(p SweepPoint) (*Architecture, error) {
+		return sweepArch(p.Get("tokens", 1), 400, 64), nil
+	}
+	res, err := Sweep(axes, gen, SweepOptions{Baseline: true, Record: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, pr := range res.Points {
+		if pr.Baseline == nil {
+			t.Fatalf("point %d missing baseline", i)
+		}
+		if err := CompareTraces(pr.Baseline.Trace, pr.Trace); err != nil {
+			t.Fatalf("point %d not exact vs baseline: %v", i, err)
+		}
+		if pr.EventRatio <= 1 {
+			t.Fatalf("point %d event ratio %.2f", i, pr.EventRatio)
+		}
+	}
+	if res.Stats.EventRatio.N != 2 || res.Stats.EventRatio.Geomean <= 1 {
+		t.Fatalf("aggregates: %+v", res.Stats.EventRatio)
+	}
+}
+
+func TestSweepReportsPointErrors(t *testing.T) {
+	axes := []SweepAxis{{Name: "tokens", Values: []int64{10, -1}}}
+	gen := func(p SweepPoint) (*Architecture, error) {
+		tok := p.Get("tokens", 1)
+		if tok < 0 {
+			return nil, fmt.Errorf("invalid token count %d", tok)
+		}
+		return sweepArch(tok, 400, 64), nil
+	}
+	res, err := Sweep(axes, gen, SweepOptions{})
+	if err == nil {
+		t.Fatal("sweep with a failing point returned nil error")
+	}
+	if res == nil || res.Stats.Failed != 1 {
+		t.Fatalf("result not returned alongside error: %+v", res)
+	}
+	if res.Points[0].Err != nil || res.Points[1].Err == nil {
+		t.Fatalf("wrong point marked failed")
 	}
 }

@@ -1,0 +1,3 @@
+module dyncomp
+
+go 1.24

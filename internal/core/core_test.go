@@ -265,3 +265,71 @@ func TestEquivalentModelTwoInputs(t *testing.T) {
 	assertExact(t, bres, eres)
 	assertActivitiesEqual(t, bres, eres)
 }
+
+// A Model must be reusable: repeated Runs simulate from scratch and agree
+// bit-exactly (the sweep engine re-runs one derived structure across
+// parameter points).
+func TestModelRunTwiceIdentical(t *testing.T) {
+	dres, err := derive.Derive(zoo.Didactic(zoo.DidacticSpec{Tokens: 200, Period: 1100, Seed: 5}), derive.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(dres)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1 := observe.NewTrace("run1")
+	r1, err := m.Run(Options{Trace: t1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2 := observe.NewTrace("run2")
+	r2, err := m.Run(Options{Trace: t2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := observe.CompareInstants(t1, t2); err != nil {
+		t.Fatalf("re-run diverged: %v", err)
+	}
+	if r1.Stats != r2.Stats || r1.Iterations != r2.Iterations {
+		t.Fatalf("re-run stats diverged: %+v vs %+v", r1.Stats, r2.Stats)
+	}
+}
+
+// A rebound derivation must drive the equivalent model exactly like a
+// fresh derivation of the same parameter point.
+func TestModelOnReboundDerivation(t *testing.T) {
+	template, err := derive.Derive(zoo.Didactic(zoo.DidacticSpec{Tokens: 120, Period: 1300, Seed: 1}), derive.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := zoo.Didactic(zoo.DidacticSpec{Tokens: 80, Period: 800, Seed: 9})
+	rres, err := derive.Rebind(template, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mr, err := New(rres)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := observe.NewTrace("rebound")
+	if _, err := mr.Run(Options{Trace: rt}); err != nil {
+		t.Fatal(err)
+	}
+
+	dres, err := derive.Derive(zoo.Didactic(zoo.DidacticSpec{Tokens: 80, Period: 800, Seed: 9}), derive.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	md, err := New(dres)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dt := observe.NewTrace("direct")
+	if _, err := md.Run(Options{Trace: dt}); err != nil {
+		t.Fatal(err)
+	}
+	if err := observe.CompareInstants(dt, rt); err != nil {
+		t.Fatalf("rebound model diverged from direct derivation: %v", err)
+	}
+}

@@ -48,9 +48,14 @@ type Result struct {
 
 // Model is a runnable equivalent model built from a derived temporal
 // dependency graph.
+//
+// A Model is reusable: Run may be called any number of times
+// (sequentially), each call simulating from scratch with a fresh kernel
+// and evaluator. The iteration count is re-read from the architecture's
+// sources on every Run, so a sweep can re-run one derived structure
+// across parameter points without re-deriving.
 type Model struct {
-	res  *derive.Result
-	iter int // iterations to simulate (source token count)
+	res *derive.Result
 }
 
 // New builds an equivalent model from a derivation result. All sources of
@@ -58,17 +63,27 @@ type Model struct {
 // evolution), and every output must drain into an environment sink (the
 // abstraction boundary of the paper's experiments).
 func New(res *derive.Result) (*Model, error) {
-	if len(res.Inputs) == 0 {
-		return nil, fmt.Errorf("core: architecture %q has no inputs", res.Arch.Name)
+	m := &Model{res: res}
+	if _, err := m.iterations(); err != nil {
+		return nil, err
 	}
-	count := res.Inputs[0].Source.Count
-	for _, ib := range res.Inputs[1:] {
+	return m, nil
+}
+
+// iterations resolves the number of iterations to simulate from the
+// architecture's sources, which must agree on one token count.
+func (m *Model) iterations() (int, error) {
+	if len(m.res.Inputs) == 0 {
+		return 0, fmt.Errorf("core: architecture %q has no inputs", m.res.Arch.Name)
+	}
+	count := m.res.Inputs[0].Source.Count
+	for _, ib := range m.res.Inputs[1:] {
 		if ib.Source.Count != count {
-			return nil, fmt.Errorf("core: sources %q and %q produce different token counts (%d vs %d)",
-				res.Inputs[0].Source.Name, ib.Source.Name, count, ib.Source.Count)
+			return 0, fmt.Errorf("core: sources %q and %q produce different token counts (%d vs %d)",
+				m.res.Inputs[0].Source.Name, ib.Source.Name, count, ib.Source.Count)
 		}
 	}
-	return &Model{res: res, iter: count}, nil
+	return count, nil
 }
 
 // Run simulates the equivalent model.
@@ -76,6 +91,10 @@ func (m *Model) Run(opts Options) (*Result, error) {
 	limit := opts.Limit
 	if limit <= 0 {
 		limit = sim.Forever
+	}
+	iter, err := m.iterations()
+	if err != nil {
+		return nil, err
 	}
 	k := sim.New()
 	ev, err := tdg.NewEvaluator(m.res.Graph)
@@ -85,6 +104,7 @@ func (m *Model) Run(opts Options) (*Result, error) {
 
 	eng := &engine{
 		model:   m,
+		iter:    iter,
 		kernel:  k,
 		eval:    ev,
 		trace:   opts.Trace,
@@ -107,6 +127,7 @@ func (m *Model) Run(opts Options) (*Result, error) {
 // engine is the running state of one equivalent-model simulation.
 type engine struct {
 	model  *Model
+	iter   int // iterations to simulate (source token count)
 	kernel *sim.Kernel
 	eval   *tdg.Evaluator
 	trace  *observe.Trace
@@ -173,7 +194,7 @@ func (e *engine) build() {
 		ob := m.res.Outputs[j]
 		ch := outChans[j]
 		e.kernel.Spawn("Emission:"+ob.Channel.Name, func(p *sim.Proc) {
-			for k := 0; k < m.iter; k++ {
+			for k := 0; k < e.iter; k++ {
 				for len(e.outputs[idx]) <= k {
 					p.WaitEvent(e.emitted)
 				}
@@ -206,7 +227,7 @@ func (e *engine) build() {
 // triggers ComputeInstant when the iteration's inputs are complete.
 func (e *engine) runReception(p *sim.Proc, idx int, ib derive.InputBinding, ch chanrt.RT) {
 	fifo, _ := ch.(*chanrt.FIFO)
-	for k := 0; k < e.model.iter; k++ {
+	for k := 0; k < e.iter; k++ {
 		// The delayed gate needs iteration k-1 fully computed; the
 		// same-iteration terms need the referenced inputs' k-th arrivals.
 		for !e.gateReady(ib, k) {

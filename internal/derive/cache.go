@@ -1,0 +1,85 @@
+package derive
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"dyncomp/internal/model"
+)
+
+// Cache memoizes derivations by structural shape: the first request for a
+// shape runs Derive and keeps the result as an immutable template; every
+// later request for the same shape — typically another point of a
+// design-space sweep differing only in parameters — is served by Rebind,
+// skipping the symbolic execution entirely.
+//
+// A Cache is safe for concurrent use; concurrent first requests for one
+// shape still derive exactly once (the losers block until the winner's
+// template is ready).
+type Cache struct {
+	mu      sync.Mutex
+	entries map[string]*cacheEntry
+	hits    atomic.Int64
+	misses  atomic.Int64
+}
+
+type cacheEntry struct {
+	once sync.Once
+	res  *Result
+	err  error
+}
+
+// NewCache creates an empty derivation cache.
+func NewCache() *Cache {
+	return &Cache{entries: map[string]*cacheEntry{}}
+}
+
+// Derive returns a derivation of a bound to a itself, deriving only when
+// the cache holds no template for a's structural shape under the given
+// options. The returned Result is freshly bound (its graph weights,
+// probes and boundary bindings reference a), so each caller may run it
+// independently of every other point sharing the template.
+func (c *Cache) Derive(a *model.Architecture, opts Options) (*Result, error) {
+	key, err := ShapeKey(a)
+	if err != nil {
+		return nil, err
+	}
+	entryKey := fmt.Sprintf("%s\x00pad=%d reduce=%t", key, opts.PadNodes, opts.Reduce)
+
+	c.mu.Lock()
+	e, ok := c.entries[entryKey]
+	if !ok {
+		e = &cacheEntry{}
+		c.entries[entryKey] = e
+	}
+	c.mu.Unlock()
+
+	first := false
+	e.once.Do(func() {
+		first = true
+		c.misses.Add(1)
+		e.res, e.err = Derive(a, opts)
+	})
+	if e.err != nil {
+		return nil, e.err
+	}
+	if !first {
+		c.hits.Add(1)
+	}
+	return rebind(e.res, a, key)
+}
+
+// Stats returns how many cache requests were served by an existing
+// template (hits) and how many ran Derive (misses). Misses equal the
+// number of distinct structural shapes requested so far.
+func (c *Cache) Stats() (hits, misses int64) {
+	return c.hits.Load(), c.misses.Load()
+}
+
+// Shapes returns the number of distinct structural shapes cached.
+func (c *Cache) Shapes() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

@@ -29,6 +29,7 @@ package derive
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"dyncomp/internal/maxplus"
 	"dyncomp/internal/model"
@@ -112,6 +113,18 @@ type Result struct {
 	// (channel transfer nodes and auxiliary end-of-turn nodes), matching
 	// the labels the reference executor records.
 	Labels map[tdg.NodeID]string
+
+	// Rebinding metadata (see Rebind): the structural shape key, the
+	// derivation options, per-index node tables, and the exec-statement
+	// recipes behind every weighted arc and probe. All of it is immutable
+	// after Derive, so concurrent Rebinds from one Result are safe.
+	shapeKey  string
+	opts      Options
+	srcU      []tdg.NodeID // input node per architecture source index
+	chWrite   []tdg.NodeID // transfer/write node per channel index
+	chRead    []tdg.NodeID // read node per channel index
+	recipes   [][]execRef  // arc tag t -> recipes[t-1]
+	probeRefs []probeRef
 }
 
 // term is one max-term of a readiness expression during symbolic
@@ -132,11 +145,24 @@ type deriver struct {
 	readNode  map[*model.Channel]tdg.NodeID // rendezvous x / FIFO xr
 	endNode   map[*model.Function]tdg.NodeID
 	probes    []Probe
+
+	fnIdx     map[*model.Function]int
+	recipes   [][]execRef
+	probeRefs []probeRef
 }
+
+// calls counts Derive invocations process-wide; tests and sweep
+// statistics use it to demonstrate that caching actually avoids
+// re-derivation.
+var calls atomic.Int64
+
+// Calls returns the number of times Derive has run in this process.
+func Calls() int64 { return calls.Load() }
 
 // Derive builds the temporal dependency graph of a validated
 // architecture.
 func Derive(a *model.Architecture, opts Options) (*Result, error) {
+	calls.Add(1)
 	if err := a.Validate(); err != nil {
 		return nil, err
 	}
@@ -148,6 +174,10 @@ func Derive(a *model.Architecture, opts Options) (*Result, error) {
 		writeNode: map[*model.Channel]tdg.NodeID{},
 		readNode:  map[*model.Channel]tdg.NodeID{},
 		endNode:   map[*model.Function]tdg.NodeID{},
+		fnIdx:     map[*model.Function]int{},
+	}
+	for i, f := range a.Functions {
+		d.fnIdx[f] = i
 	}
 	if err := d.declareNodes(); err != nil {
 		return nil, err
@@ -171,26 +201,64 @@ func Derive(a *model.Architecture, opts Options) (*Result, error) {
 		return nil, err
 	}
 
-	res := &Result{Arch: a, Graph: d.g, Probes: d.probes, Labels: d.labels}
+	key, err := ShapeKey(a)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Arch: a, Graph: d.g, Probes: d.probes, Labels: d.labels,
+		shapeKey:  key,
+		opts:      opts,
+		srcU:      make([]tdg.NodeID, len(a.Sources)),
+		chWrite:   make([]tdg.NodeID, len(a.Channels)),
+		chRead:    make([]tdg.NodeID, len(a.Channels)),
+		recipes:   d.recipes,
+		probeRefs: d.probeRefs,
+	}
+	for i, s := range a.Sources {
+		res.srcU[i] = d.uNode[s]
+	}
+	for i, ch := range a.Channels {
+		res.chWrite[i] = d.writeNode[ch]
+		res.chRead[i] = d.readNode[ch]
+	}
+	if err := res.buildBindings(); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// buildBindings computes the input and output bindings of the result from
+// its architecture and node tables. It runs after every (re)binding of
+// the graph: the gate arcs it extracts carry the weights of the graph
+// currently installed in the result.
+func (res *Result) buildBindings() error {
+	a := res.Arch
+	chIdx := make(map[*model.Channel]int, len(a.Channels))
+	for i, ch := range a.Channels {
+		chIdx[ch] = i
+	}
 	transferIndex := map[tdg.NodeID]int{}
 	for i, s := range a.Sources {
-		transferIndex[d.writeNode[s.Ch]] = i
+		transferIndex[res.chWrite[chIdx[s.Ch]]] = i
 	}
-	for _, s := range a.Sources {
-		ib, err := d.inputBinding(s, transferIndex)
+	res.Inputs = nil
+	for i, s := range a.Sources {
+		ib, err := res.inputBinding(i, s, chIdx, transferIndex)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		res.Inputs = append(res.Inputs, ib)
 	}
+	res.Outputs = nil
 	for _, s := range a.Sinks {
 		res.Outputs = append(res.Outputs, OutputBinding{
 			Sink:    s,
 			Channel: s.Ch,
-			Node:    d.writeNode[s.Ch],
+			Node:    res.chWrite[chIdx[s.Ch]],
 		})
 	}
-	return res, nil
+	return nil
 }
 
 // declareNodes creates every node before any arc is added, so functions
@@ -316,6 +384,11 @@ func (d *deriver) deriveFunction(f *model.Function) error {
 			}
 			pre := append([]*model.ExecInfo(nil), ready[0].durs...)
 			d.probes = append(d.probes, Probe{Base: ready[0].node, Pre: pre, Exec: info})
+			d.probeRefs = append(d.probeRefs, probeRef{
+				base: ready[0].node,
+				pre:  d.refsOf(pre),
+				exec: execRef{fn: d.fnIdx[f], stmt: i},
+			})
 			ready[0].durs = append(pre, info) // fresh backing array via pre
 		}
 	}
@@ -336,14 +409,30 @@ func (d *deriver) auxEnd(f *model.Function) (tdg.NodeID, bool) {
 
 // addArcs adds one arc per term of expr into the target node, dropping
 // weightless zero-delay self-references (x ⊕ ... = x on the least
-// solution).
+// solution). Weighted arcs are tagged with the recipe of exec statements
+// behind their weight so Rebind can reconstruct them for another
+// parameter point.
 func (d *deriver) addArcs(to tdg.NodeID, expr []term) {
 	for _, t := range expr {
 		if t.node == to && t.delay == 0 && len(t.durs) == 0 {
 			continue
 		}
-		d.g.AddArc(t.node, to, t.delay, weightOf(t.durs))
+		if len(t.durs) == 0 {
+			d.g.AddArc(t.node, to, t.delay, nil)
+			continue
+		}
+		d.recipes = append(d.recipes, d.refsOf(t.durs))
+		d.g.AddTaggedArc(t.node, to, t.delay, weightOf(t.durs), len(d.recipes))
 	}
+}
+
+// refsOf converts resolved exec statements into index-based references.
+func (d *deriver) refsOf(durs []*model.ExecInfo) []execRef {
+	refs := make([]execRef, len(durs))
+	for i, e := range durs {
+		refs[i] = execRef{fn: d.fnIdx[e.Func], stmt: e.StmtIndex}
+	}
+	return refs
 }
 
 // weightOf turns an accumulated duration list into an arc weight.
@@ -378,19 +467,20 @@ func (d *deriver) connectSources() {
 // every such arc must either be delayed (history suffices) or originate
 // from another input's boundary node (its arrival instant is known before
 // ComputeInstant runs).
-func (d *deriver) inputBinding(s *model.Source, transferIndex map[tdg.NodeID]int) (InputBinding, error) {
+func (res *Result) inputBinding(srcIdx int, s *model.Source, chIdx map[*model.Channel]int, transferIndex map[tdg.NodeID]int) (InputBinding, error) {
+	ci := chIdx[s.Ch]
 	ib := InputBinding{
 		Source:   s,
 		Channel:  s.Ch,
-		U:        d.uNode[s],
-		Transfer: d.writeNode[s.Ch],
+		U:        res.srcU[srcIdx],
+		Transfer: res.chWrite[ci],
 	}
-	gateOn := d.readNode[s.Ch] // rendezvous: == Transfer; FIFO: xr
-	for _, a := range d.g.Incoming(gateOn) {
+	gateOn := res.chRead[ci] // rendezvous: == Transfer; FIFO: xr
+	for _, a := range res.Graph.Incoming(gateOn) {
 		if a.From == ib.U {
 			continue
 		}
-		if s.Ch.Kind == model.FIFO && a.From == d.writeNode[s.Ch] && a.Delay == 0 {
+		if s.Ch.Kind == model.FIFO && a.From == res.chWrite[ci] && a.Delay == 0 {
 			continue // data availability, not readiness
 		}
 		if a.Delay == 0 {
@@ -398,7 +488,7 @@ func (d *deriver) inputBinding(s *model.Source, transferIndex map[tdg.NodeID]int
 			if !ok {
 				return ib, fmt.Errorf(
 					"derive: input channel %q readiness depends on same-iteration instant %q; this abstraction boundary is unsupported",
-					s.Ch.Name, d.g.Nodes()[a.From].Name)
+					s.Ch.Name, res.Graph.Nodes()[a.From].Name)
 			}
 			ib.SameIterGate = append(ib.SameIterGate, SameIterGate{InputIndex: other, Weight: a.Weight})
 			continue

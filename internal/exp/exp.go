@@ -22,6 +22,7 @@ import (
 	"dyncomp/internal/model"
 	"dyncomp/internal/observe"
 	"dyncomp/internal/sim"
+	"dyncomp/internal/sweep"
 	"dyncomp/internal/zoo"
 )
 
@@ -73,32 +74,36 @@ type Table1Row struct {
 
 // Table1 measures simulation speed-up on the chained didactic
 // architectures (the paper's Examples 1-4) with the given token count
-// (the paper uses 20000).
+// (the paper uses 20000). The measurement runs through the sweep engine
+// over a baseline-paired stage axis; a single worker keeps the per-point
+// wall-clock times undisturbed by concurrency.
 func Table1(tokens int, w io.Writer) ([]Table1Row, error) {
-	rows := make([]Table1Row, 0, 4)
+	axes := []sweep.Axis{{Name: "stages", Values: []int64{1, 2, 3, 4}}}
+	gen := func(p sweep.Point) (*model.Architecture, error) {
+		return zoo.DidacticChain(int(p.Get("stages", 1)),
+			zoo.DidacticSpec{Tokens: tokens, Period: 1200, Seed: 41}), nil
+	}
+	res, err := sweep.Run(axes, gen, sweep.Options{Workers: 1, Baseline: true})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Table1Row, 0, len(res.Points))
 	if w != nil {
 		fmt.Fprintf(w, "Table I: measured simulation speed-up on distinct architecture models (%d tokens)\n", tokens)
 		fmt.Fprintf(w, "%-10s %22s %12s %12s %8s\n", "Model", "baseline exec time (s)", "event ratio", "speed-up", "nodes")
 	}
-	for stages := 1; stages <= 4; stages++ {
-		spec := zoo.DidacticSpec{Tokens: tokens, Period: 1200, Seed: 41}
-		a := zoo.DidacticChain(stages, spec)
-		mb, err := runBaseline(a)
-		if err != nil {
-			return nil, err
+	for _, pr := range res.Points {
+		if pr.Err != nil {
+			return nil, pr.Err
 		}
-		a2 := zoo.DidacticChain(stages, spec)
-		me, nodes, err := runEquivalent(a2, derive.Options{})
-		if err != nil {
-			return nil, err
-		}
+		stages := int(pr.Point.Get("stages", 0))
 		row := Table1Row{
 			Example:     stages,
 			Stages:      stages,
-			BaselineSec: mb.Wall.Seconds(),
-			EventRatio:  float64(mb.Stats.Activations) / float64(me.Stats.Activations),
-			SpeedUp:     mb.Wall.Seconds() / me.Wall.Seconds(),
-			Nodes:       nodes,
+			BaselineSec: pr.Baseline.Wall.Seconds(),
+			EventRatio:  pr.EventRatio,
+			SpeedUp:     pr.SpeedUp,
+			Nodes:       pr.Run.GraphNodes,
 		}
 		rows = append(rows, row)
 		if w != nil {
@@ -119,7 +124,11 @@ type Fig5Point struct {
 // Fig5 sweeps the computation-method complexity: for each X size
 // (number of evolution instants, which fixes how many events the method
 // saves), the temporal dependency graph is padded to growing node counts
-// and the speed-up over the event-driven model is measured.
+// and the speed-up over the event-driven model is measured. Both halves
+// run through the sweep engine: a reference sweep over the X-size axis
+// gives the denominators, then an equivalent-model sweep over the
+// (xsize × nodes) grid — with per-point pad options and a shared
+// derivation cache — gives the numerators.
 func Fig5(tokens int, xsizes, nodeCounts []int, w io.Writer) ([]Fig5Point, error) {
 	if len(xsizes) == 0 {
 		xsizes = []int{6, 10, 20, 30}
@@ -127,42 +136,85 @@ func Fig5(tokens int, xsizes, nodeCounts []int, w io.Writer) ([]Fig5Point, error
 	if len(nodeCounts) == 0 {
 		nodeCounts = []int{1, 3, 10, 30, 100, 300, 1000, 3000}
 	}
+	xvals := make([]int64, len(xsizes))
+	for i, x := range xsizes {
+		xvals[i] = int64(x)
+	}
+	nvals := make([]int64, len(nodeCounts))
+	for i, n := range nodeCounts {
+		nvals[i] = int64(n)
+	}
+	gen := func(p sweep.Point) (*model.Architecture, error) {
+		return zoo.Pipeline(zoo.PipelineSpec{
+			XSize: int(p.Get("xsize", 6)), Tokens: tokens, Period: 600, Seed: 17}), nil
+	}
+
+	// Reference baselines, one per X size.
+	bres, err := sweep.Run([]sweep.Axis{{Name: "xsize", Values: xvals}}, gen,
+		sweep.Options{Workers: 1, Engine: sweep.Reference})
+	if err != nil {
+		return nil, err
+	}
+	baseWall := map[int64]float64{}
+	for _, pr := range bres.Points {
+		if pr.Err != nil {
+			return nil, pr.Err
+		}
+		baseWall[pr.Point.Get("xsize", 0)] = pr.Run.Wall.Seconds()
+	}
+
+	// Unpadded graph sizes per X size; the derivations land in the cache
+	// the equivalent sweep reuses.
+	cache := derive.NewCache()
+	baseNodes := map[int64]int{}
+	for _, x := range xvals {
+		dres, err := cache.Derive(zoo.Pipeline(zoo.PipelineSpec{
+			XSize: int(x), Tokens: tokens, Period: 600, Seed: 17}), derive.Options{})
+		if err != nil {
+			return nil, err
+		}
+		baseNodes[x] = dres.Graph.NodeCount()
+	}
+	pad := func(p sweep.Point) int {
+		d := int(p.Get("nodes", 0)) - baseNodes[p.Get("xsize", 0)]
+		if d < 0 {
+			d = 0
+		}
+		return d
+	}
+
+	eres, err := sweep.Run([]sweep.Axis{
+		{Name: "xsize", Values: xvals},
+		{Name: "nodes", Values: nvals},
+	}, gen, sweep.Options{
+		Workers: 1,
+		Cache:   cache,
+		DeriveFor: func(p sweep.Point) derive.Options {
+			return derive.Options{PadNodes: pad(p)}
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+
 	var pts []Fig5Point
 	if w != nil {
 		fmt.Fprintf(w, "Fig. 5: simulation speed-up vs computation method complexity (%d tokens)\n", tokens)
 		fmt.Fprintf(w, "%-8s %-8s %-10s\n", "Xsize", "nodes", "speed-up")
 	}
-	for _, x := range xsizes {
-		spec := zoo.PipelineSpec{XSize: x, Tokens: tokens, Period: 600, Seed: 17}
-		ab := zoo.Pipeline(spec)
-		mb, err := runBaseline(ab)
-		if err != nil {
-			return nil, err
+	for _, pr := range eres.Points {
+		if pr.Err != nil {
+			return nil, pr.Err
 		}
-		for _, nodes := range nodeCounts {
-			ae := zoo.Pipeline(spec)
-			dres, err := derive.Derive(ae, derive.Options{})
-			if err != nil {
-				return nil, err
-			}
-			pad := nodes - dres.Graph.NodeCount()
-			opts := derive.Options{}
-			if pad > 0 {
-				opts.PadNodes = pad
-			}
-			me, _, err := runEquivalent(zoo.Pipeline(spec), opts)
-			if err != nil {
-				return nil, err
-			}
-			total := dres.Graph.NodeCount()
-			if pad > 0 {
-				total += pad
-			}
-			pt := Fig5Point{XSize: x, Nodes: total, SpeedUp: mb.Wall.Seconds() / me.Wall.Seconds()}
-			pts = append(pts, pt)
-			if w != nil {
-				fmt.Fprintf(w, "%-8d %-8d %-10.2f\n", pt.XSize, pt.Nodes, pt.SpeedUp)
-			}
+		x := pr.Point.Get("xsize", 0)
+		pt := Fig5Point{
+			XSize:   int(x),
+			Nodes:   baseNodes[x] + pad(pr.Point),
+			SpeedUp: baseWall[x] / pr.Run.Wall.Seconds(),
+		}
+		pts = append(pts, pt)
+		if w != nil {
+			fmt.Fprintf(w, "%-8d %-8d %-10.2f\n", pt.XSize, pt.Nodes, pt.SpeedUp)
 		}
 	}
 	return pts, nil

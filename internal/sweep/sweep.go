@@ -1,0 +1,418 @@
+// Package sweep is a concurrent design-space exploration engine. The
+// paper's value proposition is evaluating many candidate multi-core
+// configurations fast; this package turns the single-run library into a
+// batch evaluator: a parameter grid (the cartesian product of named
+// integer axes) is expanded into points, a generator maps each point to
+// an architecture model, and a worker pool evaluates every point with
+// the equivalent model.
+//
+// Derivation is cached by structural shape (derive.Cache): when points
+// differ only in parameters — token counts, periods, seeds, schedules,
+// costs, resource speeds — the temporal dependency graph is derived
+// once and re-bound per point, so the symbolic execution cost is paid
+// once per shape rather than once per point.
+//
+// Every point is evaluated independently and deterministically: the
+// per-point results (instants, stats) are identical regardless of the
+// worker count or scheduling order.
+package sweep
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"time"
+
+	"dyncomp/internal/baseline"
+	"dyncomp/internal/core"
+	"dyncomp/internal/derive"
+	"dyncomp/internal/model"
+	"dyncomp/internal/observe"
+	"dyncomp/internal/sim"
+)
+
+// Axis is one dimension of the design-space grid.
+type Axis struct {
+	Name   string
+	Values []int64
+}
+
+// Point is one configuration of the grid: an assignment of one value per
+// axis. Index is the point's position in row-major grid order (the last
+// axis varies fastest), which is also its position in Result.Points.
+type Point struct {
+	Index  int
+	Names  []string // axis names, shared across all points of a grid
+	Values []int64  // one value per axis
+}
+
+// Lookup returns the value of the named axis.
+func (p Point) Lookup(name string) (int64, bool) {
+	for i, n := range p.Names {
+		if n == name {
+			return p.Values[i], true
+		}
+	}
+	return 0, false
+}
+
+// Get returns the value of the named axis, or def when the grid has no
+// such axis.
+func (p Point) Get(name string, def int64) int64 {
+	if v, ok := p.Lookup(name); ok {
+		return v
+	}
+	return def
+}
+
+func (p Point) String() string {
+	s := ""
+	for i, n := range p.Names {
+		if i > 0 {
+			s += ","
+		}
+		s += fmt.Sprintf("%s=%d", n, p.Values[i])
+	}
+	return s
+}
+
+// Grid expands axes into their cartesian product in row-major order: the
+// last axis varies fastest.
+func Grid(axes []Axis) ([]Point, error) {
+	if len(axes) == 0 {
+		return nil, fmt.Errorf("sweep: no axes")
+	}
+	names := make([]string, len(axes))
+	total := 1
+	for i, ax := range axes {
+		if ax.Name == "" {
+			return nil, fmt.Errorf("sweep: axis %d has no name", i)
+		}
+		if len(ax.Values) == 0 {
+			return nil, fmt.Errorf("sweep: axis %q has no values", ax.Name)
+		}
+		for _, prev := range names[:i] {
+			if prev == ax.Name {
+				return nil, fmt.Errorf("sweep: duplicate axis %q", ax.Name)
+			}
+		}
+		names[i] = ax.Name
+		total *= len(ax.Values)
+	}
+	pts := make([]Point, total)
+	for i := range pts {
+		vals := make([]int64, len(axes))
+		rem := i
+		for d := len(axes) - 1; d >= 0; d-- {
+			n := len(axes[d].Values)
+			vals[d] = axes[d].Values[rem%n]
+			rem /= n
+		}
+		pts[i] = Point{Index: i, Names: names, Values: vals}
+	}
+	return pts, nil
+}
+
+// Generator maps a grid point to an architecture model. It must be
+// deterministic and safe for concurrent calls with distinct points; the
+// engine may call it more than once per point (e.g. to build a separate
+// instance for the baseline run).
+type Generator func(Point) (*model.Architecture, error)
+
+// Engine selects which executor evaluates the points.
+type Engine int
+
+const (
+	// Equivalent evaluates each point with the equivalent model over the
+	// (cached) derived temporal dependency graph.
+	Equivalent Engine = iota
+	// Reference evaluates each point with the event-driven reference
+	// executor (no derivation; useful for baselines and cross-checks).
+	Reference
+)
+
+// Options configures a sweep.
+type Options struct {
+	// Workers sets the worker-pool size; 0 means GOMAXPROCS. Timings
+	// (PointStats.Wall) of concurrent runs perturb each other: use
+	// Workers 1 when wall-clock speed-ups are the measurement.
+	Workers int
+	// Engine selects the evaluator (default Equivalent).
+	Engine Engine
+	// Baseline also runs the reference executor on every point (from a
+	// fresh Generator call) and fills PointResult.Baseline, EventRatio
+	// and SpeedUp. Only meaningful with Engine Equivalent.
+	Baseline bool
+	// Record keeps per-point evolution traces.
+	Record bool
+	// Limit bounds simulated time per point; 0 runs to completion.
+	Limit sim.Time
+	// Derive sets the derivation options for every point.
+	Derive derive.Options
+	// DeriveFor, when non-nil, overrides Derive per point (e.g. the
+	// Fig. 5 sweep pads the graph differently at each point).
+	DeriveFor func(Point) derive.Options
+	// Cache supplies a shared derivation cache; nil creates a fresh one
+	// for the sweep. Sharing a cache across sweeps carries its hit/miss
+	// statistics over.
+	Cache *derive.Cache
+}
+
+// PointStats reports one completed simulation of one point.
+type PointStats struct {
+	Activations int64         // kernel context switches
+	Events      int64         // kernel event-queue operations
+	FinalTimeNs int64         // simulated time reached
+	Iterations  int           // evolution iterations computed
+	GraphNodes  int           // graph size in the paper's counting (equivalent only)
+	Wall        time.Duration // host wall-clock time of the run
+}
+
+// PointResult is the evaluation of one grid point.
+type PointResult struct {
+	Point Point
+	// Run is the selected engine's result (the equivalent model unless
+	// Options.Engine says otherwise).
+	Run PointStats
+	// Trace is the recorded evolution when Options.Record is set.
+	Trace *observe.Trace
+	// Baseline pairing (Options.Baseline): the reference executor's
+	// result, its trace, and the paper's two headline ratios.
+	Baseline      *PointStats
+	BaselineTrace *observe.Trace
+	EventRatio    float64 // baseline activations / equivalent activations
+	SpeedUp       float64 // baseline wall / equivalent wall
+	// Err reports a failed point; the other fields are zero.
+	Err error
+}
+
+// Aggregate summarizes one metric across the grid.
+type Aggregate struct {
+	N                       int
+	Min, Max, Mean, Geomean float64
+}
+
+// Stats summarizes a completed sweep.
+type Stats struct {
+	Points      int           // grid size
+	Failed      int           // points with Err set
+	Shapes      int           // distinct structural shapes in the cache
+	DeriveCalls int64         // cache misses == derivations performed
+	CacheHits   int64         // points served by rebinding
+	Wall        time.Duration // wall-clock time of the whole sweep
+	// SpeedUp and EventRatio aggregate the per-point ratios when
+	// Options.Baseline was set.
+	SpeedUp    Aggregate
+	EventRatio Aggregate
+}
+
+// Result is a completed sweep: one entry per grid point, in grid order,
+// plus aggregate statistics.
+type Result struct {
+	Points []PointResult
+	Stats  Stats
+}
+
+// Run expands the grid, shards it across the worker pool and evaluates
+// every point. Per-point failures are reported in PointResult.Err (and
+// counted in Stats.Failed); Run itself fails only on unusable input.
+func Run(axes []Axis, gen Generator, opts Options) (*Result, error) {
+	if gen == nil {
+		return nil, fmt.Errorf("sweep: nil generator")
+	}
+	pts, err := Grid(axes)
+	if err != nil {
+		return nil, err
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(pts) {
+		workers = len(pts)
+	}
+	cache := opts.Cache
+	if cache == nil {
+		cache = derive.NewCache()
+	}
+
+	start := time.Now()
+	results := make([]PointResult, len(pts))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				results[i] = evalPoint(pts[i], gen, opts, cache)
+			}
+		}()
+	}
+	for i := range pts {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
+	res := &Result{Points: results}
+	res.Stats = summarize(results, cache, time.Since(start))
+	return res, nil
+}
+
+// evalPoint evaluates one grid point: generate the architecture, obtain
+// its derivation through the cache, run the equivalent model, and
+// optionally pair it with a reference-executor baseline. Panics —
+// model builders and engines use them for invalid configurations —
+// are confined to the point: one bad configuration must not kill a
+// thousand-point sweep.
+func evalPoint(p Point, gen Generator, opts Options, cache *derive.Cache) (pr PointResult) {
+	defer func() {
+		if r := recover(); r != nil {
+			pr = PointResult{
+				Point: p,
+				Err:   fmt.Errorf("sweep: point %d (%s): panic: %v", p.Index, p, r),
+			}
+		}
+	}()
+	pr = PointResult{Point: p}
+	a, err := gen(p)
+	if err != nil {
+		pr.Err = fmt.Errorf("sweep: point %d (%s): %w", p.Index, p, err)
+		return pr
+	}
+	if a == nil {
+		pr.Err = fmt.Errorf("sweep: point %d (%s): generator returned no architecture", p.Index, p)
+		return pr
+	}
+
+	if opts.Engine == Reference {
+		pr.Run, pr.Trace, pr.Err = runReference(a, opts)
+		return pr
+	}
+
+	dopts := opts.Derive
+	if opts.DeriveFor != nil {
+		dopts = opts.DeriveFor(p)
+	}
+	dres, err := cache.Derive(a, dopts)
+	if err != nil {
+		pr.Err = fmt.Errorf("sweep: point %d (%s): %w", p.Index, p, err)
+		return pr
+	}
+	m, err := core.New(dres)
+	if err != nil {
+		pr.Err = fmt.Errorf("sweep: point %d (%s): %w", p.Index, p, err)
+		return pr
+	}
+	var trace *observe.Trace
+	if opts.Record {
+		trace = observe.NewTrace(a.Name + "/equivalent")
+	}
+	begin := time.Now()
+	r, err := m.Run(core.Options{Trace: trace, Limit: opts.Limit})
+	if err != nil {
+		pr.Err = fmt.Errorf("sweep: point %d (%s): %w", p.Index, p, err)
+		return pr
+	}
+	pr.Run = PointStats{
+		Activations: r.Stats.Activations,
+		Events:      r.Stats.TimedEvents + r.Stats.DeltaNotifies,
+		FinalTimeNs: int64(r.Stats.FinalTime),
+		Iterations:  r.Iterations,
+		GraphNodes:  dres.Graph.NodeCountWithDelays(),
+		Wall:        time.Since(begin),
+	}
+	pr.Trace = trace
+
+	if opts.Baseline {
+		// A fresh instance keeps the engines from sharing memoized
+		// per-statement state.
+		ab, err := gen(p)
+		if err != nil {
+			pr.Err = fmt.Errorf("sweep: point %d (%s): baseline: %w", p.Index, p, err)
+			return pr
+		}
+		bs, bt, err := runReference(ab, opts)
+		if err != nil {
+			pr.Err = fmt.Errorf("sweep: point %d (%s): baseline: %w", p.Index, p, err)
+			return pr
+		}
+		pr.Baseline = &bs
+		pr.BaselineTrace = bt
+		if pr.Run.Activations > 0 {
+			pr.EventRatio = float64(bs.Activations) / float64(pr.Run.Activations)
+		}
+		if pr.Run.Wall > 0 {
+			pr.SpeedUp = bs.Wall.Seconds() / pr.Run.Wall.Seconds()
+		}
+	}
+	return pr
+}
+
+func runReference(a *model.Architecture, opts Options) (PointStats, *observe.Trace, error) {
+	var trace *observe.Trace
+	if opts.Record {
+		trace = observe.NewTrace(a.Name + "/reference")
+	}
+	begin := time.Now()
+	r, err := baseline.Run(a, baseline.Options{Trace: trace, Limit: opts.Limit})
+	if err != nil {
+		return PointStats{}, nil, err
+	}
+	return PointStats{
+		Activations: r.Stats.Activations,
+		Events:      r.Stats.TimedEvents + r.Stats.DeltaNotifies,
+		FinalTimeNs: int64(r.Stats.FinalTime),
+		Wall:        time.Since(begin),
+	}, trace, nil
+}
+
+func summarize(results []PointResult, cache *derive.Cache, wall time.Duration) Stats {
+	st := Stats{Points: len(results), Wall: wall, Shapes: cache.Shapes()}
+	st.CacheHits, st.DeriveCalls = cache.Stats()
+	var speedups, ratios []float64
+	for i := range results {
+		pr := &results[i]
+		if pr.Err != nil {
+			st.Failed++
+			continue
+		}
+		if pr.Baseline != nil {
+			speedups = append(speedups, pr.SpeedUp)
+			ratios = append(ratios, pr.EventRatio)
+		}
+	}
+	st.SpeedUp = aggregate(speedups)
+	st.EventRatio = aggregate(ratios)
+	return st
+}
+
+func aggregate(xs []float64) Aggregate {
+	if len(xs) == 0 {
+		return Aggregate{}
+	}
+	a := Aggregate{N: len(xs), Min: xs[0], Max: xs[0]}
+	sum, logSum := 0.0, 0.0
+	geomean := true
+	for _, x := range xs {
+		if x < a.Min {
+			a.Min = x
+		}
+		if x > a.Max {
+			a.Max = x
+		}
+		sum += x
+		if x > 0 {
+			logSum += math.Log(x)
+		} else {
+			geomean = false
+		}
+	}
+	a.Mean = sum / float64(len(xs))
+	if geomean {
+		a.Geomean = math.Exp(logSum / float64(len(xs)))
+	}
+	return a
+}

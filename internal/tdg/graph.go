@@ -70,6 +70,11 @@ type Arc struct {
 	From   NodeID
 	Delay  int
 	Weight WeightFn // nil means the identity e (weight 0)
+	// Tag is an opaque positive identifier the graph builder may attach
+	// to a weighted arc so the weight can later be re-bound to another
+	// parameter point of the same structure (see CloneReweighted); 0
+	// means untagged.
+	Tag int
 }
 
 // Graph is a temporal dependency graph under construction or frozen for
@@ -127,6 +132,11 @@ func (g *Graph) addNode(name string, kind NodeKind) NodeID {
 // AddArc adds the dependency to(k) ≥ from(k-delay) ⊗ w(k). A nil weight
 // is the identity e.
 func (g *Graph) AddArc(from, to NodeID, delay int, w WeightFn) {
+	g.AddTaggedArc(from, to, delay, w, 0)
+}
+
+// AddTaggedArc is AddArc with a rebinding tag attached to the arc.
+func (g *Graph) AddTaggedArc(from, to NodeID, delay int, w WeightFn, tag int) {
 	if g.frozen {
 		panic("tdg: graph is frozen")
 	}
@@ -139,7 +149,7 @@ func (g *Graph) AddArc(from, to NodeID, delay int, w WeightFn) {
 	if g.nodes[to].Kind == Input {
 		panic(fmt.Sprintf("tdg: arc into input node %s", g.nodes[to].Name))
 	}
-	g.in[to] = append(g.in[to], Arc{From: from, Delay: delay, Weight: w})
+	g.in[to] = append(g.in[to], Arc{From: from, Delay: delay, Weight: w, Tag: tag})
 }
 
 // AddConstArc adds an arc with a constant weight.
@@ -319,4 +329,42 @@ func (g *Graph) Freeze() error {
 	g.maxDelay = maxDelay
 	g.frozen = true
 	return nil
+}
+
+// CloneReweighted returns a frozen copy of a frozen graph that shares the
+// structural parts (nodes, inputs, outputs, topological order) and carries
+// fresh arc slices whose weights are replaced by rw(to, arc). rw returning
+// an error aborts the clone. The clone is independently evaluable: derive
+// uses it to re-bind one derived structure to many parameter points
+// without re-deriving.
+func (g *Graph) CloneReweighted(rw func(to NodeID, a Arc) (WeightFn, error)) (*Graph, error) {
+	if !g.frozen {
+		return nil, fmt.Errorf("tdg: CloneReweighted on unfrozen graph %q", g.Name)
+	}
+	in := make([][]Arc, len(g.in))
+	for to, arcs := range g.in {
+		if len(arcs) == 0 {
+			continue
+		}
+		dst := make([]Arc, len(arcs))
+		for i, a := range arcs {
+			w, err := rw(NodeID(to), a)
+			if err != nil {
+				return nil, err
+			}
+			a.Weight = w
+			dst[i] = a
+		}
+		in[to] = dst
+	}
+	return &Graph{
+		Name:     g.Name,
+		nodes:    g.nodes,
+		in:       in,
+		inputs:   g.inputs,
+		outputs:  g.outputs,
+		frozen:   true,
+		topo:     g.topo,
+		maxDelay: g.maxDelay,
+	}, nil
 }

@@ -1,0 +1,52 @@
+package zoo
+
+import (
+	"dyncomp/internal/maxplus"
+	"dyncomp/internal/model"
+)
+
+// Params supplies named integer parameters. A design-space sweep point
+// implements it, so the FromParams builders below plug directly into the
+// sweep engine as architecture generators; absent names fall back to the
+// scenario's defaults.
+type Params interface {
+	Lookup(name string) (int64, bool)
+}
+
+func param(p Params, name string, def int64) int64 {
+	if v, ok := p.Lookup(name); ok {
+		return v
+	}
+	return def
+}
+
+// PipelineFromParams builds the Fig. 5 synthetic pipeline from the
+// parameters xsize, tokens, period and seed.
+func PipelineFromParams(p Params) *model.Architecture {
+	return Pipeline(PipelineSpec{
+		XSize:  int(param(p, "xsize", 6)),
+		Tokens: int(param(p, "tokens", 1000)),
+		Period: maxplus.T(param(p, "period", 600)),
+		Seed:   param(p, "seed", 17),
+	})
+}
+
+// DidacticFromParams builds a chained didactic architecture from the
+// parameters stages, tokens, period, seed and fifo (0/1).
+func DidacticFromParams(p Params) *model.Architecture {
+	return DidacticChain(int(param(p, "stages", 1)), DidacticSpec{
+		Tokens:  int(param(p, "tokens", 1000)),
+		Period:  maxplus.T(param(p, "period", 1200)),
+		Seed:    param(p, "seed", 41),
+		UseFIFO: param(p, "fifo", 0) != 0,
+	})
+}
+
+// RandomFromParams builds a randomized-but-valid architecture from the
+// parameters seed and tokens.
+func RandomFromParams(p Params) *model.Architecture {
+	return Random(RandomSpec{
+		Seed:   param(p, "seed", 0),
+		Tokens: int(param(p, "tokens", 100)),
+	})
+}

@@ -1,0 +1,137 @@
+package dyncomp
+
+import (
+	"fmt"
+	"time"
+
+	"dyncomp/internal/derive"
+	"dyncomp/internal/sim"
+	"dyncomp/internal/sweep"
+)
+
+// SweepAxis is one dimension of a design-space grid: a named list of
+// integer parameter values. A sweep evaluates the cartesian product of
+// its axes.
+type SweepAxis = sweep.Axis
+
+// SweepPoint is one configuration of the grid. Generators read parameter
+// values with Get(name, default) or Lookup(name).
+type SweepPoint = sweep.Point
+
+// SweepGenerator maps a grid point to an architecture. It must be
+// deterministic and safe for concurrent calls with distinct points.
+type SweepGenerator = func(SweepPoint) (*Architecture, error)
+
+// SweepStats aggregates a completed sweep: point and failure counts,
+// derivation-cache effectiveness (Shapes, DeriveCalls, CacheHits), total
+// wall-clock time, and — when SweepOptions.Baseline is set — the
+// min/max/mean/geomean of the per-point speed-ups and event ratios.
+type SweepStats = sweep.Stats
+
+// SweepOptions configures a design-space sweep.
+type SweepOptions struct {
+	// Workers is the worker-pool size; 0 uses all processors. Per-point
+	// results are identical for any worker count; only wall-clock
+	// timings are perturbed by concurrency.
+	Workers int
+	// Record keeps per-point evolution traces in the results.
+	Record bool
+	// LimitNs bounds the simulated time per point (0: run to completion).
+	LimitNs int64
+	// Reduce prunes value-redundant arcs from the derived graphs.
+	Reduce bool
+	// Baseline also runs the event-driven reference executor on every
+	// point and fills the per-point Baseline result, EventRatio and
+	// SpeedUp, plus the aggregate statistics.
+	Baseline bool
+}
+
+// SweepPointResult is the evaluation of one grid point: the equivalent
+// model's RunResult (embedded) plus optional baseline pairing.
+type SweepPointResult struct {
+	Point SweepPoint
+	// RunResult is the equivalent-model run of this point, exactly as an
+	// individual RunEquivalent call would return it.
+	RunResult
+	// Wall is the host time of the equivalent-model run.
+	Wall time.Duration
+	// Baseline is the reference executor's result when
+	// SweepOptions.Baseline is set.
+	Baseline     *RunResult
+	BaselineWall time.Duration
+	// EventRatio and SpeedUp are the paper's headline ratios
+	// (baseline/equivalent), filled when Baseline is set.
+	EventRatio float64
+	SpeedUp    float64
+	// Err marks a failed point.
+	Err error
+}
+
+// SweepResult is a completed design-space sweep: one entry per grid
+// point in row-major grid order, plus aggregate statistics.
+type SweepResult struct {
+	Points []SweepPointResult
+	Stats  SweepStats
+}
+
+// Sweep evaluates every configuration of the grid spanned by axes with
+// the equivalent model, sharding the points across a worker pool. The
+// temporal dependency graph is derived once per structural shape and
+// re-bound to every other point of that shape, so sweeping parameters
+// (token counts, periods, seeds, costs, speeds) over a fixed topology
+// pays the derivation cost once; per-point results are bit-identical to
+// individual RunEquivalent calls.
+//
+// Failed points carry their error in Points[i].Err; when any point
+// failed, Sweep also returns a summary error alongside the full result.
+func Sweep(axes []SweepAxis, gen SweepGenerator, opts SweepOptions) (*SweepResult, error) {
+	res, err := sweep.Run(axes, sweep.Generator(gen), sweep.Options{
+		Workers:  opts.Workers,
+		Record:   opts.Record,
+		Limit:    sim.Time(opts.LimitNs),
+		Baseline: opts.Baseline,
+		Derive:   derive.Options{Reduce: opts.Reduce},
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &SweepResult{
+		Points: make([]SweepPointResult, len(res.Points)),
+		Stats:  res.Stats,
+	}
+	var firstErr error
+	for i, pr := range res.Points {
+		sp := SweepPointResult{
+			Point: pr.Point,
+			RunResult: RunResult{
+				Trace:       pr.Trace,
+				Activations: pr.Run.Activations,
+				Events:      pr.Run.Events,
+				FinalTimeNs: pr.Run.FinalTimeNs,
+				GraphNodes:  pr.Run.GraphNodes,
+			},
+			Wall:       pr.Run.Wall,
+			EventRatio: pr.EventRatio,
+			SpeedUp:    pr.SpeedUp,
+			Err:        pr.Err,
+		}
+		if pr.Baseline != nil {
+			sp.Baseline = &RunResult{
+				Trace:       pr.BaselineTrace,
+				Activations: pr.Baseline.Activations,
+				Events:      pr.Baseline.Events,
+				FinalTimeNs: pr.Baseline.FinalTimeNs,
+			}
+			sp.BaselineWall = pr.Baseline.Wall
+		}
+		if pr.Err != nil && firstErr == nil {
+			firstErr = pr.Err
+		}
+		out.Points[i] = sp
+	}
+	if firstErr != nil {
+		return out, fmt.Errorf("sweep: %d of %d points failed; first: %w",
+			res.Stats.Failed, res.Stats.Points, firstErr)
+	}
+	return out, nil
+}
