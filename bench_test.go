@@ -8,6 +8,7 @@ package dyncomp
 // Table I    -> BenchmarkTable1/exampleN/{baseline,equivalent}
 // Fig. 5     -> BenchmarkFig5/xX/nodesN (plus xX/baseline as reference)
 // Fig. 6 / case study -> BenchmarkCaseStudy/{baseline,equivalent}
+// Adaptive switching -> BenchmarkAdaptive/{baseline,equivalent,adaptive}
 // TLM-LT motivation  -> BenchmarkQuantum/qQ
 // ComputeInstant cost -> BenchmarkComputeInstant/nodesN
 //
@@ -19,6 +20,7 @@ import (
 	"fmt"
 	"testing"
 
+	"dyncomp/internal/adaptive"
 	"dyncomp/internal/baseline"
 	"dyncomp/internal/core"
 	"dyncomp/internal/derive"
@@ -151,6 +153,35 @@ func BenchmarkHybrid(b *testing.B) {
 			}
 			if i == 0 {
 				b.ReportMetric(float64(res.Stats.Activations), "activations")
+			}
+		}
+	})
+}
+
+// BenchmarkAdaptive measures the adaptive engine on the phase-changing
+// didactic workload against the two static engines on the same stream.
+// The adaptive ns/op sits between them: transients are simulated
+// event-by-event, the steady plateaus (the bulk of the run) are
+// computed; the "events" metric shows the kernel work each engine pays.
+func BenchmarkAdaptive(b *testing.B) {
+	spec := zoo.PhasedSpec{Tokens: benchTokens, Period: 1100, Seed: 7}
+	build := func() *model.Architecture { return zoo.Phased(spec) }
+	b.Run("baseline", func(b *testing.B) {
+		benchBaseline(b, build)
+	})
+	b.Run("equivalent", func(b *testing.B) {
+		benchEquivalent(b, build, derive.Options{})
+	})
+	b.Run("adaptive", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res, err := adaptive.Run(build(), adaptive.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i == 0 {
+				b.ReportMetric(float64(res.Stats.Events()), "events")
+				b.ReportMetric(float64(res.Switches), "switches")
 			}
 		}
 	})

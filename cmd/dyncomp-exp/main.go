@@ -6,6 +6,7 @@
 //	dyncomp-exp -exp fig6      # Fig. 6: LTE receiver observations
 //	dyncomp-exp -exp casestudy # Section V speed-up (20000 symbols)
 //	dyncomp-exp -exp accuracy  # bit-exactness check
+//	dyncomp-exp -exp adaptive  # engine comparison on the phase-changing workload
 //	dyncomp-exp -exp quantum   # loosely-timed trade-off ablation
 //	dyncomp-exp -exp all
 //
@@ -26,7 +27,7 @@ import (
 )
 
 func main() {
-	which := flag.String("exp", "all", "experiment: table1|fig5|fig6|casestudy|accuracy|quantum|all")
+	which := flag.String("exp", "all", "experiment: table1|fig5|fig6|casestudy|accuracy|adaptive|quantum|all")
 	tokens := flag.Int("tokens", 20000, "workload size (tokens/symbols)")
 	frames := flag.Int("frames", 2, "LTE frames for fig6")
 	csvDir := flag.String("csv", "", "directory for CSV output (fig6)")
@@ -86,6 +87,10 @@ func main() {
 	})
 	run("casestudy", func() error {
 		_, err := exp.CaseStudy(*tokens, os.Stdout)
+		return err
+	})
+	run("adaptive", func() error {
+		_, err := exp.AdaptiveCompare(*tokens, os.Stdout)
 		return err
 	})
 	run("quantum", func() error {

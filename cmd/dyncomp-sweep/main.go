@@ -12,15 +12,18 @@
 //
 //	pipeline  xsize, tokens, period, seed      (Fig. 5 synthetic pipeline)
 //	didactic  stages, tokens, period, seed, fifo  (Table I chained example)
+//	phased    tokens, period, seed, fifo, stages  (phase-changing workload)
 //	random    seed, tokens                     (randomized valid architecture)
 //	lte       symbols, seed                    (Section V LTE receiver)
 //
 // Axis syntax: semicolon-separated "name=v1,v2,..." lists, where each
 // item is an integer or a lo:hi:step range (inclusive).
 //
-// -format selects table (default), csv or json; -baseline pairs every
-// point with an event-driven reference run and reports event ratios and
-// speed-ups.
+// -engine selects the per-point executor: equivalent (default),
+// reference, or adaptive (online engine-switching; -window tunes its
+// steady-state confirmation window). -format selects table (default),
+// csv or json; -baseline pairs every point with an event-driven
+// reference run and reports event ratios and speed-ups.
 package main
 
 import (
@@ -39,9 +42,11 @@ import (
 )
 
 func main() {
-	scenario := flag.String("scenario", "pipeline", "architecture scenario: pipeline|didactic|random|lte")
+	scenario := flag.String("scenario", "pipeline", "architecture scenario: pipeline|didactic|phased|random|lte")
 	axesSpec := flag.String("axes", "", `grid axes, e.g. "xsize=6,10,20;tokens=500:2000:500"`)
 	workers := flag.Int("workers", 0, "worker-pool size (0: all processors)")
+	engine := flag.String("engine", "equivalent", "per-point executor: equivalent|reference|adaptive")
+	window := flag.Int("window", 0, "adaptive steady-state window in iterations (0: engine default)")
 	baseline := flag.Bool("baseline", false, "pair every point with a reference-executor run")
 	reduce := flag.Bool("reduce", false, "prune value-redundant arcs from derived graphs")
 	limit := flag.Int64("limit", 0, "simulated-time bound per point in ns (0: to completion)")
@@ -62,7 +67,17 @@ func main() {
 		fatal(err)
 	}
 
-	opts := sweep.Options{Workers: *workers, Baseline: *baseline}
+	opts := sweep.Options{Workers: *workers, Baseline: *baseline, Window: *window}
+	switch *engine {
+	case "equivalent":
+		opts.Engine = sweep.Equivalent
+	case "reference":
+		opts.Engine = sweep.Reference
+	case "adaptive":
+		opts.Engine = sweep.Adaptive
+	default:
+		fatal(fmt.Errorf("unknown engine %q (equivalent|reference|adaptive)", *engine))
+	}
 	opts.Derive.Reduce = *reduce
 	if *limit > 0 {
 		opts.Limit = sim.Time(*limit)
@@ -72,11 +87,12 @@ func main() {
 		fatal(err)
 	}
 
+	adaptiveEngine := opts.Engine == sweep.Adaptive
 	switch *format {
 	case "table":
-		err = writeTable(os.Stdout, res, *baseline)
+		err = writeTable(os.Stdout, res, *baseline, adaptiveEngine)
 	case "csv":
-		err = writeCSV(os.Stdout, res, *baseline)
+		err = writeCSV(os.Stdout, res, *baseline, adaptiveEngine)
 	case "json":
 		err = writeJSON(os.Stdout, res)
 	default:
@@ -107,6 +123,8 @@ func generator(scenario string) (sweep.Generator, error) {
 		return func(p sweep.Point) (*model.Architecture, error) { return zoo.PipelineFromParams(p), nil }, nil
 	case "didactic":
 		return func(p sweep.Point) (*model.Architecture, error) { return zoo.DidacticFromParams(p), nil }, nil
+	case "phased":
+		return func(p sweep.Point) (*model.Architecture, error) { return zoo.PhasedFromParams(p), nil }, nil
 	case "random":
 		return func(p sweep.Point) (*model.Architecture, error) { return zoo.RandomFromParams(p), nil }, nil
 	case "lte":
@@ -117,7 +135,7 @@ func generator(scenario string) (sweep.Generator, error) {
 			}), nil
 		}, nil
 	default:
-		return nil, fmt.Errorf("unknown scenario %q (pipeline|didactic|random|lte)", scenario)
+		return nil, fmt.Errorf("unknown scenario %q (pipeline|didactic|phased|random|lte)", scenario)
 	}
 }
 
@@ -184,7 +202,7 @@ func parseItem(item string) ([]int64, error) {
 	return vals, nil
 }
 
-func writeTable(w *os.File, res *sweep.Result, baseline bool) error {
+func writeTable(w *os.File, res *sweep.Result, baseline, adaptive bool) error {
 	if len(res.Points) == 0 {
 		return nil
 	}
@@ -192,6 +210,9 @@ func writeTable(w *os.File, res *sweep.Result, baseline bool) error {
 		fmt.Fprintf(w, "%-10s ", n)
 	}
 	fmt.Fprintf(w, "%12s %12s %14s %8s %12s", "activations", "events", "final(ns)", "nodes", "wall")
+	if adaptive {
+		fmt.Fprintf(w, " %9s %9s", "switches", "fallbacks")
+	}
 	if baseline {
 		fmt.Fprintf(w, " %12s %10s", "event ratio", "speed-up")
 	}
@@ -206,6 +227,9 @@ func writeTable(w *os.File, res *sweep.Result, baseline bool) error {
 		}
 		fmt.Fprintf(w, "%12d %12d %14d %8d %12s",
 			pr.Run.Activations, pr.Run.Events, pr.Run.FinalTimeNs, pr.Run.GraphNodes, pr.Run.Wall)
+		if adaptive {
+			fmt.Fprintf(w, " %9d %9d", pr.Run.Switches, pr.Run.Fallbacks)
+		}
 		if baseline {
 			fmt.Fprintf(w, " %12.2f %10.2f", pr.EventRatio, pr.SpeedUp)
 		}
@@ -223,12 +247,15 @@ func writeTable(w *os.File, res *sweep.Result, baseline bool) error {
 	return nil
 }
 
-func writeCSV(w *os.File, res *sweep.Result, baseline bool) error {
+func writeCSV(w *os.File, res *sweep.Result, baseline, adaptive bool) error {
 	if len(res.Points) == 0 {
 		return nil
 	}
 	cols := append([]string{}, res.Points[0].Point.Names...)
 	cols = append(cols, "activations", "events", "final_ns", "graph_nodes", "wall_ns")
+	if adaptive {
+		cols = append(cols, "switches", "fallbacks")
+	}
 	if baseline {
 		cols = append(cols, "baseline_activations", "baseline_wall_ns", "event_ratio", "speed_up")
 	}
@@ -247,6 +274,9 @@ func writeCSV(w *os.File, res *sweep.Result, baseline bool) error {
 			strconv.FormatInt(pr.Run.FinalTimeNs, 10),
 			strconv.Itoa(pr.Run.GraphNodes),
 			strconv.FormatInt(pr.Run.Wall.Nanoseconds(), 10))
+		if adaptive {
+			row = append(row, strconv.Itoa(pr.Run.Switches), strconv.Itoa(pr.Run.Fallbacks))
+		}
 		if baseline && pr.Baseline != nil {
 			row = append(row,
 				strconv.FormatInt(pr.Baseline.Activations, 10),
@@ -266,6 +296,8 @@ type jsonPoint struct {
 	FinalTimeNs int64            `json:"final_time_ns"`
 	GraphNodes  int              `json:"graph_nodes"`
 	WallNs      int64            `json:"wall_ns"`
+	Switches    int              `json:"switches,omitempty"`
+	Fallbacks   int              `json:"fallbacks,omitempty"`
 	EventRatio  float64          `json:"event_ratio,omitempty"`
 	SpeedUp     float64          `json:"speed_up,omitempty"`
 	Error       string           `json:"error,omitempty"`
@@ -289,6 +321,8 @@ func writeJSON(w *os.File, res *sweep.Result) error {
 			jp.FinalTimeNs = pr.Run.FinalTimeNs
 			jp.GraphNodes = pr.Run.GraphNodes
 			jp.WallNs = pr.Run.Wall.Nanoseconds()
+			jp.Switches = pr.Run.Switches
+			jp.Fallbacks = pr.Run.Fallbacks
 			jp.EventRatio = pr.EventRatio
 			jp.SpeedUp = pr.SpeedUp
 		}

@@ -15,13 +15,30 @@
 //	eq,  _ := dyncomp.RunEquivalent(a, dyncomp.RunOptions{Record: true})
 //	err := dyncomp.CompareTraces(ref.Trace, eq.Trace) // nil: bit-exact
 //
+// Beyond the two whole-architecture engines, RunHybrid abstracts only a
+// named group of functions (the paper's partial abstraction) while the
+// rest stays event-driven, and RunAdaptive decides online: it simulates
+// event-by-event until a steady state is confirmed, hot-switches the
+// steady region to the equivalent model, and falls back on every
+// parameter change — all four engines produce bit-exact traces. Sweep
+// evaluates a parameter grid with any of them across a worker pool,
+// deriving each structural shape exactly once:
+//
+//	hyb, _ := dyncomp.RunHybrid(a, []string{"F1", "F2"}, dyncomp.RunOptions{Record: true})
+//	ad,  _ := dyncomp.RunAdaptive(a, dyncomp.AdaptiveOptions{Record: true})
+//	res, _ := dyncomp.Sweep(axes, gen, dyncomp.SweepOptions{Workers: 8})
+//
 // The sub-systems live in internal packages: internal/sim (discrete-event
 // kernel), internal/model (architecture description), internal/maxplus
 // ((max,+) algebra), internal/tdg (temporal dependency graphs),
-// internal/derive (automatic graph derivation), internal/baseline and
-// internal/core (the two execution engines), internal/observe (traces and
-// resource usage), internal/lte (the LTE case study) and internal/exp
-// (the paper's experiments).
+// internal/derive (automatic graph derivation, shape-keyed cache),
+// internal/baseline and internal/core (the two execution engines),
+// internal/hybrid (partial abstraction), internal/adaptive (temporal
+// abstraction / engine switching), internal/sweep (design-space
+// exploration), internal/observe (traces and resource usage),
+// internal/lte (the LTE case study) and internal/exp (the paper's
+// experiments). See docs/ARCHITECTURE.md for the paper-section→package
+// map and an engine decision table.
 package dyncomp
 
 import (

@@ -103,6 +103,81 @@ func TestFacadeHybrid(t *testing.T) {
 	}
 }
 
+// TestFacadeAdaptive is the public acceptance criterion of the adaptive
+// engine: on the phase-changing workload RunAdaptive produces a
+// bit-exact trace against RunReference while paying at most half the
+// kernel events, with both switch directions exercised.
+func TestFacadeAdaptive(t *testing.T) {
+	build := func() *Architecture {
+		return zoo.Phased(zoo.PhasedSpec{Tokens: 1200, Period: 1100, Seed: 7})
+	}
+	ref, err := RunReference(build(), RunOptions{Record: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ad, err := RunAdaptive(build(), AdaptiveOptions{Record: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CompareTraces(ref.Trace, ad.Trace); err != nil {
+		t.Fatalf("adaptive trace differs from reference: %v", err)
+	}
+	if InstantError(ref.Trace, ad.Trace) != 0 {
+		t.Fatal("nonzero instant error")
+	}
+	if ad.Events > ref.Events/2 {
+		t.Fatalf("adaptive paid %d kernel events, want <= half of reference's %d", ad.Events, ref.Events)
+	}
+	if ad.Switches < 1 || ad.Fallbacks < 1 {
+		t.Fatalf("switching not exercised: %d switches, %d fallbacks", ad.Switches, ad.Fallbacks)
+	}
+	if ad.DetailedIterations+ad.AbstractIterations != 1200 {
+		t.Fatalf("iteration split %d + %d != 1200", ad.DetailedIterations, ad.AbstractIterations)
+	}
+	if len(ad.Phases) < 4 {
+		t.Fatalf("expected several phases, got %+v", ad.Phases)
+	}
+}
+
+// TestSweepAdaptiveDeterministicAcrossWorkers requires per-point adaptive
+// results (traces, kernel work, switch counts) to be identical for any
+// worker count.
+func TestSweepAdaptiveDeterministicAcrossWorkers(t *testing.T) {
+	axes := []SweepAxis{
+		{Name: "tokens", Values: []int64{300, 600}},
+		{Name: "seed", Values: []int64{7, 8, 9}},
+	}
+	gen := func(p SweepPoint) (*Architecture, error) {
+		return zoo.Phased(zoo.PhasedSpec{
+			Tokens: int(p.Get("tokens", 300)),
+			Period: 1100,
+			Seed:   p.Get("seed", 7),
+		}), nil
+	}
+	run := func(workers int) *SweepResult {
+		res, err := Sweep(axes, gen, SweepOptions{
+			Workers: workers, Engine: SweepAdaptive, Record: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	one, many := run(1), run(4)
+	for i := range one.Points {
+		a, b := one.Points[i], many.Points[i]
+		if err := CompareTraces(a.Trace, b.Trace); err != nil {
+			t.Fatalf("point %d (%s) differs across worker counts: %v", i, a.Point, err)
+		}
+		if a.Activations != b.Activations || a.Events != b.Events ||
+			a.Switches != b.Switches || a.Fallbacks != b.Fallbacks {
+			t.Fatalf("point %d stats differ: %+v vs %+v", i, a, b)
+		}
+		if a.Switches < 1 {
+			t.Fatalf("point %d: adaptive engine never switched", i)
+		}
+	}
+}
+
 func TestFacadeRejectsInvalid(t *testing.T) {
 	a := NewArchitecture("broken")
 	a.AddChannel("M", Rendezvous, 0)

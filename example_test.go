@@ -103,6 +103,48 @@ func ExampleSweep() {
 	// first point: period=800,size=64 finished at 79428 ns
 }
 
+// Adaptive engine-switching: the run starts event-by-event, abstracts
+// confirmed steady windows into the equivalent model, and falls back to
+// detailed execution when the workload parameters change. Here the
+// payload size shifts once mid-stream, so the engine switches to the
+// abstract mode twice and falls back in between — with a bit-exact
+// trace and most kernel events saved.
+func ExampleRunAdaptive() {
+	build := func() *dyncomp.Architecture {
+		a := dyncomp.NewArchitecture("phased")
+		in := a.AddChannel("in", dyncomp.Rendezvous, 0)
+		out := a.AddChannel("out", dyncomp.Rendezvous, 0)
+		f := a.AddFunction("decode",
+			dyncomp.Read{Ch: in},
+			dyncomp.Exec{Label: "Tdec", Cost: dyncomp.OpsPerByte(100, 2)},
+			dyncomp.Write{Ch: out})
+		a.Map(a.AddProcessor("CPU0", 1e9), f)
+		a.AddSource("camera", in, dyncomp.Periodic(1000, 0), func(k int) dyncomp.Token {
+			if k < 500 { // two steady phases: the size regime shifts once
+				return dyncomp.Token{Size: 100}
+			}
+			return dyncomp.Token{Size: 200}
+		}, 1000)
+		a.AddSink("display", out)
+		return a
+	}
+	ref, err := dyncomp.RunReference(build(), dyncomp.RunOptions{Record: true})
+	if err != nil {
+		panic(err)
+	}
+	ad, err := dyncomp.RunAdaptive(build(), dyncomp.AdaptiveOptions{Record: true})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("exact:", dyncomp.CompareTraces(ref.Trace, ad.Trace) == nil)
+	fmt.Println("switches:", ad.Switches, "fallbacks:", ad.Fallbacks)
+	fmt.Println("most events saved:", ad.Events*2 < ref.Events)
+	// Output:
+	// exact: true
+	// switches: 2 fallbacks: 1
+	// most events saved: true
+}
+
 // Partial abstraction: only the decode stage is replaced by an equivalent
 // model; the render stage stays event-driven.
 func ExampleRunHybrid() {

@@ -1,0 +1,68 @@
+package dyncomp_test
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestExamplesSmoke builds and runs every examples/* binary: each must
+// exit cleanly within its time budget and print something. CI used to
+// only compile them; this catches runtime regressions (panics, hangs,
+// broken invariant checks that the examples print) too.
+func TestExamplesSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("building and running example binaries is not short")
+	}
+	gobin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skipf("go toolchain not in PATH: %v", err)
+	}
+	dirs, err := filepath.Glob("examples/*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dirs) == 0 {
+		t.Fatal("no examples found")
+	}
+	bindir := t.TempDir()
+	for _, dir := range dirs {
+		info, err := os.Stat(dir)
+		if err != nil || !info.IsDir() {
+			continue
+		}
+		name := filepath.Base(dir)
+		t.Run(name, func(t *testing.T) {
+			bin := filepath.Join(bindir, name)
+			build := exec.Command(gobin, "build", "-o", bin, "./"+dir)
+			if out, err := build.CombinedOutput(); err != nil {
+				t.Fatalf("go build: %v\n%s", err, out)
+			}
+
+			var stdout, stderr bytes.Buffer
+			run := exec.Command(bin)
+			run.Stdout = &stdout
+			run.Stderr = &stderr
+			done := make(chan error, 1)
+			if err := run.Start(); err != nil {
+				t.Fatalf("start: %v", err)
+			}
+			go func() { done <- run.Wait() }()
+			select {
+			case err := <-done:
+				if err != nil {
+					t.Fatalf("run: %v\nstdout:\n%s\nstderr:\n%s", err, stdout.String(), stderr.String())
+				}
+			case <-time.After(2 * time.Minute):
+				run.Process.Kill()
+				t.Fatalf("example %s did not finish within 2 minutes", name)
+			}
+			if stdout.Len() == 0 {
+				t.Fatalf("example %s printed nothing", name)
+			}
+		})
+	}
+}

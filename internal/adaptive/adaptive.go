@@ -1,0 +1,495 @@
+// Package adaptive is the temporal-abstraction engine: it decides
+// *online*, while a model runs, which execution engine simulates each
+// span of iterations.
+//
+// A run starts event-by-event on the discrete-event kernel (the detailed
+// mode) and watches the evolution for a confirmed steady state: an
+// unchanged parameter signature — every data-dependent execution duration
+// and every source-schedule increment — over a configurable window of
+// iterations. Once confirmed, the steady region is hot-switched to the
+// equivalent (max,+) model: a temporal-dependency-graph evaluator is
+// seeded with the live simulation state (the recorded instant history
+// supplies the graph's initial conditions) and computes all further
+// instants with zero kernel events. Whenever the parameter signature
+// changes — a reconfiguration of the modelled workload that invalidates
+// the steady assumption — the engine falls back to event-driven
+// execution, seeding the resumed kernel from the computed history, and
+// re-binds the graph through the structure-keyed derive cache on the next
+// steady window.
+//
+// Both directions of the switch are exact, not approximate. The detailed
+// engine resumes at an arbitrary iteration boundary because every
+// dependency that crosses the boundary is a delayed arc of the derived
+// temporal dependency graph (rotation gates and FIFO backpressure; all
+// zero-delay arcs stay within one iteration), and each such arc is
+// realized in the resumed kernel as an absolute time floor on the process
+// statement owning the target instant — by (max,+) semantics, waiting
+// until the historical term before engaging a transfer adds exactly that
+// term to the transfer's readiness expression. The abstract engine
+// resumes because the evaluator's bounded history ring is seeded from the
+// same recorded instants. Integration tests therefore require the
+// adaptive trace to be bit-exact against the pure reference executor on
+// every scenario, steady or not; the steady-state detector is a policy
+// that decides how many kernel events are saved, never what the instants
+// are.
+package adaptive
+
+import (
+	"fmt"
+	"time"
+
+	"dyncomp/internal/baseline"
+	"dyncomp/internal/derive"
+	"dyncomp/internal/maxplus"
+	"dyncomp/internal/model"
+	"dyncomp/internal/observe"
+	"dyncomp/internal/sim"
+	"dyncomp/internal/tdg"
+)
+
+// DefaultWindow is the steady-state confirmation window (and detailed
+// chunk length) used when Options.Window is zero.
+const DefaultWindow = 8
+
+// Mode identifies the engine executing a span of iterations.
+type Mode int
+
+// Execution modes.
+const (
+	// Detailed is event-by-event execution on the simulation kernel.
+	Detailed Mode = iota
+	// Abstract is dynamic computation over the temporal dependency graph.
+	Abstract
+)
+
+func (m Mode) String() string {
+	switch m {
+	case Detailed:
+		return "detailed"
+	case Abstract:
+		return "abstract"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Options configures an adaptive run.
+type Options struct {
+	// Trace records evolution instants and resource activity,
+	// bit-exact against the reference executor. The engine records
+	// internally even without it (the history seeds every switch), so
+	// requesting the trace costs nothing extra.
+	Trace *observe.Trace
+	// Limit bounds simulated time; zero runs to completion. The adaptive
+	// engine truncates at iteration granularity: the run stops after the
+	// first iteration whose instants exceed the limit.
+	Limit sim.Time
+	// Window is the number of consecutive iterations with an identical
+	// parameter signature required before switching to the abstract
+	// engine; it is also the detailed chunk length between steady-state
+	// checks. Zero means DefaultWindow.
+	Window int
+	// Derive sets the derivation options (arc reduction, pad nodes) for
+	// every graph the run obtains through the cache.
+	Derive derive.Options
+	// Cache supplies a shared structure-keyed derivation cache (e.g. from
+	// a design-space sweep); nil creates a private one. Every switch to
+	// the abstract engine obtains its graph through the cache, so repeated
+	// steady windows re-bind one template instead of re-deriving.
+	Cache *derive.Cache
+}
+
+// Phase is one maximal span of iterations executed in a single mode.
+type Phase struct {
+	Mode   Mode
+	StartK int // first iteration of the span
+	EndK   int // one past the last iteration
+	// Events and Activations are the kernel work paid during the span
+	// (zero for abstract phases — that is the point of the method).
+	Events      int64
+	Activations int64
+	// Wall is the host time spent in the span.
+	Wall time.Duration
+}
+
+// Result reports a completed adaptive run.
+type Result struct {
+	// Stats sums the kernel work of all detailed phases; abstract phases
+	// contribute nothing. FinalTime covers the whole evolution, including
+	// instants computed abstractly.
+	Stats sim.Stats
+	// Trace is Options.Trace (nil when none was supplied).
+	Trace *observe.Trace
+	// Iterations is the number of evolution iterations completed.
+	Iterations int
+	// GraphNodes is the derived graph size in the paper's counting.
+	GraphNodes int
+	// Switches counts detailed→abstract transitions; Fallbacks counts
+	// abstract→detailed transitions forced by a parameter change.
+	Switches  int
+	Fallbacks int
+	// DetailedIters and AbstractIters count iterations per mode.
+	DetailedIters int
+	AbstractIters int
+	// Phases lists the mode spans in execution order.
+	Phases []Phase
+}
+
+// Run simulates the architecture with the adaptive engine. The recorded
+// evolution is bit-exact against the reference executor regardless of how
+// the run is partitioned into detailed and abstract phases.
+func Run(a *model.Architecture, opts Options) (*Result, error) {
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	w := opts.Window
+	if w <= 0 {
+		w = DefaultWindow
+	}
+	cache := opts.Cache
+	if cache == nil {
+		cache = derive.NewCache()
+	}
+	dopts := opts.Derive
+	dres, err := cache.Derive(a, dopts)
+	if err != nil {
+		return nil, err
+	}
+	n, err := iterations(a)
+	if err != nil {
+		return nil, err
+	}
+	rec := opts.Trace
+	if rec == nil {
+		rec = observe.NewTrace(a.Name + "/adaptive")
+	}
+	execs, err := a.Execs()
+	if err != nil {
+		return nil, err
+	}
+
+	r := &runner{
+		arch:   a,
+		opts:   opts,
+		window: w,
+		cache:  cache,
+		dopts:  dopts,
+		dres:   dres,
+		rec:    rec,
+		n:      n,
+		execs:  execs,
+	}
+	if err := r.buildFloorPoints(); err != nil {
+		return nil, err
+	}
+
+	res := &Result{Trace: opts.Trace, GraphNodes: dres.Graph.NodeCountWithDelays()}
+	k := 0
+	for k < n && !r.truncated {
+		// Detailed: event-by-event chunks until a steady state is
+		// confirmed over the trailing window and still holds for the
+		// next iteration (the same signature check the abstract engine
+		// performs before every computed iteration).
+		ph := Phase{Mode: Detailed, StartK: k}
+		start := time.Now()
+		before := r.total
+		for k < n && !r.truncated {
+			k1 := k + w
+			if k1 > n {
+				k1 = n
+			}
+			k, err = r.runChunk(k, k1)
+			if err != nil {
+				return nil, err
+			}
+			if r.switchable(k) {
+				break
+			}
+		}
+		ph.EndK = k
+		ph.Wall = time.Since(start)
+		ph.Events = r.total.Events() - before.Events()
+		ph.Activations = r.total.Activations - before.Activations
+		res.Phases = append(res.Phases, ph)
+		res.DetailedIters += ph.EndK - ph.StartK
+		if k >= n || r.truncated {
+			break
+		}
+
+		// Abstract: compute instants over the (re-bound) graph until the
+		// parameter signature deviates from the confirmed steady one.
+		res.Switches++
+		ph = Phase{Mode: Abstract, StartK: k}
+		start = time.Now()
+		k, err = r.runAbstract(k)
+		if err != nil {
+			return nil, err
+		}
+		ph.EndK = k
+		ph.Wall = time.Since(start)
+		res.Phases = append(res.Phases, ph)
+		res.AbstractIters += ph.EndK - ph.StartK
+		if k < n && !r.truncated {
+			res.Fallbacks++
+		}
+	}
+
+	res.Stats = r.total
+	if r.endTime > sim.Time(res.Stats.FinalTime) {
+		res.Stats.FinalTime = r.endTime
+	}
+	res.Iterations = k
+	return res, nil
+}
+
+// iterations resolves the iteration count from the sources, which must
+// agree on one token count (single-rate evolution).
+func iterations(a *model.Architecture) (int, error) {
+	if len(a.Sources) == 0 {
+		return 0, fmt.Errorf("adaptive: architecture %q has no sources", a.Name)
+	}
+	n := a.Sources[0].Count
+	for _, s := range a.Sources[1:] {
+		if s.Count != n {
+			return 0, fmt.Errorf("adaptive: sources %q and %q produce different token counts (%d vs %d)",
+				a.Sources[0].Name, s.Name, n, s.Count)
+		}
+	}
+	return n, nil
+}
+
+// runner is the state of one adaptive run.
+type runner struct {
+	arch   *model.Architecture
+	opts   Options
+	window int
+	cache  *derive.Cache
+	dopts  derive.Options
+	dres   *derive.Result
+	rec    *observe.Trace
+	n      int
+
+	execs    []*model.ExecInfo // controller-owned, for parameter signatures
+	sigs     [][]maxplus.T     // memoized signatures by iteration
+	floorPts []floorPoint
+
+	total     sim.Stats
+	endTime   sim.Time // latest instant over all phases
+	truncated bool
+}
+
+// sigAt returns the parameter signature of iteration k: every execution
+// duration plus every source-schedule increment. Two iterations with
+// equal signatures evolve under identical graph weights and input
+// spacing — the paper's notion of unchanged model parameters.
+func (r *runner) sigAt(k int) []maxplus.T {
+	for len(r.sigs) <= k {
+		r.sigs = append(r.sigs, nil)
+	}
+	if r.sigs[k] != nil {
+		return r.sigs[k]
+	}
+	sig := make([]maxplus.T, 0, len(r.execs)+len(r.arch.Sources))
+	for _, e := range r.execs {
+		sig = append(sig, e.Duration(k))
+	}
+	for _, s := range r.arch.Sources {
+		u := s.Schedule(k)
+		if k > 0 {
+			u -= s.Schedule(k - 1)
+		}
+		sig = append(sig, u)
+	}
+	r.sigs[k] = sig
+	return sig
+}
+
+func sigsEqual(a, b []maxplus.T) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// switchable reports whether the run may switch to the abstract engine
+// at iteration k: the trailing window is steady and iteration k itself
+// still matches (otherwise the switch would fall straight back).
+func (r *runner) switchable(k int) bool {
+	if k < r.window || k >= r.n {
+		return false
+	}
+	ref := r.sigAt(k - 1)
+	for j := k - r.window; j < k-1; j++ {
+		if !sigsEqual(r.sigAt(j), ref) {
+			return false
+		}
+	}
+	return sigsEqual(r.sigAt(k), ref)
+}
+
+// hist returns the recorded instant of a graph node at iteration k, or ε
+// when the node is unlabelled or the iteration not yet evolved.
+func (r *runner) hist(id tdg.NodeID, k int) maxplus.T {
+	label, ok := r.dres.Labels[id]
+	if !ok {
+		return maxplus.Epsilon
+	}
+	xs := r.rec.Instants(label)
+	if k < 0 || k >= len(xs) {
+		return maxplus.Epsilon
+	}
+	return xs[k]
+}
+
+// runChunk simulates iterations [k0, k1) event-by-event on a fresh
+// kernel, seeded from the recorded history through statement floors, and
+// returns the next iteration index: k1 normally, or — when the time
+// limit cut the chunk short — the number of iterations the kernel
+// actually completed for every instant label.
+func (r *runner) runChunk(k0, k1 int) (int, error) {
+	kern := sim.New()
+	aopts := baseline.AttachOptions{
+		Trace:      r.rec,
+		IterOffset: k0,
+		IterLimit:  k1,
+	}
+	if k0 > 0 {
+		floors, srcFloors := r.floorsFor(k0)
+		if len(floors) > 0 {
+			aopts.Floor = func(f *model.Function, stmt, k int) sim.Time {
+				return floors[floorKey{f: f, stmt: stmt, k: k}]
+			}
+		}
+		if len(srcFloors) > 0 {
+			aopts.SourceFloor = func(s *model.Source, k int) sim.Time {
+				return srcFloors[srcFloorKey{s: s, k: k}]
+			}
+		}
+	}
+	if _, err := baseline.Attach(kern, r.arch, aopts); err != nil {
+		return k0, err
+	}
+	limit := r.opts.Limit
+	if limit <= 0 {
+		limit = sim.Forever
+	}
+	if err := kern.Run(limit); err != nil {
+		return k0, err
+	}
+	st := kern.Stats()
+	if r.opts.Limit > 0 && st.FinalTime >= r.opts.Limit {
+		r.truncated = true
+	}
+	if st.FinalTime > r.endTime {
+		r.endTime = st.FinalTime
+	}
+	r.total = r.total.Add(st)
+	if !r.truncated {
+		return k1, nil
+	}
+	return r.completedIterations(k0, k1), nil
+}
+
+// completedIterations counts how many iterations the trace holds for
+// every instant label — the evolution actually finished when a time
+// limit stopped a chunk before its last iteration.
+func (r *runner) completedIterations(k0, k1 int) int {
+	done := k1
+	for _, label := range r.dres.Labels {
+		if n := len(r.rec.Instants(label)); n < done {
+			done = n
+		}
+	}
+	if done < k0 {
+		done = k0
+	}
+	return done
+}
+
+// runAbstract computes iterations from k0 onward over the temporal
+// dependency graph (obtained through the structure-keyed cache, so
+// repeated steady windows re-bind one derivation) until the parameter
+// signature deviates from the steady signature confirmed at the switch.
+// It returns the first iteration not computed.
+func (r *runner) runAbstract(k0 int) (int, error) {
+	dres, err := r.cache.Derive(r.arch, r.dopts)
+	if err != nil {
+		return k0, err
+	}
+	ev, err := tdg.NewEvaluator(dres.Graph)
+	if err != nil {
+		return k0, err
+	}
+	if err := ev.SeedHistory(k0, r.hist); err != nil {
+		return k0, err
+	}
+	steady := r.sigAt(k0 - 1)
+	us := make([]maxplus.T, len(r.arch.Sources))
+	vals := make([]maxplus.T, dres.Graph.NodeCount())
+	k := k0
+	for k < r.n {
+		if !sigsEqual(r.sigAt(k), steady) {
+			break // reconfiguration: fall back to the detailed engine
+		}
+		for i, s := range r.arch.Sources {
+			us[i] = s.Schedule(k)
+		}
+		if _, err := ev.Step(us); err != nil {
+			return k, err
+		}
+		ev.ValuesInto(vals)
+		iterEnd := r.record(dres, vals, k)
+		if iterEnd > r.endTime {
+			r.endTime = iterEnd
+		}
+		k++
+		if r.opts.Limit > 0 && iterEnd >= r.opts.Limit {
+			r.truncated = true
+			break
+		}
+	}
+	return k, nil
+}
+
+// record reconstructs the observable evolution of iteration k from the
+// computed instants — every labelled instant and every execution
+// activity — exactly as the equivalent model does, and returns the
+// latest instant of the iteration.
+func (r *runner) record(dres *derive.Result, vals []maxplus.T, k int) sim.Time {
+	end := maxplus.Epsilon
+	for _, nd := range dres.Graph.Nodes() {
+		label, ok := dres.Labels[nd.ID]
+		if !ok {
+			continue
+		}
+		v := vals[nd.ID]
+		r.rec.RecordInstant(label, v)
+		end = maxplus.Oplus(end, v)
+	}
+	for _, pr := range dres.Probes {
+		start := pr.Start(vals[pr.Base], k)
+		if start == maxplus.Epsilon {
+			continue
+		}
+		load := pr.Exec.Load(k)
+		fin := maxplus.Otimes(start, pr.Exec.Resource.DurationOf(load))
+		r.rec.RecordActivity(observe.Activity{
+			Resource: pr.Exec.Resource.Name,
+			Label:    pr.Exec.Label,
+			K:        k,
+			Start:    start,
+			End:      fin,
+			Ops:      load.Ops,
+		})
+		end = maxplus.Oplus(end, fin)
+	}
+	if end == maxplus.Epsilon {
+		return 0
+	}
+	return sim.Time(end)
+}

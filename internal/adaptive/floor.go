@@ -1,0 +1,172 @@
+package adaptive
+
+import (
+	"fmt"
+
+	"dyncomp/internal/maxplus"
+	"dyncomp/internal/model"
+	"dyncomp/internal/sim"
+	"dyncomp/internal/tdg"
+)
+
+// floorPoint localizes one instant with delayed incoming arcs on the
+// process statement (or source emission) that realizes it in the detailed
+// engine. When a kernel resumes at iteration k0, the arcs whose source
+// iteration predates k0 are enforced as absolute time floors on that
+// statement; arcs staying inside the resumed kernel are realized by the
+// ordinary mechanisms (resource rotation gates, FIFO buffer state).
+//
+// Only two derivation rules produce delayed arcs — rotation gates, which
+// land on a function's first statement, and FIFO backpressure, which
+// lands on the writer side of the FIFO — so every floorPoint resolves to
+// a concrete read, write or source-emission site. For a rendezvous node
+// the floor may sit on either participant: the transfer instant is the ⊕
+// of both ready instants, so flooring one of them adds exactly the
+// historical term.
+type floorPoint struct {
+	arcs    []tdg.Arc // delayed arcs into the instant
+	horizon int       // largest arc delay: floors vanish after k0+horizon
+	f       *model.Function
+	stmt    int
+	src     *model.Source // set instead of f for source emissions
+}
+
+type floorKey struct {
+	f    *model.Function
+	stmt int
+	k    int
+}
+
+type srcFloorKey struct {
+	s *model.Source
+	k int
+}
+
+// buildFloorPoints scans the derived graph for instants with delayed
+// incoming arcs and resolves each to its floor site. It fails when a
+// delayed dependency cannot be seeded from recorded history (unlabelled
+// source node) or realized by any process — neither occurs for graphs
+// produced by the current derivation rules.
+func (r *runner) buildFloorPoints() error {
+	g := r.dres.Graph
+	type chansOf struct {
+		read  *model.Channel
+		write *model.Channel
+	}
+	byNode := map[tdg.NodeID]*chansOf{}
+	at := func(id tdg.NodeID) *chansOf {
+		c := byNode[id]
+		if c == nil {
+			c = &chansOf{}
+			byNode[id] = c
+		}
+		return c
+	}
+	for _, ch := range r.arch.Channels {
+		w, rd, ok := r.dres.ChannelNodes(ch)
+		if !ok {
+			return fmt.Errorf("adaptive: channel %q has no graph nodes", ch.Name)
+		}
+		at(w).write = ch
+		at(rd).read = ch
+	}
+
+	for _, nd := range g.Nodes() {
+		var delayed []tdg.Arc
+		horizon := 0
+		for _, a := range g.Incoming(nd.ID) {
+			if a.Delay == 0 {
+				continue
+			}
+			if _, ok := r.dres.Labels[a.From]; !ok {
+				return fmt.Errorf("adaptive: delayed dependency of %q on unlabelled instant %q cannot be seeded across engine switches",
+					nd.Name, g.Nodes()[a.From].Name)
+			}
+			delayed = append(delayed, a)
+			if a.Delay > horizon {
+				horizon = a.Delay
+			}
+		}
+		if len(delayed) == 0 {
+			continue
+		}
+		fp := floorPoint{arcs: delayed, horizon: horizon}
+		cn := byNode[nd.ID]
+		switch {
+		case cn == nil:
+			return fmt.Errorf("adaptive: delayed dependency into non-channel instant %q is unsupported", nd.Name)
+		case cn.read != nil && cn.read.ReaderFunc != nil:
+			fp.f = cn.read.ReaderFunc
+			fp.stmt = stmtIndex(fp.f, cn.read, true)
+		case cn.write != nil && cn.write.WriterFunc != nil:
+			fp.f = cn.write.WriterFunc
+			fp.stmt = stmtIndex(fp.f, cn.write, false)
+		case cn.write != nil && cn.write.Source != nil:
+			fp.src = cn.write.Source
+		default:
+			return fmt.Errorf("adaptive: no process can realize the resumed constraint into %q", nd.Name)
+		}
+		if fp.src == nil && fp.stmt < 0 {
+			return fmt.Errorf("adaptive: instant %q has no owning statement", nd.Name)
+		}
+		r.floorPts = append(r.floorPts, fp)
+	}
+	return nil
+}
+
+// stmtIndex locates the statement of f touching ch (its Read when read is
+// set, its Write otherwise); single-rate validation makes it unique.
+func stmtIndex(f *model.Function, ch *model.Channel, read bool) int {
+	for i, st := range f.Body {
+		switch s := st.(type) {
+		case model.Read:
+			if read && s.Ch == ch {
+				return i
+			}
+		case model.Write:
+			if !read && s.Ch == ch {
+				return i
+			}
+		}
+	}
+	return -1
+}
+
+// floorsFor evaluates every floor point against the recorded history for
+// a kernel resuming at iteration k0. Only iterations within each point's
+// horizon receive a floor; afterwards all referenced instants live inside
+// the resumed kernel.
+func (r *runner) floorsFor(k0 int) (map[floorKey]sim.Time, map[srcFloorKey]sim.Time) {
+	floors := map[floorKey]sim.Time{}
+	srcFloors := map[srcFloorKey]sim.Time{}
+	for _, fp := range r.floorPts {
+		for k := k0; k < k0+fp.horizon && k < r.n; k++ {
+			acc := maxplus.Epsilon
+			for _, a := range fp.arcs {
+				ka := k - a.Delay
+				if ka < 0 || ka >= k0 {
+					continue // pre-origin (ε) or realized inside the kernel
+				}
+				v := r.hist(a.From, ka)
+				if v == maxplus.Epsilon {
+					continue
+				}
+				if a.Weight != nil {
+					v = maxplus.Otimes(v, a.Weight(k))
+				}
+				acc = maxplus.Oplus(acc, v)
+			}
+			if acc == maxplus.Epsilon || acc <= 0 {
+				continue
+			}
+			if fp.src != nil {
+				key := srcFloorKey{s: fp.src, k: k}
+				srcFloors[key] = sim.Time(maxplus.Oplus(maxplus.T(srcFloors[key]), acc))
+			} else {
+				key := floorKey{f: fp.f, stmt: fp.stmt, k: k}
+				floors[key] = sim.Time(maxplus.Oplus(maxplus.T(floors[key]), acc))
+			}
+		}
+	}
+	return floors, srcFloors
+}

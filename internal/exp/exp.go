@@ -13,6 +13,7 @@ import (
 	"io"
 	"time"
 
+	"dyncomp/internal/adaptive"
 	"dyncomp/internal/baseline"
 	"dyncomp/internal/core"
 	"dyncomp/internal/derive"
@@ -218,6 +219,91 @@ func Fig5(tokens int, xsizes, nodeCounts []int, w io.Writer) ([]Fig5Point, error
 		}
 	}
 	return pts, nil
+}
+
+// AdaptiveRow is one engine's measurement on the phase-changing workload.
+type AdaptiveRow struct {
+	Engine      string
+	Events      int64
+	Activations int64
+	WallSec     float64
+	Switches    int
+	Fallbacks   int
+}
+
+// AdaptiveCompare measures the three engines — reference, equivalent and
+// adaptive — on the phase-changing didactic workload (zoo.Phased with the
+// default phase plan) and verifies that all three traces are bit-exact.
+// The equivalent model still pays kernel events at the architecture
+// boundary (sources, reception and emission processes); the adaptive
+// engine's abstract phases compute even the boundary analytically and
+// pay none, so on workloads with long steady plateaus it can undercut
+// the equivalent model despite simulating every transient in detail.
+func AdaptiveCompare(tokens int, w io.Writer) ([]AdaptiveRow, error) {
+	build := func() *model.Architecture {
+		return zoo.Phased(zoo.PhasedSpec{Tokens: tokens, Period: 1100, Seed: 7})
+	}
+
+	refTrace := observe.NewTrace("reference")
+	start := time.Now()
+	refRes, err := baseline.Run(build(), baseline.Options{Trace: refTrace})
+	if err != nil {
+		return nil, err
+	}
+	refWall := time.Since(start)
+
+	dres, err := derive.Derive(build(), derive.Options{})
+	if err != nil {
+		return nil, err
+	}
+	m, err := core.New(dres)
+	if err != nil {
+		return nil, err
+	}
+	eqTrace := observe.NewTrace("equivalent")
+	start = time.Now()
+	eqRes, err := m.Run(core.Options{Trace: eqTrace})
+	if err != nil {
+		return nil, err
+	}
+	eqWall := time.Since(start)
+
+	adTrace := observe.NewTrace("adaptive")
+	start = time.Now()
+	adRes, err := adaptive.Run(build(), adaptive.Options{Trace: adTrace})
+	if err != nil {
+		return nil, err
+	}
+	adWall := time.Since(start)
+
+	if err := observe.CompareInstants(refTrace, eqTrace); err != nil {
+		return nil, fmt.Errorf("equivalent trace differs: %w", err)
+	}
+	if err := observe.CompareInstants(refTrace, adTrace); err != nil {
+		return nil, fmt.Errorf("adaptive trace differs: %w", err)
+	}
+
+	rows := []AdaptiveRow{
+		{Engine: "reference", Events: refRes.Stats.Events(),
+			Activations: refRes.Stats.Activations, WallSec: refWall.Seconds()},
+		{Engine: "equivalent", Events: eqRes.Stats.Events(),
+			Activations: eqRes.Stats.Activations, WallSec: eqWall.Seconds()},
+		{Engine: "adaptive", Events: adRes.Stats.Events(),
+			Activations: adRes.Stats.Activations, WallSec: adWall.Seconds(),
+			Switches: adRes.Switches, Fallbacks: adRes.Fallbacks},
+	}
+	if w != nil {
+		fmt.Fprintf(w, "Adaptive engine-switching on the phase-changing workload (%d tokens), all traces bit-exact:\n", tokens)
+		fmt.Fprintf(w, "%-12s %12s %12s %10s %9s %10s\n", "engine", "events", "activations", "wall (s)", "switches", "fallbacks")
+		for _, r := range rows {
+			fmt.Fprintf(w, "%-12s %12d %12d %10.3f %9d %10d\n",
+				r.Engine, r.Events, r.Activations, r.WallSec, r.Switches, r.Fallbacks)
+		}
+		fmt.Fprintf(w, "adaptive saved %.1f%% of the reference kernel events (%d detailed / %d abstract iterations)\n",
+			100*(1-float64(adRes.Stats.Events())/float64(refRes.Stats.Events())),
+			adRes.DetailedIters, adRes.AbstractIters)
+	}
+	return rows, nil
 }
 
 // Fig6Data holds the case-study observation of Fig. 6: input/output

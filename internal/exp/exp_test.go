@@ -117,6 +117,30 @@ func TestAccuracyReport(t *testing.T) {
 	}
 }
 
+func TestAdaptiveCompareSmall(t *testing.T) {
+	var b strings.Builder
+	rows, err := AdaptiveCompare(600, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("%d rows, want 3", len(rows))
+	}
+	ref, eq, ad := rows[0], rows[1], rows[2]
+	if ad.Events > ref.Events/2 {
+		t.Fatalf("adaptive events %d, want <= half of reference %d", ad.Events, ref.Events)
+	}
+	if eq.Events >= ref.Events {
+		t.Fatalf("equivalent saved nothing: %d vs %d", eq.Events, ref.Events)
+	}
+	if ad.Switches < 1 || ad.Fallbacks < 1 {
+		t.Fatalf("switching not exercised: %+v", ad)
+	}
+	if !strings.Contains(b.String(), "bit-exact") {
+		t.Fatal("missing header")
+	}
+}
+
 func TestQuantumSweep(t *testing.T) {
 	var b strings.Builder
 	rows, err := QuantumSweep(300, []sim.Time{1_000, 1_000_000}, &b)

@@ -38,6 +38,23 @@ type Stats struct {
 	FinalTime     Time  // simulation time when Run returned
 }
 
+// Events returns the total kernel event-queue work, the paper's "number
+// of simulation events": timed events plus delta notifications.
+func (s Stats) Events() int64 { return s.TimedEvents + s.DeltaNotifies }
+
+// Add returns the counter-wise sum of two Stats, keeping the later
+// FinalTime. The adaptive engine runs its detailed phases on a sequence
+// of kernels and sums their work with it.
+func (s Stats) Add(o Stats) Stats {
+	s.Activations += o.Activations
+	s.TimedEvents += o.TimedEvents
+	s.DeltaNotifies += o.DeltaNotifies
+	if o.FinalTime > s.FinalTime {
+		s.FinalTime = o.FinalTime
+	}
+	return s
+}
+
 // Kernel is a discrete-event simulator instance. Create one with New,
 // spawn processes, then call Run. A Kernel must not be used from multiple
 // goroutines; process bodies interact with it only through their Proc.

@@ -372,3 +372,21 @@ func TestEventNames(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestStatsAddAndEvents(t *testing.T) {
+	a := Stats{Activations: 3, TimedEvents: 5, DeltaNotifies: 2, FinalTime: 100}
+	b := Stats{Activations: 1, TimedEvents: 4, DeltaNotifies: 6, FinalTime: 40}
+	sum := a.Add(b)
+	if sum.Activations != 4 || sum.TimedEvents != 9 || sum.DeltaNotifies != 8 {
+		t.Fatalf("sum = %+v", sum)
+	}
+	if sum.FinalTime != 100 {
+		t.Fatalf("FinalTime = %d, want the later 100", sum.FinalTime)
+	}
+	if sum.Events() != 17 {
+		t.Fatalf("Events = %d, want 17", sum.Events())
+	}
+	if later := b.Add(a); later.FinalTime != 100 {
+		t.Fatalf("Add is not symmetric in FinalTime: %d", later.FinalTime)
+	}
+}

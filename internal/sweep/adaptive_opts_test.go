@@ -1,0 +1,30 @@
+package sweep
+
+import (
+	"testing"
+
+	"dyncomp/internal/derive"
+	"dyncomp/internal/model"
+	"dyncomp/internal/zoo"
+)
+
+// Adaptive sweep points must honor Options.Derive (pad nodes included),
+// like the equivalent path does.
+func TestAdaptiveHonorsDeriveOptions(t *testing.T) {
+	gen := func(p Point) (*model.Architecture, error) {
+		return zoo.Phased(zoo.PhasedSpec{Tokens: 120, Period: 1100, Seed: 7}), nil
+	}
+	axes := []Axis{{Name: "x", Values: []int64{1}}}
+	plain, err := Run(axes, gen, Options{Engine: Adaptive})
+	if err != nil {
+		t.Fatal(err)
+	}
+	padded, err := Run(axes, gen, Options{Engine: Adaptive, Derive: derive.Options{PadNodes: 50}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if padded.Points[0].Run.GraphNodes != plain.Points[0].Run.GraphNodes+50 {
+		t.Fatalf("pad nodes dropped: %d vs %d+50",
+			padded.Points[0].Run.GraphNodes, plain.Points[0].Run.GraphNodes)
+	}
+}

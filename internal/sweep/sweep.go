@@ -4,7 +4,8 @@
 // batch evaluator: a parameter grid (the cartesian product of named
 // integer axes) is expanded into points, a generator maps each point to
 // an architecture model, and a worker pool evaluates every point with
-// the equivalent model.
+// the selected engine — the equivalent model (default), the event-driven
+// reference executor, or the adaptive engine.
 //
 // Derivation is cached by structural shape (derive.Cache): when points
 // differ only in parameters — token counts, periods, seeds, schedules,
@@ -24,6 +25,7 @@ import (
 	"sync"
 	"time"
 
+	"dyncomp/internal/adaptive"
 	"dyncomp/internal/baseline"
 	"dyncomp/internal/core"
 	"dyncomp/internal/derive"
@@ -130,6 +132,10 @@ const (
 	// Reference evaluates each point with the event-driven reference
 	// executor (no derivation; useful for baselines and cross-checks).
 	Reference
+	// Adaptive evaluates each point with the adaptive engine: detailed
+	// execution through transients, dynamic computation through confirmed
+	// steady states, sharing the sweep's derivation cache across points.
+	Adaptive
 )
 
 // Options configures a sweep.
@@ -140,9 +146,12 @@ type Options struct {
 	Workers int
 	// Engine selects the evaluator (default Equivalent).
 	Engine Engine
+	// Window sets the adaptive engine's steady-state confirmation window
+	// (0: the engine's default). Ignored by the other engines.
+	Window int
 	// Baseline also runs the reference executor on every point (from a
 	// fresh Generator call) and fills PointResult.Baseline, EventRatio
-	// and SpeedUp. Only meaningful with Engine Equivalent.
+	// and SpeedUp. Meaningful with Engine Equivalent or Adaptive.
 	Baseline bool
 	// Record keeps per-point evolution traces.
 	Record bool
@@ -166,6 +175,8 @@ type PointStats struct {
 	FinalTimeNs int64         // simulated time reached
 	Iterations  int           // evolution iterations computed
 	GraphNodes  int           // graph size in the paper's counting (equivalent only)
+	Switches    int           // detailed→abstract switches (adaptive engine)
+	Fallbacks   int           // abstract→detailed fallbacks (adaptive engine)
 	Wall        time.Duration // host wall-clock time of the run
 }
 
@@ -296,35 +307,67 @@ func evalPoint(p Point, gen Generator, opts Options, cache *derive.Cache) (pr Po
 	if opts.DeriveFor != nil {
 		dopts = opts.DeriveFor(p)
 	}
-	dres, err := cache.Derive(a, dopts)
-	if err != nil {
-		pr.Err = fmt.Errorf("sweep: point %d (%s): %w", p.Index, p, err)
-		return pr
+	switch opts.Engine {
+	case Adaptive:
+		var trace *observe.Trace
+		if opts.Record {
+			trace = observe.NewTrace(a.Name + "/adaptive")
+		}
+		begin := time.Now()
+		r, err := adaptive.Run(a, adaptive.Options{
+			Trace:  trace,
+			Limit:  opts.Limit,
+			Window: opts.Window,
+			Derive: dopts,
+			Cache:  cache,
+		})
+		if err != nil {
+			pr.Err = fmt.Errorf("sweep: point %d (%s): %w", p.Index, p, err)
+			return pr
+		}
+		pr.Run = PointStats{
+			Activations: r.Stats.Activations,
+			Events:      r.Stats.Events(),
+			FinalTimeNs: int64(r.Stats.FinalTime),
+			Iterations:  r.Iterations,
+			GraphNodes:  r.GraphNodes,
+			Switches:    r.Switches,
+			Fallbacks:   r.Fallbacks,
+			Wall:        time.Since(begin),
+		}
+		pr.Trace = trace
+
+	default: // Equivalent
+		dres, err := cache.Derive(a, dopts)
+		if err != nil {
+			pr.Err = fmt.Errorf("sweep: point %d (%s): %w", p.Index, p, err)
+			return pr
+		}
+		m, err := core.New(dres)
+		if err != nil {
+			pr.Err = fmt.Errorf("sweep: point %d (%s): %w", p.Index, p, err)
+			return pr
+		}
+		var trace *observe.Trace
+		if opts.Record {
+			trace = observe.NewTrace(a.Name + "/equivalent")
+		}
+		begin := time.Now()
+		r, err := m.Run(core.Options{Trace: trace, Limit: opts.Limit})
+		if err != nil {
+			pr.Err = fmt.Errorf("sweep: point %d (%s): %w", p.Index, p, err)
+			return pr
+		}
+		pr.Run = PointStats{
+			Activations: r.Stats.Activations,
+			Events:      r.Stats.TimedEvents + r.Stats.DeltaNotifies,
+			FinalTimeNs: int64(r.Stats.FinalTime),
+			Iterations:  r.Iterations,
+			GraphNodes:  dres.Graph.NodeCountWithDelays(),
+			Wall:        time.Since(begin),
+		}
+		pr.Trace = trace
 	}
-	m, err := core.New(dres)
-	if err != nil {
-		pr.Err = fmt.Errorf("sweep: point %d (%s): %w", p.Index, p, err)
-		return pr
-	}
-	var trace *observe.Trace
-	if opts.Record {
-		trace = observe.NewTrace(a.Name + "/equivalent")
-	}
-	begin := time.Now()
-	r, err := m.Run(core.Options{Trace: trace, Limit: opts.Limit})
-	if err != nil {
-		pr.Err = fmt.Errorf("sweep: point %d (%s): %w", p.Index, p, err)
-		return pr
-	}
-	pr.Run = PointStats{
-		Activations: r.Stats.Activations,
-		Events:      r.Stats.TimedEvents + r.Stats.DeltaNotifies,
-		FinalTimeNs: int64(r.Stats.FinalTime),
-		Iterations:  r.Iterations,
-		GraphNodes:  dres.Graph.NodeCountWithDelays(),
-		Wall:        time.Since(begin),
-	}
-	pr.Trace = trace
 
 	if opts.Baseline {
 		// A fresh instance keeps the engines from sharing memoized

@@ -44,3 +44,33 @@ func SizeStream(seed, min, span int64) func(k int) int64 {
 		return min + int64(Hash64(seed, k)%uint64(span))
 	}
 }
+
+// Phase is one segment of a phase-changing stream: Len iterations whose
+// values are constant (Span <= 0: always Size — a steady phase) or vary
+// per iteration over [Size, Size+Span) (a transient phase).
+type Phase struct {
+	Len  int
+	Size int64
+	Span int64
+}
+
+// PhaseStream returns a token-size generator that walks the phases in
+// order and stays in the last one forever (its Len is then ignored), so
+// the stream is total for any k. Phase-changing workloads exercise the
+// adaptive engine: steady phases are abstracted into the equivalent
+// model, transients force it back to event-driven execution.
+func PhaseStream(seed int64, phases []Phase) func(k int) int64 {
+	return func(k int) int64 {
+		rem := k
+		for i, ph := range phases {
+			if rem < ph.Len || i == len(phases)-1 {
+				if ph.Span <= 0 {
+					return ph.Size
+				}
+				return ph.Size + int64(Hash64(seed+int64(i)*1_000_003, rem)%uint64(ph.Span))
+			}
+			rem -= ph.Len
+		}
+		return 0
+	}
+}

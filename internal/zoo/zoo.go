@@ -19,6 +19,9 @@ type DidacticSpec struct {
 	Period  maxplus.T // source period; 0 means an eager source
 	Seed    int64     // token size stream seed
 	UseFIFO bool      // use capacity-2 FIFO channels instead of rendezvous
+	// Sizes overrides the token-size stream (nil: the default seeded
+	// random stream). Phase-changing workloads plug in here.
+	Sizes func(k int) int64
 }
 
 // didactic cost bases in operations; with 1 GOPS resources the execution
@@ -103,9 +106,13 @@ func didacticStage(a *model.Architecture, s int, spec DidacticSpec, in *model.Ch
 		if tokens <= 0 {
 			tokens = 1
 		}
-		seed := spec.Seed
+		sizes := spec.Sizes
+		if sizes == nil {
+			seed := spec.Seed
+			sizes = func(k int) int64 { return DidacticSize(seed, k) }
+		}
 		a.AddSource("F0", m1, sched, func(k int) model.Token {
-			return model.Token{Size: DidacticSize(seed, k)}
+			return model.Token{Size: sizes(k)}
 		}, tokens)
 	} else {
 		m1 = in

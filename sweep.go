@@ -28,12 +28,33 @@ type SweepGenerator = func(SweepPoint) (*Architecture, error)
 // min/max/mean/geomean of the per-point speed-ups and event ratios.
 type SweepStats = sweep.Stats
 
+// SweepEngine selects the executor evaluating every sweep point.
+type SweepEngine int
+
+// Sweep engines.
+const (
+	// SweepEquivalent evaluates each point with the equivalent model
+	// (the default).
+	SweepEquivalent SweepEngine = iota
+	// SweepReference evaluates each point with the event-driven
+	// reference executor.
+	SweepReference
+	// SweepAdaptive evaluates each point with the adaptive engine,
+	// sharing the sweep's derivation cache across points.
+	SweepAdaptive
+)
+
 // SweepOptions configures a design-space sweep.
 type SweepOptions struct {
 	// Workers is the worker-pool size; 0 uses all processors. Per-point
 	// results are identical for any worker count; only wall-clock
 	// timings are perturbed by concurrency.
 	Workers int
+	// Engine selects the per-point executor (default SweepEquivalent).
+	Engine SweepEngine
+	// WindowK sets the adaptive engine's steady-state window (0: engine
+	// default); ignored by the other engines.
+	WindowK int
 	// Record keeps per-point evolution traces in the results.
 	Record bool
 	// LimitNs bounds the simulated time per point (0: run to completion).
@@ -63,6 +84,10 @@ type SweepPointResult struct {
 	// (baseline/equivalent), filled when Baseline is set.
 	EventRatio float64
 	SpeedUp    float64
+	// Switches and Fallbacks report the adaptive engine's mode changes
+	// (zero for the other engines).
+	Switches  int
+	Fallbacks int
 	// Err marks a failed point.
 	Err error
 }
@@ -74,8 +99,10 @@ type SweepResult struct {
 	Stats  SweepStats
 }
 
-// Sweep evaluates every configuration of the grid spanned by axes with
-// the equivalent model, sharding the points across a worker pool. The
+// Sweep evaluates every configuration of the grid spanned by axes,
+// sharding the points across a worker pool; SweepOptions.Engine selects
+// the per-point executor (equivalent model by default, reference
+// executor, or the adaptive engine). The
 // temporal dependency graph is derived once per structural shape and
 // re-bound to every other point of that shape, so sweeping parameters
 // (token counts, periods, seeds, costs, speeds) over a fixed topology
@@ -87,6 +114,8 @@ type SweepResult struct {
 func Sweep(axes []SweepAxis, gen SweepGenerator, opts SweepOptions) (*SweepResult, error) {
 	res, err := sweep.Run(axes, sweep.Generator(gen), sweep.Options{
 		Workers:  opts.Workers,
+		Engine:   sweep.Engine(opts.Engine),
+		Window:   opts.WindowK,
 		Record:   opts.Record,
 		Limit:    sim.Time(opts.LimitNs),
 		Baseline: opts.Baseline,
@@ -113,6 +142,8 @@ func Sweep(axes []SweepAxis, gen SweepGenerator, opts SweepOptions) (*SweepResul
 			Wall:       pr.Run.Wall,
 			EventRatio: pr.EventRatio,
 			SpeedUp:    pr.SpeedUp,
+			Switches:   pr.Run.Switches,
+			Fallbacks:  pr.Run.Fallbacks,
 			Err:        pr.Err,
 		}
 		if pr.Baseline != nil {
