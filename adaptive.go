@@ -61,6 +61,10 @@ type AdaptiveResult struct {
 // next steady window. The recorded trace is bit-exact against
 // RunReference regardless of how the run is partitioned; on
 // phase-changing workloads most kernel events are saved.
+//
+// RunAdaptive remains the full-fidelity adaptive entry point (it reports
+// per-phase spans the unified result cannot carry); Run(ctx, "adaptive",
+// a, ...) reaches the same engine through the registry.
 func RunAdaptive(a *Architecture, opts AdaptiveOptions) (*AdaptiveResult, error) {
 	var trace *observe.Trace
 	if opts.Record {

@@ -1,0 +1,110 @@
+// Command dyncomp-bench measures every registered engine on the
+// didactic scenario and writes the results as JSON, one object per
+// engine with nanoseconds per point (one point = one full run of the
+// scenario, best of -reps) and the kernel work paid. CI runs it on
+// every build and uploads BENCH_engines.json as an artifact, so the
+// per-engine cost trend is trackable across commits.
+//
+//	dyncomp-bench -tokens 2000 -reps 3 -o BENCH_engines.json
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"dyncomp/internal/engine"
+	"dyncomp/internal/zoo"
+
+	// Link the four executors into the registry.
+	_ "dyncomp/internal/adaptive"
+	_ "dyncomp/internal/baseline"
+	_ "dyncomp/internal/core"
+	_ "dyncomp/internal/hybrid"
+)
+
+type engineBench struct {
+	Engine      string `json:"engine"`
+	NsPerPoint  int64  `json:"ns_per_point"` // best-of-reps wall time of one run
+	Events      int64  `json:"events"`
+	Activations int64  `json:"activations"`
+	GraphNodes  int    `json:"graph_nodes,omitempty"`
+	Switches    int    `json:"switches,omitempty"`
+	Fallbacks   int    `json:"fallbacks,omitempty"`
+}
+
+type benchReport struct {
+	Scenario string        `json:"scenario"`
+	Tokens   int           `json:"tokens"`
+	Reps     int           `json:"reps"`
+	Engines  []engineBench `json:"engines"`
+}
+
+func main() {
+	tokens := flag.Int("tokens", 2000, "didactic workload size in tokens")
+	reps := flag.Int("reps", 3, "repetitions per engine (best wall time wins)")
+	out := flag.String("o", "BENCH_engines.json", "output file (- for stdout)")
+	flag.Parse()
+
+	if *reps < 1 {
+		fatal(fmt.Errorf("-reps must be >= 1 (got %d)", *reps))
+	}
+	if *tokens < 1 {
+		fatal(fmt.Errorf("-tokens must be >= 1 (got %d)", *tokens))
+	}
+	sc, err := zoo.LookupScenario("didactic")
+	if err != nil {
+		fatal(err)
+	}
+	params := zoo.ParamMap{"tokens": int64(*tokens)}
+	report := benchReport{Scenario: sc.Name, Tokens: *tokens, Reps: *reps}
+	ctx := context.Background()
+	for _, name := range engine.Names() {
+		eng, err := engine.Lookup(name)
+		if err != nil {
+			fatal(err)
+		}
+		opts := engine.Options{AbstractGroup: sc.GroupFor(name, params)}
+		var best *engineBench
+		for r := 0; r < *reps; r++ {
+			res, err := eng.Run(ctx, sc.Build(params), opts)
+			if err != nil {
+				fatal(fmt.Errorf("%s: %w", name, err))
+			}
+			if best == nil || res.WallNs < best.NsPerPoint {
+				best = &engineBench{
+					Engine:      name,
+					NsPerPoint:  res.WallNs,
+					Events:      res.Events,
+					Activations: res.Activations,
+					GraphNodes:  res.GraphNodes,
+					Switches:    res.Switches,
+					Fallbacks:   res.Fallbacks,
+				}
+			}
+		}
+		report.Engines = append(report.Engines, *best)
+	}
+
+	w := os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "dyncomp-bench: %v\n", err)
+	os.Exit(1)
+}

@@ -5,14 +5,16 @@
 //	dyncomp-exp -exp fig5      # Fig. 5: speed-up vs graph complexity
 //	dyncomp-exp -exp fig6      # Fig. 6: LTE receiver observations
 //	dyncomp-exp -exp casestudy # Section V speed-up (20000 symbols)
-//	dyncomp-exp -exp accuracy  # bit-exactness check
-//	dyncomp-exp -exp adaptive  # engine comparison on the phase-changing workload
+//	dyncomp-exp -exp accuracy  # bit-exactness check (-engine picks the engine under test)
+//	dyncomp-exp -exp adaptive  # all registered engines on the phase-changing workload
 //	dyncomp-exp -exp quantum   # loosely-timed trade-off ablation
 //	dyncomp-exp -exp all
 //
 // The -tokens flag scales the workloads (the paper uses 20000; smaller
-// values give faster, noisier runs). With -csv DIR the Fig. 6 series are
-// also written as CSV files.
+// values give faster, noisier runs). The -engine flag selects which
+// registered engine the accuracy experiment compares against the
+// reference executor (the hybrid engine abstracts the didactic {F3, F4}
+// group). With -csv DIR the Fig. 6 series are also written as CSV files.
 package main
 
 import (
@@ -20,7 +22,9 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 
+	"dyncomp/internal/engine"
 	"dyncomp/internal/exp"
 	"dyncomp/internal/model"
 	"dyncomp/internal/zoo"
@@ -28,6 +32,7 @@ import (
 
 func main() {
 	which := flag.String("exp", "all", "experiment: table1|fig5|fig6|casestudy|accuracy|adaptive|quantum|all")
+	engName := flag.String("engine", "equivalent", "engine under test for -exp accuracy: "+strings.Join(engine.Names(), "|"))
 	tokens := flag.Int("tokens", 20000, "workload size (tokens/symbols)")
 	frames := flag.Int("frames", 2, "LTE frames for fig6")
 	csvDir := flag.String("csv", "", "directory for CSV output (fig6)")
@@ -46,9 +51,14 @@ func main() {
 	}
 
 	run("accuracy", func() error {
-		_, err := exp.AccuracyReport(func() *model.Architecture {
+		sc, err := zoo.LookupScenario("didactic")
+		if err != nil {
+			return err
+		}
+		group := sc.GroupFor(*engName, zoo.ParamMap{})
+		_, err = exp.AccuracyReport(func() *model.Architecture {
 			return zoo.Didactic(zoo.DidacticSpec{Tokens: *tokens, Period: 1200, Seed: 41})
-		}, os.Stdout)
+		}, *engName, group, os.Stdout)
 		return err
 	})
 	run("table1", func() error {

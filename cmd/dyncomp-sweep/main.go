@@ -1,29 +1,28 @@
 // Command dyncomp-sweep explores a design space: it expands a grid of
 // named parameter axes, builds one architecture per grid point from a
-// scenario, and evaluates every point concurrently with the equivalent
-// model, deriving each structural shape's temporal dependency graph only
-// once.
+// registered scenario, and evaluates every point concurrently with any
+// registered engine, deriving each structural shape's temporal
+// dependency graph only once.
 //
 //	dyncomp-sweep -scenario pipeline -axes "xsize=6,10,20;tokens=1000" -workers 8
 //	dyncomp-sweep -scenario didactic -axes "stages=1:4:1;period=800,1200" -baseline
+//	dyncomp-sweep -scenario forkjoin -engine hybrid -axes "workers=2:6:1;tokens=1000"
 //	dyncomp-sweep -scenario lte -axes "symbols=1000,2000" -format json
+//	dyncomp-sweep -list
 //
-// Scenarios and their parameters (absent axes use defaults):
-//
-//	pipeline  xsize, tokens, period, seed      (Fig. 5 synthetic pipeline)
-//	didactic  stages, tokens, period, seed, fifo  (Table I chained example)
-//	phased    tokens, period, seed, fifo, stages  (phase-changing workload)
-//	random    seed, tokens                     (randomized valid architecture)
-//	lte       symbols, seed                    (Section V LTE receiver)
+// -list prints the full engine × scenario matrix: every engine
+// registered in the engine registry and every scenario in the scenario
+// registry, with its parameter names. Any engine runs any scenario.
 //
 // Axis syntax: semicolon-separated "name=v1,v2,..." lists, where each
 // item is an integer or a lo:hi:step range (inclusive).
 //
-// -engine selects the per-point executor: equivalent (default),
-// reference, or adaptive (online engine-switching; -window tunes its
-// steady-state confirmation window). -format selects table (default),
-// csv or json; -baseline pairs every point with an event-driven
-// reference run and reports event ratios and speed-ups.
+// -engine selects the per-point executor by registered name (default
+// equivalent). The hybrid engine abstracts the scenario's canonical
+// function group, or the -group override ("F3,F4"); -window tunes the
+// adaptive engine's steady-state confirmation window. -format selects
+// table (default), csv or json; -baseline pairs every point with an
+// event-driven reference run and reports event ratios and speed-ups.
 package main
 
 import (
@@ -34,49 +33,68 @@ import (
 	"strconv"
 	"strings"
 
-	"dyncomp/internal/lte"
+	"dyncomp/internal/engine"
 	"dyncomp/internal/model"
 	"dyncomp/internal/sim"
 	"dyncomp/internal/sweep"
 	"dyncomp/internal/zoo"
+
+	// The LTE case study registers its scenario in init.
+	_ "dyncomp/internal/lte"
 )
 
 func main() {
-	scenario := flag.String("scenario", "pipeline", "architecture scenario: pipeline|didactic|phased|random|lte")
+	scenario := flag.String("scenario", "pipeline", "architecture scenario: "+strings.Join(zoo.ScenarioNames(), "|"))
 	axesSpec := flag.String("axes", "", `grid axes, e.g. "xsize=6,10,20;tokens=500:2000:500"`)
 	workers := flag.Int("workers", 0, "worker-pool size (0: all processors)")
-	engine := flag.String("engine", "equivalent", "per-point executor: equivalent|reference|adaptive")
+	engName := flag.String("engine", sweep.DefaultEngine, "per-point executor: "+strings.Join(engine.Names(), "|"))
+	group := flag.String("group", "", `functions the hybrid engine abstracts, comma-separated (default: the scenario's canonical group)`)
 	window := flag.Int("window", 0, "adaptive steady-state window in iterations (0: engine default)")
 	baseline := flag.Bool("baseline", false, "pair every point with a reference-executor run")
 	reduce := flag.Bool("reduce", false, "prune value-redundant arcs from derived graphs")
 	limit := flag.Int64("limit", 0, "simulated-time bound per point in ns (0: to completion)")
 	format := flag.String("format", "table", "output format: table|csv|json")
+	list := flag.Bool("list", false, "print the engine × scenario matrix and exit")
 	flag.Parse()
 
+	if *list {
+		printMatrix(os.Stdout)
+		return
+	}
 	switch *format {
 	case "table", "csv", "json":
 	default:
 		fatal(fmt.Errorf("unknown format %q (table|csv|json)", *format))
 	}
-	gen, err := generator(*scenario)
+	if _, err := engine.Lookup(*engName); err != nil {
+		fatal(err)
+	}
+	sc, err := zoo.LookupScenario(*scenario)
 	if err != nil {
 		fatal(err)
 	}
+	gen := func(p sweep.Point) (*model.Architecture, error) { return sc.Build(p), nil }
 	axes, err := parseAxes(*axesSpec)
 	if err != nil {
 		fatal(err)
 	}
 
-	opts := sweep.Options{Workers: *workers, Baseline: *baseline, Window: *window}
-	switch *engine {
-	case "equivalent":
-		opts.Engine = sweep.Equivalent
-	case "reference":
-		opts.Engine = sweep.Reference
-	case "adaptive":
-		opts.Engine = sweep.Adaptive
-	default:
-		fatal(fmt.Errorf("unknown engine %q (equivalent|reference|adaptive)", *engine))
+	opts := sweep.Options{
+		Workers:  *workers,
+		Engine:   *engName,
+		Baseline: *baseline,
+		Window:   *window,
+	}
+	if *engName == "hybrid" {
+		if *group != "" {
+			opts.Group = parseGroup(*group)
+		} else if sc.HybridGroup == nil {
+			fatal(fmt.Errorf("scenario %q has no canonical hybrid group; use -group", sc.Name))
+		} else {
+			// Per point: axes may change the structure and with it the
+			// group (e.g. sweeping the fork-join worker count).
+			opts.GroupFor = func(p sweep.Point) []string { return sc.HybridGroup(p) }
+		}
 	}
 	opts.Derive.Reduce = *reduce
 	if *limit > 0 {
@@ -87,7 +105,7 @@ func main() {
 		fatal(err)
 	}
 
-	adaptiveEngine := opts.Engine == sweep.Adaptive
+	adaptiveEngine := *engName == "adaptive"
 	switch *format {
 	case "table":
 		err = writeTable(os.Stdout, res, *baseline, adaptiveEngine)
@@ -117,26 +135,33 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
-func generator(scenario string) (sweep.Generator, error) {
-	switch scenario {
-	case "pipeline":
-		return func(p sweep.Point) (*model.Architecture, error) { return zoo.PipelineFromParams(p), nil }, nil
-	case "didactic":
-		return func(p sweep.Point) (*model.Architecture, error) { return zoo.DidacticFromParams(p), nil }, nil
-	case "phased":
-		return func(p sweep.Point) (*model.Architecture, error) { return zoo.PhasedFromParams(p), nil }, nil
-	case "random":
-		return func(p sweep.Point) (*model.Architecture, error) { return zoo.RandomFromParams(p), nil }, nil
-	case "lte":
-		return func(p sweep.Point) (*model.Architecture, error) {
-			return lte.Receiver(lte.Spec{
-				Symbols: int(p.Get("symbols", 1000)),
-				Seed:    p.Get("seed", 23),
-			}), nil
-		}, nil
-	default:
-		return nil, fmt.Errorf("unknown scenario %q (pipeline|didactic|phased|random|lte)", scenario)
+// printMatrix lists every registered engine and scenario: the CLI runs
+// any combination of them.
+func printMatrix(w *os.File) {
+	fmt.Fprintln(w, "engines (any engine runs any scenario):")
+	for _, n := range engine.Names() {
+		fmt.Fprintf(w, "  %s\n", n)
 	}
+	fmt.Fprintln(w, "scenarios:")
+	for _, sc := range zoo.Scenarios() {
+		hybrid := ""
+		if sc.HybridGroup == nil {
+			hybrid = "   (no canonical hybrid group: -group required for -engine hybrid)"
+		}
+		fmt.Fprintf(w, "  %-10s %s\n", sc.Name, sc.Desc)
+		fmt.Fprintf(w, "  %-10s params: %s%s\n", "", sc.ParamsHelp, hybrid)
+	}
+}
+
+// parseGroup splits the -group override into function names.
+func parseGroup(spec string) []string {
+	var group []string
+	for _, f := range strings.Split(spec, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			group = append(group, f)
+		}
+	}
+	return group
 }
 
 // parseAxes parses "a=1,2,3;b=10:30:10" into grid axes.

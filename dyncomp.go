@@ -15,18 +15,23 @@
 //	eq,  _ := dyncomp.RunEquivalent(a, dyncomp.RunOptions{Record: true})
 //	err := dyncomp.CompareTraces(ref.Trace, eq.Trace) // nil: bit-exact
 //
-// Beyond the two whole-architecture engines, RunHybrid abstracts only a
-// named group of functions (the paper's partial abstraction) while the
-// rest stays event-driven, and RunAdaptive decides online: it simulates
-// event-by-event until a steady state is confirmed, hot-switches the
-// steady region to the equivalent model, and falls back on every
-// parameter change — all four engines produce bit-exact traces. Sweep
-// evaluates a parameter grid with any of them across a worker pool,
-// deriving each structural shape exactly once:
+// Beyond the two whole-architecture engines, the hybrid engine abstracts
+// only a named group of functions (the paper's partial abstraction)
+// while the rest stays event-driven, and the adaptive engine decides
+// online: it simulates event-by-event until a steady state is confirmed,
+// hot-switches the steady region to the equivalent model, and falls back
+// on every parameter change — all four engines produce bit-exact traces.
+// The engines form a registry: Engines() lists them, Run addresses any
+// of them by name with one unified option set, and Sweep evaluates a
+// parameter grid with any of them across a worker pool, deriving each
+// structural shape exactly once:
 //
-//	hyb, _ := dyncomp.RunHybrid(a, []string{"F1", "F2"}, dyncomp.RunOptions{Record: true})
-//	ad,  _ := dyncomp.RunAdaptive(a, dyncomp.AdaptiveOptions{Record: true})
+//	hyb, _ := dyncomp.Run(ctx, "hybrid", a, dyncomp.EngineOptions{AbstractGroup: []string{"F1", "F2"}, Record: true})
+//	ad,  _ := dyncomp.Run(ctx, "adaptive", a, dyncomp.EngineOptions{Record: true})
 //	res, _ := dyncomp.Sweep(axes, gen, dyncomp.SweepOptions{Workers: 8})
+//
+// (RunReference, RunEquivalent, RunHybrid and RunAdaptive remain as
+// compatibility shims over the registry.)
 //
 // The sub-systems live in internal packages: internal/sim (discrete-event
 // kernel), internal/model (architecture description), internal/maxplus
@@ -42,14 +47,11 @@
 package dyncomp
 
 import (
-	"dyncomp/internal/baseline"
-	"dyncomp/internal/core"
-	"dyncomp/internal/derive"
-	"dyncomp/internal/hybrid"
+	"context"
+
 	"dyncomp/internal/maxplus"
 	"dyncomp/internal/model"
 	"dyncomp/internal/observe"
-	"dyncomp/internal/sim"
 )
 
 // Re-exported modelling types; see internal/model for full documentation.
@@ -136,53 +138,45 @@ type RunResult struct {
 	GraphNodes int
 }
 
-// RunReference simulates the architecture with the event-driven reference
-// executor — every relation among functions is a simulation event.
-func RunReference(a *Architecture, opts RunOptions) (*RunResult, error) {
-	var trace *observe.Trace
-	if opts.Record {
-		trace = observe.NewTrace(a.Name + "/reference")
-	}
-	res, err := baseline.Run(a, baseline.Options{Trace: trace, Limit: sim.Time(opts.LimitNs)})
+// runNamed routes one legacy wrapper through the engine registry; the
+// four wrappers below are thin shims over Run kept for compatibility,
+// producing results identical to the pre-registry implementations.
+func runNamed(engineName string, a *Architecture, opts EngineOptions) (*RunResult, error) {
+	r, err := Run(context.Background(), engineName, a, opts)
 	if err != nil {
 		return nil, err
 	}
 	return &RunResult{
-		Trace:       trace,
-		Activations: res.Stats.Activations,
-		Events:      res.Stats.TimedEvents + res.Stats.DeltaNotifies,
-		FinalTimeNs: int64(res.Stats.FinalTime),
+		Trace:       r.Trace,
+		Activations: r.Activations,
+		Events:      r.Events,
+		FinalTimeNs: r.FinalTimeNs,
+		GraphNodes:  r.GraphNodes,
 	}, nil
+}
+
+// RunReference simulates the architecture with the event-driven reference
+// executor — every relation among functions is a simulation event.
+//
+// Deprecated: RunReference is a shim over Run(ctx, "reference", a, ...);
+// new code should address engines by name through Run.
+func RunReference(a *Architecture, opts RunOptions) (*RunResult, error) {
+	return runNamed("reference", a, EngineOptions{
+		Record: opts.Record, LimitNs: opts.LimitNs, Reduce: opts.Reduce,
+	})
 }
 
 // RunEquivalent derives the architecture's temporal dependency graph and
 // simulates its equivalent model: internal evolution instants are
 // computed, not simulated, so only boundary events reach the kernel. The
 // recorded trace is bit-exact against RunReference.
+//
+// Deprecated: RunEquivalent is a shim over Run(ctx, "equivalent", a,
+// ...); new code should address engines by name through Run.
 func RunEquivalent(a *Architecture, opts RunOptions) (*RunResult, error) {
-	dres, err := derive.Derive(a, derive.Options{Reduce: opts.Reduce})
-	if err != nil {
-		return nil, err
-	}
-	m, err := core.New(dres)
-	if err != nil {
-		return nil, err
-	}
-	var trace *observe.Trace
-	if opts.Record {
-		trace = observe.NewTrace(a.Name + "/equivalent")
-	}
-	res, err := m.Run(core.Options{Trace: trace, Limit: sim.Time(opts.LimitNs)})
-	if err != nil {
-		return nil, err
-	}
-	return &RunResult{
-		Trace:       trace,
-		Activations: res.Stats.Activations,
-		Events:      res.Stats.TimedEvents + res.Stats.DeltaNotifies,
-		FinalTimeNs: int64(res.Stats.FinalTime),
-		GraphNodes:  dres.Graph.NodeCountWithDelays(),
-	}, nil
+	return runNamed("equivalent", a, EngineOptions{
+		Record: opts.Record, LimitNs: opts.LimitNs, Reduce: opts.Reduce,
+	})
 }
 
 // RunHybrid simulates the architecture with only the named group of
@@ -191,27 +185,15 @@ func RunEquivalent(a *Architecture, opts RunOptions) (*RunResult, error) {
 // This is the paper's general "grouping some of the architecture
 // processes". The group must cover whole resources and emit through one
 // boundary output channel.
+//
+// Deprecated: RunHybrid is a shim over Run(ctx, "hybrid", a, ...) with
+// EngineOptions.AbstractGroup; new code should address engines by name
+// through Run.
 func RunHybrid(a *Architecture, group []string, opts RunOptions) (*RunResult, error) {
-	var trace *observe.Trace
-	if opts.Record {
-		trace = observe.NewTrace(a.Name + "/hybrid")
-	}
-	res, err := hybrid.Run(a, hybrid.Options{
-		Group:  group,
-		Trace:  trace,
-		Limit:  sim.Time(opts.LimitNs),
-		Reduce: opts.Reduce,
+	return runNamed("hybrid", a, EngineOptions{
+		Record: opts.Record, LimitNs: opts.LimitNs, Reduce: opts.Reduce,
+		AbstractGroup: group,
 	})
-	if err != nil {
-		return nil, err
-	}
-	return &RunResult{
-		Trace:       trace,
-		Activations: res.Stats.Activations,
-		Events:      res.Stats.TimedEvents + res.Stats.DeltaNotifies,
-		FinalTimeNs: int64(res.Stats.FinalTime),
-		GraphNodes:  res.GraphNodes,
-	}, nil
 }
 
 // CompareTraces checks two traces for bit-exact agreement of every

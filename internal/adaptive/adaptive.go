@@ -35,6 +35,7 @@
 package adaptive
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -97,6 +98,15 @@ type Options struct {
 	// the abstract engine obtains its graph through the cache, so repeated
 	// steady windows re-bind one template instead of re-deriving.
 	Cache *derive.Cache
+	// IterLimit, when positive, bounds the evolution to iterations
+	// [0, IterLimit): every source stops after token IterLimit-1.
+	IterLimit int
+	// Ctx, when non-nil, is checked at every phase boundary: a cancelled
+	// context aborts the run with its error. Nil never cancels.
+	Ctx context.Context
+	// Progress, when non-nil, is invoked at every phase boundary with the
+	// number of completed iterations and the total.
+	Progress func(done, total int)
 }
 
 // Phase is one maximal span of iterations executed in a single mode.
@@ -159,6 +169,9 @@ func Run(a *model.Architecture, opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	if opts.IterLimit > 0 && opts.IterLimit < n {
+		n = opts.IterLimit
+	}
 	rec := opts.Trace
 	if rec == nil {
 		rec = observe.NewTrace(a.Name + "/adaptive")
@@ -184,6 +197,18 @@ func Run(a *model.Architecture, opts Options) (*Result, error) {
 	}
 
 	res := &Result{Trace: opts.Trace, GraphNodes: dres.Graph.NodeCountWithDelays()}
+	// phaseDone runs at every phase boundary: report progress, honor
+	// cancellation. The kernel itself is uninterruptible, so a cancelled
+	// context aborts between phases, never inside one.
+	phaseDone := func(k int) error {
+		if opts.Progress != nil {
+			opts.Progress(k, n)
+		}
+		if opts.Ctx != nil {
+			return opts.Ctx.Err()
+		}
+		return nil
+	}
 	k := 0
 	for k < n && !r.truncated {
 		// Detailed: event-by-event chunks until a steady state is
@@ -212,6 +237,9 @@ func Run(a *model.Architecture, opts Options) (*Result, error) {
 		ph.Activations = r.total.Activations - before.Activations
 		res.Phases = append(res.Phases, ph)
 		res.DetailedIters += ph.EndK - ph.StartK
+		if err := phaseDone(k); err != nil {
+			return nil, err
+		}
 		if k >= n || r.truncated {
 			break
 		}
@@ -229,6 +257,9 @@ func Run(a *model.Architecture, opts Options) (*Result, error) {
 		ph.Wall = time.Since(start)
 		res.Phases = append(res.Phases, ph)
 		res.AbstractIters += ph.EndK - ph.StartK
+		if err := phaseDone(k); err != nil {
+			return nil, err
+		}
 		if k < n && !r.truncated {
 			res.Fallbacks++
 		}

@@ -29,6 +29,9 @@ type Options struct {
 	// Limit bounds simulation time; zero means run until the event queue
 	// drains (all source tokens consumed).
 	Limit sim.Time
+	// IterLimit, when positive, bounds the evolution to iterations
+	// [0, IterLimit): every source stops after token IterLimit-1.
+	IterLimit int
 }
 
 // Result reports a completed run.
@@ -49,7 +52,7 @@ func Run(a *model.Architecture, opts Options) (*Result, error) {
 	}
 
 	k := sim.New()
-	if _, err := Attach(k, a, AttachOptions{Trace: opts.Trace}); err != nil {
+	if _, err := Attach(k, a, AttachOptions{Trace: opts.Trace, IterLimit: opts.IterLimit}); err != nil {
 		return nil, err
 	}
 	if err := k.Run(limit); err != nil {

@@ -1,0 +1,49 @@
+package baseline
+
+import (
+	"context"
+	"time"
+
+	"dyncomp/internal/engine"
+	"dyncomp/internal/model"
+	"dyncomp/internal/observe"
+	"dyncomp/internal/sim"
+)
+
+// refEngine adapts the event-driven reference executor to the uniform
+// engine contract. It needs no derivation, so Options.Derive and
+// Options.Cache are ignored.
+type refEngine struct{}
+
+func (refEngine) Name() string { return "reference" }
+
+func (refEngine) Run(ctx context.Context, a *model.Architecture, opts engine.Options) (*engine.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	var trace *observe.Trace
+	if opts.Record {
+		trace = observe.NewTrace(a.Name + "/reference")
+	}
+	begin := time.Now()
+	res, err := Run(a, Options{
+		Trace:     trace,
+		Limit:     sim.Time(opts.LimitNs),
+		IterLimit: opts.IterLimit,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if opts.Progress != nil {
+		opts.Progress(0, 0) // the kernel does not count iterations
+	}
+	return &engine.Result{
+		Trace:       trace,
+		Activations: res.Stats.Activations,
+		Events:      res.Stats.Events(),
+		FinalTimeNs: int64(res.Stats.FinalTime),
+		WallNs:      time.Since(begin).Nanoseconds(),
+	}, nil
+}
+
+func init() { engine.Register(refEngine{}) }

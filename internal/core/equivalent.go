@@ -37,6 +37,9 @@ type Options struct {
 	Trace *observe.Trace
 	// Limit bounds simulation time; zero means run to completion.
 	Limit sim.Time
+	// IterLimit, when positive, bounds the evolution to iterations
+	// [0, IterLimit): every source stops after token IterLimit-1.
+	IterLimit int
 }
 
 // Result reports a completed run.
@@ -95,6 +98,9 @@ func (m *Model) Run(opts Options) (*Result, error) {
 	iter, err := m.iterations()
 	if err != nil {
 		return nil, err
+	}
+	if opts.IterLimit > 0 && opts.IterLimit < iter {
+		iter = opts.IterLimit
 	}
 	k := sim.New()
 	ev, err := tdg.NewEvaluator(m.res.Graph)
@@ -164,8 +170,12 @@ func (e *engine) build() {
 	for i, ib := range m.res.Inputs {
 		src := ib.Source
 		ch := inChans[i]
+		count := src.Count
+		if count > e.iter {
+			count = e.iter // Options.IterLimit stops sources early
+		}
 		e.kernel.Spawn(src.Name, func(p *sim.Proc) {
-			for k := 0; k < src.Count; k++ {
+			for k := 0; k < count; k++ {
 				u := src.Schedule(k)
 				if u.IsEpsilon() {
 					panic(fmt.Sprintf("core: source %q schedule(%d) is ε", src.Name, k))

@@ -1,0 +1,80 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Registry is a thread-safe name → Engine map. The package-level
+// Register/Lookup/Names operate on Default; separate Registry values
+// exist so tests (and embedders composing their own engine sets) can
+// register fakes without leaking into the process-wide set.
+type Registry struct {
+	mu      sync.RWMutex
+	engines map[string]Engine
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{engines: map[string]Engine{}}
+}
+
+// Register adds an engine under its Name. It panics on a nil engine, an
+// empty name, or a duplicate registration — all programmer errors in an
+// init function, not runtime conditions.
+func (r *Registry) Register(e Engine) {
+	if e == nil {
+		panic("engine: Register(nil)")
+	}
+	name := e.Name()
+	if name == "" {
+		panic("engine: Register with empty name")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.engines[name]; dup {
+		panic(fmt.Sprintf("engine: duplicate registration of %q", name))
+	}
+	r.engines[name] = e
+}
+
+// Lookup returns the engine registered under name. The error of an
+// unknown name lists every registered engine, so CLI users see their
+// options.
+func (r *Registry) Lookup(name string) (Engine, error) {
+	r.mu.RLock()
+	e, ok := r.engines[name]
+	r.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("engine: unknown engine %q (registered: %s)",
+			name, strings.Join(r.Names(), "|"))
+	}
+	return e, nil
+}
+
+// Names returns the registered engine names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.engines))
+	for n := range r.engines {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Default is the process-wide registry the executor packages register
+// into from their init functions.
+var Default = NewRegistry()
+
+// Register adds an engine to the Default registry.
+func Register(e Engine) { Default.Register(e) }
+
+// Lookup finds an engine by name in the Default registry.
+func Lookup(name string) (Engine, error) { return Default.Lookup(name) }
+
+// Names lists the Default registry's engine names, sorted.
+func Names() []string { return Default.Names() }

@@ -1,0 +1,72 @@
+package engine
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"dyncomp/internal/model"
+)
+
+type fakeEngine struct{ name string }
+
+func (f fakeEngine) Name() string { return f.name }
+func (f fakeEngine) Run(context.Context, *model.Architecture, Options) (*Result, error) {
+	return &Result{}, nil
+}
+
+func TestRegistryRegisterLookupNames(t *testing.T) {
+	r := NewRegistry()
+	r.Register(fakeEngine{"zeta"})
+	r.Register(fakeEngine{"alpha"})
+	got := r.Names()
+	if len(got) != 2 || got[0] != "alpha" || got[1] != "zeta" {
+		t.Fatalf("Names() = %v, want sorted [alpha zeta]", got)
+	}
+	e, err := r.Lookup("alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Name() != "alpha" {
+		t.Fatalf("Lookup returned %q", e.Name())
+	}
+}
+
+func TestRegistryUnknownNameListsOptions(t *testing.T) {
+	r := NewRegistry()
+	r.Register(fakeEngine{"only"})
+	_, err := r.Lookup("nope")
+	if err == nil {
+		t.Fatal("unknown name accepted")
+	}
+	if !strings.Contains(err.Error(), "only") {
+		t.Fatalf("error %q does not list registered engines", err)
+	}
+}
+
+func TestRegistryRejectsBadRegistrations(t *testing.T) {
+	expectPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: no panic", name)
+			}
+		}()
+		f()
+	}
+	r := NewRegistry()
+	expectPanic("nil engine", func() { r.Register(nil) })
+	expectPanic("empty name", func() { r.Register(fakeEngine{""}) })
+	r.Register(fakeEngine{"dup"})
+	expectPanic("duplicate", func() { r.Register(fakeEngine{"dup"}) })
+}
+
+// The Default registry must hold exactly the four executors once the
+// implementation packages are linked in (the external test file imports
+// them).
+func TestDefaultHoldsFourExecutors(t *testing.T) {
+	for _, name := range []string{"reference", "equivalent", "hybrid", "adaptive"} {
+		if _, err := Lookup(name); err != nil {
+			t.Errorf("Lookup(%q): %v", name, err)
+		}
+	}
+}

@@ -9,14 +9,15 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
 
-	"dyncomp/internal/adaptive"
 	"dyncomp/internal/baseline"
 	"dyncomp/internal/core"
 	"dyncomp/internal/derive"
+	"dyncomp/internal/engine"
 	"dyncomp/internal/ltdecoup"
 	"dyncomp/internal/lte"
 	"dyncomp/internal/maxplus"
@@ -152,7 +153,7 @@ func Fig5(tokens int, xsizes, nodeCounts []int, w io.Writer) ([]Fig5Point, error
 
 	// Reference baselines, one per X size.
 	bres, err := sweep.Run([]sweep.Axis{{Name: "xsize", Values: xvals}}, gen,
-		sweep.Options{Workers: 1, Engine: sweep.Reference})
+		sweep.Options{Workers: 1, Engine: "reference"})
 	if err != nil {
 		return nil, err
 	}
@@ -231,77 +232,77 @@ type AdaptiveRow struct {
 	Fallbacks   int
 }
 
-// AdaptiveCompare measures the three engines — reference, equivalent and
-// adaptive — on the phase-changing didactic workload (zoo.Phased with the
-// default phase plan) and verifies that all three traces are bit-exact.
-// The equivalent model still pays kernel events at the architecture
-// boundary (sources, reception and emission processes); the adaptive
-// engine's abstract phases compute even the boundary analytically and
-// pay none, so on workloads with long steady plateaus it can undercut
-// the equivalent model despite simulating every transient in detail.
+// AdaptiveCompare measures every registered engine — the registry holds
+// reference, equivalent, hybrid and adaptive — on the phase-changing
+// didactic workload (the "phased" scenario with the default phase plan)
+// and verifies that every trace is bit-exact against the reference
+// executor. The reference row comes first, the others follow in registry
+// (name) order. The equivalent model still pays kernel events at the
+// architecture boundary (sources, reception and emission processes); the
+// adaptive engine's abstract phases compute even the boundary
+// analytically and pay none, so on workloads with long steady plateaus
+// it can undercut the equivalent model despite simulating every
+// transient in detail.
 func AdaptiveCompare(tokens int, w io.Writer) ([]AdaptiveRow, error) {
-	build := func() *model.Architecture {
-		return zoo.Phased(zoo.PhasedSpec{Tokens: tokens, Period: 1100, Seed: 7})
-	}
-
-	refTrace := observe.NewTrace("reference")
-	start := time.Now()
-	refRes, err := baseline.Run(build(), baseline.Options{Trace: refTrace})
+	sc, err := zoo.LookupScenario("phased")
 	if err != nil {
 		return nil, err
 	}
-	refWall := time.Since(start)
+	params := zoo.ParamMap{"tokens": int64(tokens)}
 
-	dres, err := derive.Derive(build(), derive.Options{})
-	if err != nil {
-		return nil, err
-	}
-	m, err := core.New(dres)
-	if err != nil {
-		return nil, err
-	}
-	eqTrace := observe.NewTrace("equivalent")
-	start = time.Now()
-	eqRes, err := m.Run(core.Options{Trace: eqTrace})
-	if err != nil {
-		return nil, err
-	}
-	eqWall := time.Since(start)
-
-	adTrace := observe.NewTrace("adaptive")
-	start = time.Now()
-	adRes, err := adaptive.Run(build(), adaptive.Options{Trace: adTrace})
-	if err != nil {
-		return nil, err
-	}
-	adWall := time.Since(start)
-
-	if err := observe.CompareInstants(refTrace, eqTrace); err != nil {
-		return nil, fmt.Errorf("equivalent trace differs: %w", err)
-	}
-	if err := observe.CompareInstants(refTrace, adTrace); err != nil {
-		return nil, fmt.Errorf("adaptive trace differs: %w", err)
+	// Reference first: it is the base every other engine is checked
+	// against.
+	names := []string{"reference"}
+	for _, n := range engine.Names() {
+		if n != "reference" {
+			names = append(names, n)
+		}
 	}
 
-	rows := []AdaptiveRow{
-		{Engine: "reference", Events: refRes.Stats.Events(),
-			Activations: refRes.Stats.Activations, WallSec: refWall.Seconds()},
-		{Engine: "equivalent", Events: eqRes.Stats.Events(),
-			Activations: eqRes.Stats.Activations, WallSec: eqWall.Seconds()},
-		{Engine: "adaptive", Events: adRes.Stats.Events(),
-			Activations: adRes.Stats.Activations, WallSec: adWall.Seconds(),
-			Switches: adRes.Switches, Fallbacks: adRes.Fallbacks},
+	var rows []AdaptiveRow
+	var refTrace *observe.Trace
+	var refEvents int64
+	ctx := context.Background()
+	for _, name := range names {
+		eng, err := engine.Lookup(name)
+		if err != nil {
+			return nil, err
+		}
+		opts := engine.Options{Record: true, AbstractGroup: sc.GroupFor(name, params)}
+		if name == "hybrid" && opts.AbstractGroup == nil {
+			continue
+		}
+		r, err := eng.Run(ctx, sc.Build(params), opts)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		if name == "reference" {
+			refTrace, refEvents = r.Trace, r.Events
+		} else if err := observe.CompareInstants(refTrace, r.Trace); err != nil {
+			return nil, fmt.Errorf("%s trace differs: %w", name, err)
+		}
+		rows = append(rows, AdaptiveRow{
+			Engine:      name,
+			Events:      r.Events,
+			Activations: r.Activations,
+			WallSec:     float64(r.WallNs) / 1e9,
+			Switches:    r.Switches,
+			Fallbacks:   r.Fallbacks,
+		})
 	}
 	if w != nil {
-		fmt.Fprintf(w, "Adaptive engine-switching on the phase-changing workload (%d tokens), all traces bit-exact:\n", tokens)
+		fmt.Fprintf(w, "All registered engines on the phase-changing workload (%d tokens), all traces bit-exact:\n", tokens)
 		fmt.Fprintf(w, "%-12s %12s %12s %10s %9s %10s\n", "engine", "events", "activations", "wall (s)", "switches", "fallbacks")
 		for _, r := range rows {
 			fmt.Fprintf(w, "%-12s %12d %12d %10.3f %9d %10d\n",
 				r.Engine, r.Events, r.Activations, r.WallSec, r.Switches, r.Fallbacks)
 		}
-		fmt.Fprintf(w, "adaptive saved %.1f%% of the reference kernel events (%d detailed / %d abstract iterations)\n",
-			100*(1-float64(adRes.Stats.Events())/float64(refRes.Stats.Events())),
-			adRes.DetailedIters, adRes.AbstractIters)
+		for _, r := range rows {
+			if r.Engine == "adaptive" && refEvents > 0 {
+				fmt.Fprintf(w, "adaptive saved %.1f%% of the reference kernel events (%d switches, %d fallbacks)\n",
+					100*(1-float64(r.Events)/float64(refEvents)), r.Switches, r.Fallbacks)
+			}
+		}
 	}
 	return rows, nil
 }
@@ -399,33 +400,37 @@ func CaseStudy(symbols int, w io.Writer) (*CaseStudyResult, error) {
 }
 
 // AccuracyReport verifies the bit-exactness claim on a given architecture
-// builder, returning the number of compared instants.
-func AccuracyReport(build func() *model.Architecture, w io.Writer) (int, error) {
-	bt := observe.NewTrace("baseline")
-	if _, err := baseline.Run(build(), baseline.Options{Trace: bt}); err != nil {
-		return 0, err
-	}
-	dres, err := derive.Derive(build(), derive.Options{})
+// builder: the named engine's trace (any name from engine.Names; the
+// hybrid engine additionally needs the group to abstract) is compared
+// against the reference executor's, returning the number of compared
+// instants.
+func AccuracyReport(build func() *model.Architecture, engineName string, group []string, w io.Writer) (int, error) {
+	ctx := context.Background()
+	ref, err := engine.Lookup("reference")
 	if err != nil {
 		return 0, err
 	}
-	m, err := core.New(dres)
+	rr, err := ref.Run(ctx, build(), engine.Options{Record: true})
 	if err != nil {
 		return 0, err
 	}
-	et := observe.NewTrace("equivalent")
-	if _, err := m.Run(core.Options{Trace: et}); err != nil {
+	eng, err := engine.Lookup(engineName)
+	if err != nil {
 		return 0, err
 	}
-	if err := observe.CompareInstants(bt, et); err != nil {
+	er, err := eng.Run(ctx, build(), engine.Options{Record: true, AbstractGroup: group})
+	if err != nil {
+		return 0, err
+	}
+	if err := observe.CompareInstants(rr.Trace, er.Trace); err != nil {
 		return 0, err
 	}
 	n := 0
-	for _, label := range bt.Labels() {
-		n += len(bt.Instants(label))
+	for _, label := range rr.Trace.Labels() {
+		n += len(rr.Trace.Instants(label))
 	}
 	if w != nil {
-		fmt.Fprintf(w, "accuracy: %d evolution instants identical between models\n", n)
+		fmt.Fprintf(w, "accuracy: %d evolution instants identical between the reference executor and the %s engine\n", n, engineName)
 	}
 	return n, nil
 }

@@ -105,7 +105,7 @@ func TestAccuracyReport(t *testing.T) {
 	var b strings.Builder
 	n, err := AccuracyReport(func() *model.Architecture {
 		return zoo.Didactic(zoo.DidacticSpec{Tokens: 200, Period: 800, Seed: 12})
-	}, &b)
+	}, "equivalent", nil, &b)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,10 +123,22 @@ func TestAdaptiveCompareSmall(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rows) != 3 {
-		t.Fatalf("%d rows, want 3", len(rows))
+	// One row per registered engine — at least the built-in four — with
+	// the reference row first.
+	if len(rows) < 4 {
+		t.Fatalf("%d rows, want one per registered engine (>= 4)", len(rows))
 	}
-	ref, eq, ad := rows[0], rows[1], rows[2]
+	if rows[0].Engine != "reference" {
+		t.Fatalf("first row is %q, want reference", rows[0].Engine)
+	}
+	byName := map[string]AdaptiveRow{}
+	for _, r := range rows {
+		byName[r.Engine] = r
+	}
+	ref, eq, ad := byName["reference"], byName["equivalent"], byName["adaptive"]
+	if _, ok := byName["hybrid"]; !ok {
+		t.Fatal("no hybrid row")
+	}
 	if ad.Events > ref.Events/2 {
 		t.Fatalf("adaptive events %d, want <= half of reference %d", ad.Events, ref.Events)
 	}

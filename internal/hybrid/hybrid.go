@@ -45,8 +45,19 @@ type Options struct {
 	Trace *observe.Trace
 	// Limit bounds simulation time; zero runs to completion.
 	Limit sim.Time
-	// Reduce prunes value-redundant arcs from the group's graph.
+	// IterLimit, when positive, bounds the evolution to iterations
+	// [0, IterLimit): every source stops after token IterLimit-1.
+	IterLimit int
+	// Derive sets the derivation options (arc reduction, pad nodes) for
+	// the group's graph.
+	Derive derive.Options
+	// Reduce prunes value-redundant arcs from the group's graph; it is
+	// the pre-Derive spelling of Derive.Reduce and ORs into it.
 	Reduce bool
+	// Cache supplies a shared structure-keyed derivation cache for the
+	// group's graph (e.g. from a design-space sweep); nil derives
+	// privately.
+	Cache *derive.Cache
 }
 
 // Result reports a completed hybrid run.
@@ -70,11 +81,23 @@ func Run(a *model.Architecture, opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	if opts.IterLimit > 0 && opts.IterLimit < iters {
+		iters = opts.IterLimit
+	}
 	sub, err := buildSub(a, group, iters)
 	if err != nil {
 		return nil, err
 	}
-	dres, err := derive.Derive(sub.arch, derive.Options{Reduce: opts.Reduce})
+	dopts := opts.Derive
+	if opts.Reduce {
+		dopts.Reduce = true
+	}
+	var dres *derive.Result
+	if opts.Cache != nil {
+		dres, err = opts.Cache.Derive(sub.arch, dopts)
+	} else {
+		dres, err = derive.Derive(sub.arch, dopts)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -105,6 +128,7 @@ func Run(a *model.Architecture, opts Options) (*Result, error) {
 		Skip:        inGroup,
 		SkipChannel: internal,
 		Chans:       boundary,
+		IterLimit:   opts.IterLimit,
 	}); err != nil {
 		return nil, err
 	}

@@ -1,0 +1,33 @@
+package lte
+
+import (
+	"dyncomp/internal/model"
+	"dyncomp/internal/zoo"
+)
+
+// The case study registers itself as a scenario, so the CLIs and the
+// cross-engine tests can run any engine on the LTE receiver by name.
+func init() {
+	zoo.Register(zoo.Scenario{
+		Name:       "lte",
+		Desc:       "the Section V LTE receiver case study",
+		ParamsHelp: "symbols, seed",
+		Build: func(p zoo.Params) *model.Architecture {
+			return Receiver(Spec{
+				Symbols: lookup(p, "symbols", 1000),
+				Seed:    int64(lookup(p, "seed", 23)),
+			})
+		},
+		HybridGroup: func(zoo.Params) []string {
+			// The DSP cluster; the hardware decoder stays simulated.
+			return append([]string(nil), FunctionNames[:7]...)
+		},
+	})
+}
+
+func lookup(p zoo.Params, name string, def int) int {
+	if v, ok := p.Lookup(name); ok {
+		return int(v)
+	}
+	return def
+}

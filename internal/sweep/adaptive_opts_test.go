@@ -15,16 +15,41 @@ func TestAdaptiveHonorsDeriveOptions(t *testing.T) {
 		return zoo.Phased(zoo.PhasedSpec{Tokens: 120, Period: 1100, Seed: 7}), nil
 	}
 	axes := []Axis{{Name: "x", Values: []int64{1}}}
-	plain, err := Run(axes, gen, Options{Engine: Adaptive})
+	plain, err := Run(axes, gen, Options{Engine: "adaptive"})
 	if err != nil {
 		t.Fatal(err)
 	}
-	padded, err := Run(axes, gen, Options{Engine: Adaptive, Derive: derive.Options{PadNodes: 50}})
+	padded, err := Run(axes, gen, Options{Engine: "adaptive", Derive: derive.Options{PadNodes: 50}})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if padded.Points[0].Run.GraphNodes != plain.Points[0].Run.GraphNodes+50 {
 		t.Fatalf("pad nodes dropped: %d vs %d+50",
+			padded.Points[0].Run.GraphNodes, plain.Points[0].Run.GraphNodes)
+	}
+}
+
+// Hybrid sweep points must honor Options.Derive too — the unified
+// options contract says every engine receives the full derive options.
+func TestHybridHonorsDeriveOptions(t *testing.T) {
+	sc, err := zoo.LookupScenario("forkjoin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := func(p Point) (*model.Architecture, error) { return sc.Build(p), nil }
+	axes := []Axis{{Name: "tokens", Values: []int64{20}}}
+	group := sc.HybridGroup(zoo.ParamMap{})
+	plain, err := Run(axes, gen, Options{Engine: "hybrid", Group: group})
+	if err != nil {
+		t.Fatal(err)
+	}
+	padded, err := Run(axes, gen, Options{Engine: "hybrid", Group: group,
+		Derive: derive.Options{PadNodes: 50}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if padded.Points[0].Run.GraphNodes != plain.Points[0].Run.GraphNodes+50 {
+		t.Fatalf("pad nodes dropped by the hybrid engine: %d vs %d+50",
 			padded.Points[0].Run.GraphNodes, plain.Points[0].Run.GraphNodes)
 	}
 }

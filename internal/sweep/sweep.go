@@ -4,34 +4,45 @@
 // batch evaluator: a parameter grid (the cartesian product of named
 // integer axes) is expanded into points, a generator maps each point to
 // an architecture model, and a worker pool evaluates every point with
-// the selected engine — the equivalent model (default), the event-driven
-// reference executor, or the adaptive engine.
+// any executor registered in internal/engine, selected by name —
+// "equivalent" (default), "reference", "hybrid" (with Options.Group) or
+// "adaptive", plus whatever future engines register.
 //
 // Derivation is cached by structural shape (derive.Cache): when points
 // differ only in parameters — token counts, periods, seeds, schedules,
 // costs, resource speeds — the temporal dependency graph is derived
 // once and re-bound per point, so the symbolic execution cost is paid
-// once per shape rather than once per point.
+// once per shape rather than once per point. The cache is injected into
+// every engine run, so the hybrid and adaptive engines share it too.
 //
 // Every point is evaluated independently and deterministically: the
 // per-point results (instants, stats) are identical regardless of the
-// worker count or scheduling order.
+// worker count or scheduling order. RunContext threads a context through
+// the worker pool: a cancelled context stops dispatching points,
+// fails the remaining ones with the context's error, and returns it
+// alongside the partial result.
 package sweep
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
 	"sync"
 	"time"
 
-	"dyncomp/internal/adaptive"
-	"dyncomp/internal/baseline"
-	"dyncomp/internal/core"
 	"dyncomp/internal/derive"
+	"dyncomp/internal/engine"
 	"dyncomp/internal/model"
 	"dyncomp/internal/observe"
 	"dyncomp/internal/sim"
+
+	// Register the built-in executors, so any consumer of the sweep
+	// engine can select them by name.
+	_ "dyncomp/internal/adaptive"
+	_ "dyncomp/internal/baseline"
+	_ "dyncomp/internal/core"
+	_ "dyncomp/internal/hybrid"
 )
 
 // Axis is one dimension of the design-space grid.
@@ -122,21 +133,8 @@ func Grid(axes []Axis) ([]Point, error) {
 // instance for the baseline run).
 type Generator func(Point) (*model.Architecture, error)
 
-// Engine selects which executor evaluates the points.
-type Engine int
-
-const (
-	// Equivalent evaluates each point with the equivalent model over the
-	// (cached) derived temporal dependency graph.
-	Equivalent Engine = iota
-	// Reference evaluates each point with the event-driven reference
-	// executor (no derivation; useful for baselines and cross-checks).
-	Reference
-	// Adaptive evaluates each point with the adaptive engine: detailed
-	// execution through transients, dynamic computation through confirmed
-	// steady states, sharing the sweep's derivation cache across points.
-	Adaptive
-)
+// DefaultEngine evaluates the points when Options.Engine is empty.
+const DefaultEngine = "equivalent"
 
 // Options configures a sweep.
 type Options struct {
@@ -144,14 +142,22 @@ type Options struct {
 	// (PointStats.Wall) of concurrent runs perturb each other: use
 	// Workers 1 when wall-clock speed-ups are the measurement.
 	Workers int
-	// Engine selects the evaluator (default Equivalent).
-	Engine Engine
+	// Engine names the registered executor evaluating every point
+	// (engine.Names() lists them); empty selects DefaultEngine.
+	Engine string
 	// Window sets the adaptive engine's steady-state confirmation window
 	// (0: the engine's default). Ignored by the other engines.
 	Window int
+	// Group names the functions the hybrid engine abstracts on every
+	// point. Required by (and only read by) the hybrid engine.
+	Group []string
+	// GroupFor, when non-nil, overrides Group per point — for grids
+	// whose axes change the architecture's structure (and with it the
+	// group), e.g. sweeping the fork-join worker count.
+	GroupFor func(Point) []string
 	// Baseline also runs the reference executor on every point (from a
 	// fresh Generator call) and fills PointResult.Baseline, EventRatio
-	// and SpeedUp. Meaningful with Engine Equivalent or Adaptive.
+	// and SpeedUp. Meaningful with any engine but "reference" itself.
 	Baseline bool
 	// Record keeps per-point evolution traces.
 	Record bool
@@ -227,10 +233,38 @@ type Result struct {
 
 // Run expands the grid, shards it across the worker pool and evaluates
 // every point. Per-point failures are reported in PointResult.Err (and
-// counted in Stats.Failed); Run itself fails only on unusable input.
+// counted in Stats.Failed); Run itself fails only on unusable input. It
+// is RunContext with a background context.
 func Run(axes []Axis, gen Generator, opts Options) (*Result, error) {
+	return RunContext(context.Background(), axes, gen, opts)
+}
+
+// RunContext is Run with cancellation threaded through the worker pool:
+// once ctx is cancelled no further point is dispatched, every remaining
+// point fails with the context's error, and RunContext returns ctx.Err()
+// alongside the partial result (completed points keep their stats and
+// the aggregate statistics cover them). In-flight points stop at their
+// engine's cancellation granularity.
+func RunContext(ctx context.Context, axes []Axis, gen Generator, opts Options) (*Result, error) {
 	if gen == nil {
 		return nil, fmt.Errorf("sweep: nil generator")
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	name := opts.Engine
+	if name == "" {
+		name = DefaultEngine
+	}
+	eng, err := engine.Lookup(name)
+	if err != nil {
+		return nil, fmt.Errorf("sweep: %w", err)
+	}
+	var refEng engine.Engine
+	if opts.Baseline {
+		if refEng, err = engine.Lookup("reference"); err != nil {
+			return nil, fmt.Errorf("sweep: %w", err)
+		}
 	}
 	pts, err := Grid(axes)
 	if err != nil {
@@ -257,28 +291,47 @@ func Run(axes []Axis, gen Generator, opts Options) (*Result, error) {
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				results[i] = evalPoint(pts[i], gen, opts, cache)
+				// A dispatched point may still see the cancellation
+				// before its evaluation started.
+				if err := ctx.Err(); err != nil {
+					results[i] = PointResult{Point: pts[i], Err: err}
+					continue
+				}
+				results[i] = evalPoint(ctx, pts[i], gen, eng, refEng, opts, cache)
 			}
 		}()
 	}
+dispatch:
 	for i := range pts {
-		jobs <- i
+		select {
+		case <-ctx.Done():
+			// Stop dispatching; the undispatched tail is only touched
+			// here, never by a worker.
+			for j := i; j < len(pts); j++ {
+				results[j] = PointResult{Point: pts[j], Err: ctx.Err()}
+			}
+			break dispatch
+		case jobs <- i:
+		}
 	}
 	close(jobs)
 	wg.Wait()
 
 	res := &Result{Points: results}
 	res.Stats = summarize(results, cache, time.Since(start))
+	if err := ctx.Err(); err != nil {
+		return res, err
+	}
 	return res, nil
 }
 
-// evalPoint evaluates one grid point: generate the architecture, obtain
-// its derivation through the cache, run the equivalent model, and
-// optionally pair it with a reference-executor baseline. Panics —
+// evalPoint evaluates one grid point: generate the architecture, run the
+// selected engine on it (with the sweep's shared derive cache injected),
+// and optionally pair it with a reference-executor baseline. Panics —
 // model builders and engines use them for invalid configurations —
 // are confined to the point: one bad configuration must not kill a
 // thousand-point sweep.
-func evalPoint(p Point, gen Generator, opts Options, cache *derive.Cache) (pr PointResult) {
+func evalPoint(ctx context.Context, p Point, gen Generator, eng, refEng engine.Engine, opts Options, cache *derive.Cache) (pr PointResult) {
 	defer func() {
 		if r := recover(); r != nil {
 			pr = PointResult{
@@ -298,76 +351,28 @@ func evalPoint(p Point, gen Generator, opts Options, cache *derive.Cache) (pr Po
 		return pr
 	}
 
-	if opts.Engine == Reference {
-		pr.Run, pr.Trace, pr.Err = runReference(a, opts)
-		return pr
-	}
-
 	dopts := opts.Derive
 	if opts.DeriveFor != nil {
 		dopts = opts.DeriveFor(p)
 	}
-	switch opts.Engine {
-	case Adaptive:
-		var trace *observe.Trace
-		if opts.Record {
-			trace = observe.NewTrace(a.Name + "/adaptive")
-		}
-		begin := time.Now()
-		r, err := adaptive.Run(a, adaptive.Options{
-			Trace:  trace,
-			Limit:  opts.Limit,
-			Window: opts.Window,
-			Derive: dopts,
-			Cache:  cache,
-		})
-		if err != nil {
-			pr.Err = fmt.Errorf("sweep: point %d (%s): %w", p.Index, p, err)
-			return pr
-		}
-		pr.Run = PointStats{
-			Activations: r.Stats.Activations,
-			Events:      r.Stats.Events(),
-			FinalTimeNs: int64(r.Stats.FinalTime),
-			Iterations:  r.Iterations,
-			GraphNodes:  r.GraphNodes,
-			Switches:    r.Switches,
-			Fallbacks:   r.Fallbacks,
-			Wall:        time.Since(begin),
-		}
-		pr.Trace = trace
-
-	default: // Equivalent
-		dres, err := cache.Derive(a, dopts)
-		if err != nil {
-			pr.Err = fmt.Errorf("sweep: point %d (%s): %w", p.Index, p, err)
-			return pr
-		}
-		m, err := core.New(dres)
-		if err != nil {
-			pr.Err = fmt.Errorf("sweep: point %d (%s): %w", p.Index, p, err)
-			return pr
-		}
-		var trace *observe.Trace
-		if opts.Record {
-			trace = observe.NewTrace(a.Name + "/equivalent")
-		}
-		begin := time.Now()
-		r, err := m.Run(core.Options{Trace: trace, Limit: opts.Limit})
-		if err != nil {
-			pr.Err = fmt.Errorf("sweep: point %d (%s): %w", p.Index, p, err)
-			return pr
-		}
-		pr.Run = PointStats{
-			Activations: r.Stats.Activations,
-			Events:      r.Stats.TimedEvents + r.Stats.DeltaNotifies,
-			FinalTimeNs: int64(r.Stats.FinalTime),
-			Iterations:  r.Iterations,
-			GraphNodes:  dres.Graph.NodeCountWithDelays(),
-			Wall:        time.Since(begin),
-		}
-		pr.Trace = trace
+	group := opts.Group
+	if opts.GroupFor != nil {
+		group = opts.GroupFor(p)
 	}
+	r, err := eng.Run(ctx, a, engine.Options{
+		Record:        opts.Record,
+		LimitNs:       int64(opts.Limit),
+		WindowK:       opts.Window,
+		AbstractGroup: group,
+		Derive:        dopts,
+		Cache:         cache,
+	})
+	if err != nil {
+		pr.Err = fmt.Errorf("sweep: point %d (%s): %w", p.Index, p, err)
+		return pr
+	}
+	pr.Run = pointStats(r)
+	pr.Trace = r.Trace
 
 	if opts.Baseline {
 		// A fresh instance keeps the engines from sharing memoized
@@ -377,13 +382,17 @@ func evalPoint(p Point, gen Generator, opts Options, cache *derive.Cache) (pr Po
 			pr.Err = fmt.Errorf("sweep: point %d (%s): baseline: %w", p.Index, p, err)
 			return pr
 		}
-		bs, bt, err := runReference(ab, opts)
+		br, err := refEng.Run(ctx, ab, engine.Options{
+			Record:  opts.Record,
+			LimitNs: int64(opts.Limit),
+		})
 		if err != nil {
 			pr.Err = fmt.Errorf("sweep: point %d (%s): baseline: %w", p.Index, p, err)
 			return pr
 		}
+		bs := pointStats(br)
 		pr.Baseline = &bs
-		pr.BaselineTrace = bt
+		pr.BaselineTrace = br.Trace
 		if pr.Run.Activations > 0 {
 			pr.EventRatio = float64(bs.Activations) / float64(pr.Run.Activations)
 		}
@@ -394,22 +403,18 @@ func evalPoint(p Point, gen Generator, opts Options, cache *derive.Cache) (pr Po
 	return pr
 }
 
-func runReference(a *model.Architecture, opts Options) (PointStats, *observe.Trace, error) {
-	var trace *observe.Trace
-	if opts.Record {
-		trace = observe.NewTrace(a.Name + "/reference")
-	}
-	begin := time.Now()
-	r, err := baseline.Run(a, baseline.Options{Trace: trace, Limit: opts.Limit})
-	if err != nil {
-		return PointStats{}, nil, err
-	}
+// pointStats converts a uniform engine result into per-point statistics.
+func pointStats(r *engine.Result) PointStats {
 	return PointStats{
-		Activations: r.Stats.Activations,
-		Events:      r.Stats.TimedEvents + r.Stats.DeltaNotifies,
-		FinalTimeNs: int64(r.Stats.FinalTime),
-		Wall:        time.Since(begin),
-	}, trace, nil
+		Activations: r.Activations,
+		Events:      r.Events,
+		FinalTimeNs: r.FinalTimeNs,
+		Iterations:  r.Iterations,
+		GraphNodes:  r.GraphNodes,
+		Switches:    r.Switches,
+		Fallbacks:   r.Fallbacks,
+		Wall:        time.Duration(r.WallNs),
+	}
 }
 
 func summarize(results []PointResult, cache *derive.Cache, wall time.Duration) Stats {

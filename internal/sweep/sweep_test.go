@@ -192,7 +192,7 @@ func TestBaselinePairing(t *testing.T) {
 func TestReferenceEngine(t *testing.T) {
 	axes := []Axis{{Name: "tokens", Values: []int64{10, 20}}}
 	before := derive.Calls()
-	res, err := Run(axes, pipelineGen(false), Options{Engine: Reference, Record: true})
+	res, err := Run(axes, pipelineGen(false), Options{Engine: "reference", Record: true})
 	if err != nil {
 		t.Fatal(err)
 	}

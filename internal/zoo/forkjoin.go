@@ -1,0 +1,126 @@
+package zoo
+
+import (
+	"fmt"
+
+	"dyncomp/internal/maxplus"
+	"dyncomp/internal/model"
+	"dyncomp/internal/workload"
+)
+
+// DefaultForkJoinWorkers is the worker count used when a ForkJoin spec
+// or parameter set does not name one.
+const DefaultForkJoinWorkers = 3
+
+// ForkJoinSpec parameterizes the fork-join scenario.
+type ForkJoinSpec struct {
+	Workers int       // parallel workers between split and gather (>= 1)
+	Tokens  int       // tokens produced by the source
+	Period  maxplus.T // source period; 0 means an eager source
+	Seed    int64     // token size stream seed
+}
+
+// ForkJoin builds a fork-join architecture: a producer reads the source
+// stream, splits each token to N parallel workers (one write per worker
+// channel), every worker processes its copy on its own processor with a
+// distinct data-dependent cost, and a gather stage on dedicated hardware
+// joins the N results and emits one output token. Unlike the didactic
+// example and the linear pipelines, iteration k's critical path runs
+// through whichever worker is slowest, exercising the ⊕ (max) over
+// parallel branches in every engine.
+func ForkJoin(spec ForkJoinSpec) *model.Architecture {
+	n := spec.Workers
+	if n < 1 {
+		panic("zoo: fork-join needs at least one worker")
+	}
+	a := model.NewArchitecture(fmt.Sprintf("forkjoin-%d", n))
+
+	cin := a.AddChannel("FJ_in", model.Rendezvous, 0)
+	fan := make([]*model.Channel, n)
+	join := make([]*model.Channel, n)
+	for i := range fan {
+		fan[i] = a.AddChannel(fmt.Sprintf("FJ_f%d", i+1), model.Rendezvous, 0)
+		join[i] = a.AddChannel(fmt.Sprintf("FJ_g%d", i+1), model.Rendezvous, 0)
+	}
+	out := a.AddChannel("FJ_out", model.Rendezvous, 0)
+
+	cost := func(base float64) model.CostFn {
+		return func(t model.Token) model.Load {
+			return model.Load{Ops: base + float64(t.Size)}
+		}
+	}
+
+	// Producer: one split execution, then one write per worker.
+	body := []model.Stmt{
+		model.Read{Ch: cin},
+		model.Exec{Label: "Tsplit", Cost: cost(90)},
+	}
+	for i := range fan {
+		body = append(body, model.Write{Ch: fan[i]})
+	}
+	split := a.AddFunction("Split", body...)
+	psplit := a.AddProcessor("Psplit", 1e9)
+	a.Map(psplit, split)
+
+	// Workers: one per processor, staggered cost bases so the critical
+	// branch is data-dependent, not fixed.
+	for i := 0; i < n; i++ {
+		w := a.AddFunction(fmt.Sprintf("W%d", i+1),
+			model.Read{Ch: fan[i]},
+			model.Exec{Label: fmt.Sprintf("Tw%d", i+1), Cost: cost(100 + 30*float64(i%5))},
+			model.Write{Ch: join[i]},
+		)
+		p := a.AddProcessor(fmt.Sprintf("Pw%d", i+1), 1e9)
+		a.Map(p, w)
+	}
+
+	// Gather: read every branch, join, emit.
+	gbody := make([]model.Stmt, 0, n+2)
+	for i := range join {
+		gbody = append(gbody, model.Read{Ch: join[i]})
+	}
+	gbody = append(gbody,
+		model.Exec{Label: "Tgather", Cost: cost(120)},
+		model.Write{Ch: out},
+	)
+	gather := a.AddFunction("Gather", gbody...)
+	pg := a.AddHardware("Pgather", 1e9)
+	a.Map(pg, gather)
+
+	sched := model.Eager()
+	if spec.Period > 0 {
+		sched = model.Periodic(spec.Period, 0)
+	}
+	tokens := spec.Tokens
+	if tokens <= 0 {
+		tokens = 1
+	}
+	seed := spec.Seed
+	a.AddSource("src", cin, sched, func(k int) model.Token {
+		return model.Token{Size: workload.SizeStream(seed, 48, 144)(k)}
+	}, tokens)
+	a.AddSink("env", out)
+	return a
+}
+
+// ForkJoinFromParams builds the fork-join scenario from the parameters
+// workers, tokens, period and seed.
+func ForkJoinFromParams(p Params) *model.Architecture {
+	return ForkJoin(ForkJoinSpec{
+		Workers: int(param(p, "workers", DefaultForkJoinWorkers)),
+		Tokens:  int(param(p, "tokens", 1000)),
+		Period:  maxplus.T(param(p, "period", 800)),
+		Seed:    param(p, "seed", 11),
+	})
+}
+
+// forkJoinHybridGroup abstracts the parallel region: every worker plus
+// the gather stage. The group is closed under their resources, takes the
+// N fan-out channels as boundary inputs and emits through FJ_out.
+func forkJoinHybridGroup(workers int) []string {
+	group := make([]string, 0, workers+1)
+	for i := 1; i <= workers; i++ {
+		group = append(group, fmt.Sprintf("W%d", i))
+	}
+	return append(group, "Gather")
+}

@@ -1,0 +1,197 @@
+package zoo
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"dyncomp/internal/maxplus"
+	"dyncomp/internal/model"
+)
+
+// Scenario is a named, parameterized architecture family. Scenarios are
+// the second half of the engine × scenario matrix: any registered engine
+// (internal/engine) can run any registered scenario by name, which is
+// what the CLIs, the cross-engine equivalence tests and the experiment
+// harness iterate over.
+type Scenario struct {
+	// Name is the registry key ("didactic", "pipeline", ...).
+	Name string
+	// Desc is a one-line description for CLI usage texts.
+	Desc string
+	// ParamsHelp lists the recognized parameter names (absent parameters
+	// fall back to scenario defaults), for CLI usage texts.
+	ParamsHelp string
+	// Build maps named integer parameters to an architecture. It must be
+	// deterministic and safe for concurrent calls.
+	Build func(Params) *model.Architecture
+	// HybridGroup returns the scenario's canonical function group for
+	// the hybrid engine on the architecture Build(p) — the group is
+	// closed under resources and emits through one boundary channel.
+	// Nil when the scenario has no canonical group (e.g. randomized
+	// structures); the hybrid engine is then skipped for it.
+	HybridGroup func(p Params) []string
+}
+
+// GroupFor returns the scenario's canonical abstraction group when the
+// named engine needs one ("hybrid"), and nil otherwise — including when
+// the scenario declares no canonical group, which callers should treat
+// as "this engine × scenario combination is not runnable by default".
+func (s Scenario) GroupFor(engineName string, p Params) []string {
+	if engineName != "hybrid" || s.HybridGroup == nil {
+		return nil
+	}
+	return s.HybridGroup(p)
+}
+
+// ParamMap is a literal Params implementation for tests and defaults.
+type ParamMap map[string]int64
+
+// Lookup implements Params.
+func (m ParamMap) Lookup(name string) (int64, bool) {
+	v, ok := m[name]
+	return v, ok
+}
+
+var (
+	scenarioMu  sync.RWMutex
+	scenarioReg = map[string]Scenario{}
+)
+
+// Register adds a scenario to the registry. It panics on an empty name,
+// a nil Build, or a duplicate — programmer errors in an init function.
+func Register(s Scenario) {
+	if s.Name == "" {
+		panic("zoo: Register with empty scenario name")
+	}
+	if s.Build == nil {
+		panic(fmt.Sprintf("zoo: scenario %q has no Build", s.Name))
+	}
+	scenarioMu.Lock()
+	defer scenarioMu.Unlock()
+	if _, dup := scenarioReg[s.Name]; dup {
+		panic(fmt.Sprintf("zoo: duplicate scenario %q", s.Name))
+	}
+	scenarioReg[s.Name] = s
+}
+
+// LookupScenario returns the scenario registered under name; the error
+// of an unknown name lists every registered scenario.
+func LookupScenario(name string) (Scenario, error) {
+	scenarioMu.RLock()
+	s, ok := scenarioReg[name]
+	scenarioMu.RUnlock()
+	if !ok {
+		return Scenario{}, fmt.Errorf("zoo: unknown scenario %q (registered: %s)",
+			name, strings.Join(ScenarioNames(), "|"))
+	}
+	return s, nil
+}
+
+// Scenarios returns every registered scenario, sorted by name.
+func Scenarios() []Scenario {
+	scenarioMu.RLock()
+	defer scenarioMu.RUnlock()
+	out := make([]Scenario, 0, len(scenarioReg))
+	for _, s := range scenarioReg {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// ScenarioNames returns the registered scenario names, sorted.
+func ScenarioNames() []string {
+	scenarioMu.RLock()
+	defer scenarioMu.RUnlock()
+	names := make([]string, 0, len(scenarioReg))
+	for n := range scenarioReg {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// didacticHybridGroup is the canonical hybrid group of the (chained)
+// didactic architecture: the last stage's hardware half {F3, F4} —
+// closed under resource P2 of that stage, emitting through the final M6.
+func didacticHybridGroup(stages int) []string {
+	suffix := ""
+	if stages > 1 {
+		suffix = fmt.Sprintf("_%d", stages)
+	}
+	return []string{"F3" + suffix, "F4" + suffix}
+}
+
+func init() {
+	Register(Scenario{
+		Name:       "didactic",
+		Desc:       "the paper's Fig. 1 example (Table I chained variant via stages)",
+		ParamsHelp: "stages, tokens, period, seed, fifo",
+		Build:      func(p Params) *model.Architecture { return DidacticFromParams(p) },
+		HybridGroup: func(p Params) []string {
+			return didacticHybridGroup(int(param(p, "stages", 1)))
+		},
+	})
+	Register(Scenario{
+		Name:       "chain",
+		Desc:       "chained didactic stages in series (Table I Examples 2-4)",
+		ParamsHelp: "stages, tokens, period, seed, fifo",
+		Build: func(p Params) *model.Architecture {
+			return DidacticChain(int(param(p, "stages", 2)), DidacticSpec{
+				Tokens:  int(param(p, "tokens", 1000)),
+				Period:  maxplus.T(param(p, "period", 1200)),
+				Seed:    param(p, "seed", 41),
+				UseFIFO: param(p, "fifo", 0) != 0,
+			})
+		},
+		HybridGroup: func(p Params) []string {
+			return didacticHybridGroup(int(param(p, "stages", 2)))
+		},
+	})
+	Register(Scenario{
+		Name:       "pipeline",
+		Desc:       "the Fig. 5 synthetic linear pipeline",
+		ParamsHelp: "xsize, tokens, period, seed",
+		Build:      func(p Params) *model.Architecture { return PipelineFromParams(p) },
+		HybridGroup: func(p Params) []string {
+			// The tail of the pipeline: up to the last two stages.
+			nfun := int(param(p, "xsize", 6)) - 1
+			first := nfun - 1
+			if first < 1 {
+				first = 1
+			}
+			var group []string
+			for i := first; i <= nfun; i++ {
+				group = append(group, fmt.Sprintf("S%d", i))
+			}
+			return group
+		},
+	})
+	Register(Scenario{
+		Name:       "phased",
+		Desc:       "phase-changing didactic workload (the adaptive engine's reference)",
+		ParamsHelp: "tokens, period, seed, fifo, stages",
+		Build:      func(p Params) *model.Architecture { return PhasedFromParams(p) },
+		HybridGroup: func(p Params) []string {
+			return didacticHybridGroup(int(param(p, "stages", 1)))
+		},
+	})
+	Register(Scenario{
+		Name:       "forkjoin",
+		Desc:       "one producer fanning out to N parallel workers with a gather stage",
+		ParamsHelp: "workers, tokens, period, seed",
+		Build:      func(p Params) *model.Architecture { return ForkJoinFromParams(p) },
+		HybridGroup: func(p Params) []string {
+			return forkJoinHybridGroup(int(param(p, "workers", DefaultForkJoinWorkers)))
+		},
+	})
+	Register(Scenario{
+		Name:       "random",
+		Desc:       "randomized-but-valid architecture (property-test structures)",
+		ParamsHelp: "seed, tokens",
+		Build:      func(p Params) *model.Architecture { return RandomFromParams(p) },
+		// No canonical hybrid group: the structure varies with the seed.
+	})
+}

@@ -1,0 +1,110 @@
+package dyncomp
+
+import (
+	"context"
+
+	"dyncomp/internal/derive"
+	"dyncomp/internal/engine"
+
+	// Register the four built-in executors with the engine registry.
+	_ "dyncomp/internal/adaptive"
+	_ "dyncomp/internal/baseline"
+	_ "dyncomp/internal/core"
+	_ "dyncomp/internal/hybrid"
+)
+
+// EngineOptions is the unified configuration accepted by every engine;
+// fields an engine has no use for are ignored (only the adaptive engine
+// reads WindowK, only the hybrid engine reads AbstractGroup).
+type EngineOptions struct {
+	// Record enables evolution-instant and resource-activity recording.
+	Record bool
+	// LimitNs bounds the simulated time in nanoseconds (0: run to
+	// completion).
+	LimitNs int64
+	// IterLimit, when positive, bounds the evolution to iterations
+	// [0, IterLimit): every source stops after token IterLimit-1.
+	IterLimit int
+	// WindowK is the adaptive engine's steady-state confirmation window
+	// (0: engine default).
+	WindowK int
+	// AbstractGroup names the functions the hybrid engine abstracts;
+	// required by the hybrid engine, ignored by the others.
+	AbstractGroup []string
+	// Reduce prunes value-redundant arcs from derived temporal
+	// dependency graphs.
+	Reduce bool
+}
+
+// EngineResult is the unified report of a completed run; fields an
+// engine cannot fill stay zero (the reference executor derives no graph,
+// only the adaptive engine switches modes).
+type EngineResult struct {
+	// Trace holds the recorded evolution when EngineOptions.Record was
+	// set; it is bit-exact across engines.
+	Trace *Trace
+	// Activations counts kernel context switches, Events kernel
+	// event-queue operations.
+	Activations int64
+	Events      int64
+	// FinalTimeNs is the simulated time reached.
+	FinalTimeNs int64
+	// WallNs is the host wall-clock time of the execution section.
+	WallNs int64
+	// Iterations counts completed evolution iterations (0 when the
+	// engine does not track them).
+	Iterations int
+	// GraphNodes is the derived graph size in the paper's counting.
+	GraphNodes int
+	// Switches and Fallbacks report the adaptive engine's mode changes.
+	Switches  int
+	Fallbacks int
+}
+
+// Engines lists the registered execution engines, sorted by name —
+// "adaptive", "equivalent", "hybrid", "reference" plus any future ones.
+// Every engine produces bit-exact evolution instants on any architecture
+// it accepts; they differ only in how much kernel work they pay.
+func Engines() []string { return engine.Names() }
+
+// Run simulates the architecture with the named engine (any name from
+// Engines). It is the uniform entry point behind which the four
+// executors are interchangeable:
+//
+//	ref, _ := dyncomp.Run(ctx, "reference", a, dyncomp.EngineOptions{Record: true})
+//	eq,  _ := dyncomp.Run(ctx, "equivalent", a, dyncomp.EngineOptions{Record: true})
+//	err := dyncomp.CompareTraces(ref.Trace, eq.Trace) // nil: bit-exact
+//
+// Cancellation is honored at the engine's natural granularity (the
+// adaptive engine between execution phases, the others before starting).
+func Run(ctx context.Context, engineName string, a *Architecture, opts EngineOptions) (*EngineResult, error) {
+	eng, err := engine.Lookup(engineName)
+	if err != nil {
+		return nil, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	r, err := eng.Run(ctx, a, engine.Options{
+		Record:        opts.Record,
+		LimitNs:       opts.LimitNs,
+		IterLimit:     opts.IterLimit,
+		WindowK:       opts.WindowK,
+		AbstractGroup: opts.AbstractGroup,
+		Derive:        derive.Options{Reduce: opts.Reduce},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &EngineResult{
+		Trace:       r.Trace,
+		Activations: r.Activations,
+		Events:      r.Events,
+		FinalTimeNs: r.FinalTimeNs,
+		WallNs:      r.WallNs,
+		Iterations:  r.Iterations,
+		GraphNodes:  r.GraphNodes,
+		Switches:    r.Switches,
+		Fallbacks:   r.Fallbacks,
+	}, nil
+}

@@ -1,0 +1,115 @@
+package dyncomp
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"dyncomp/internal/zoo"
+)
+
+// The registry facade must expose the four executors.
+func TestEnginesListsFourExecutors(t *testing.T) {
+	names := Engines()
+	want := map[string]bool{"adaptive": true, "equivalent": true, "hybrid": true, "reference": true}
+	for _, n := range names {
+		delete(want, n)
+	}
+	if len(want) != 0 {
+		t.Fatalf("Engines() = %v, missing %v", names, want)
+	}
+}
+
+// Run with an engine name and the legacy wrappers are the same code
+// path; their results must be identical field for field.
+func TestRunMatchesLegacyWrappers(t *testing.T) {
+	ctx := context.Background()
+	ref, err := RunReference(buildSmoke(200), RunOptions{Record: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"equivalent", "adaptive"} {
+		r, err := Run(ctx, name, buildSmoke(200), EngineOptions{Record: true})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := CompareTraces(ref.Trace, r.Trace); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+	eqOld, err := RunEquivalent(buildSmoke(200), RunOptions{Record: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eqNew, err := Run(ctx, "equivalent", buildSmoke(200), EngineOptions{Record: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eqOld.Activations != eqNew.Activations || eqOld.Events != eqNew.Events ||
+		eqOld.FinalTimeNs != eqNew.FinalTimeNs || eqOld.GraphNodes != eqNew.GraphNodes {
+		t.Fatalf("wrapper and Run disagree:\n%+v\n%+v", eqOld, eqNew)
+	}
+}
+
+func TestRunHybridViaRegistry(t *testing.T) {
+	ref, err := RunReference(buildSmoke(150), RunOptions{Record: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Run(context.Background(), "hybrid", buildSmoke(150), EngineOptions{
+		Record:        true,
+		AbstractGroup: []string{"stage2"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CompareTraces(ref.Trace, r.Trace); err != nil {
+		t.Fatal(err)
+	}
+	if r.GraphNodes == 0 {
+		t.Fatal("hybrid derived no graph")
+	}
+}
+
+func TestRunUnknownEngine(t *testing.T) {
+	if _, err := Run(context.Background(), "warp-drive", buildSmoke(5), EngineOptions{}); err == nil {
+		t.Fatal("unknown engine accepted")
+	}
+}
+
+// SweepContext must return partial results with the context error, and
+// the hybrid engine must be selectable by name.
+func TestSweepContextCancelledAndHybridByName(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	axes := []SweepAxis{{Name: "seed", Values: []int64{1, 2}}}
+	gen := func(p SweepPoint) (*Architecture, error) {
+		return zoo.Pipeline(zoo.PipelineSpec{XSize: 4, Tokens: 10, Seed: p.Get("seed", 0)}), nil
+	}
+	res, err := SweepContext(ctx, axes, gen, SweepOptions{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res == nil || len(res.Points) != 2 {
+		t.Fatalf("partial result missing: %+v", res)
+	}
+
+	sc, err := zoo.LookupScenario("forkjoin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sres, err := Sweep(axes, func(p SweepPoint) (*Architecture, error) {
+		return zoo.ForkJoin(zoo.ForkJoinSpec{Workers: 3, Tokens: 15, Seed: p.Get("seed", 0)}), nil
+	}, SweepOptions{EngineName: "hybrid", Group: sc.HybridGroup(zoo.ParamMap{}), Record: true, Baseline: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, pr := range sres.Points {
+		if pr.Err != nil {
+			t.Fatalf("point %d: %v", i, pr.Err)
+		}
+		if err := CompareTraces(pr.Baseline.Trace, pr.Trace); err != nil {
+			t.Fatalf("point %d: %v", i, err)
+		}
+	}
+}

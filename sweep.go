@@ -1,6 +1,7 @@
 package dyncomp
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -29,6 +30,10 @@ type SweepGenerator = func(SweepPoint) (*Architecture, error)
 type SweepStats = sweep.Stats
 
 // SweepEngine selects the executor evaluating every sweep point.
+//
+// Deprecated: engines are addressed by their registered name; use
+// SweepOptions.EngineName (see Engines for the available names). The
+// enum remains for compatibility and covers only the original three.
 type SweepEngine int
 
 // Sweep engines.
@@ -44,14 +49,35 @@ const (
 	SweepAdaptive
 )
 
+// name maps the legacy enum onto the engine registry's names.
+func (e SweepEngine) name() string {
+	switch e {
+	case SweepReference:
+		return "reference"
+	case SweepAdaptive:
+		return "adaptive"
+	default:
+		return "equivalent"
+	}
+}
+
 // SweepOptions configures a design-space sweep.
 type SweepOptions struct {
 	// Workers is the worker-pool size; 0 uses all processors. Per-point
 	// results are identical for any worker count; only wall-clock
 	// timings are perturbed by concurrency.
 	Workers int
+	// EngineName names the registered executor evaluating every point —
+	// any name from Engines(), e.g. "hybrid" (with Group set). Empty
+	// falls back to the deprecated Engine enum.
+	EngineName string
 	// Engine selects the per-point executor (default SweepEquivalent).
+	//
+	// Deprecated: use EngineName.
 	Engine SweepEngine
+	// Group names the functions the hybrid engine abstracts on every
+	// point; ignored by the other engines.
+	Group []string
 	// WindowK sets the adaptive engine's steady-state window (0: engine
 	// default); ignored by the other engines.
 	WindowK int
@@ -100,28 +126,42 @@ type SweepResult struct {
 }
 
 // Sweep evaluates every configuration of the grid spanned by axes,
-// sharding the points across a worker pool; SweepOptions.Engine selects
-// the per-point executor (equivalent model by default, reference
-// executor, or the adaptive engine). The
+// sharding the points across a worker pool; SweepOptions.EngineName (or
+// the deprecated Engine enum) selects the per-point executor — any
+// registered engine: equivalent model by default, reference executor,
+// hybrid with an abstracted group, or the adaptive engine. The
 // temporal dependency graph is derived once per structural shape and
 // re-bound to every other point of that shape, so sweeping parameters
 // (token counts, periods, seeds, costs, speeds) over a fixed topology
 // pays the derivation cost once; per-point results are bit-identical to
-// individual RunEquivalent calls.
+// individual single-run calls of the same engine.
 //
 // Failed points carry their error in Points[i].Err; when any point
 // failed, Sweep also returns a summary error alongside the full result.
 func Sweep(axes []SweepAxis, gen SweepGenerator, opts SweepOptions) (*SweepResult, error) {
-	res, err := sweep.Run(axes, sweep.Generator(gen), sweep.Options{
+	return SweepContext(context.Background(), axes, gen, opts)
+}
+
+// SweepContext is Sweep with cancellation threaded through the worker
+// pool: once ctx is cancelled no further point is dispatched, the
+// remaining points fail with the context's error, and SweepContext
+// returns it alongside the partial result.
+func SweepContext(ctx context.Context, axes []SweepAxis, gen SweepGenerator, opts SweepOptions) (*SweepResult, error) {
+	name := opts.EngineName
+	if name == "" {
+		name = opts.Engine.name()
+	}
+	res, err := sweep.RunContext(ctx, axes, sweep.Generator(gen), sweep.Options{
 		Workers:  opts.Workers,
-		Engine:   sweep.Engine(opts.Engine),
+		Engine:   name,
 		Window:   opts.WindowK,
+		Group:    opts.Group,
 		Record:   opts.Record,
 		Limit:    sim.Time(opts.LimitNs),
 		Baseline: opts.Baseline,
 		Derive:   derive.Options{Reduce: opts.Reduce},
 	})
-	if err != nil {
+	if err != nil && res == nil {
 		return nil, err
 	}
 	out := &SweepResult{
@@ -159,6 +199,10 @@ func Sweep(axes []SweepAxis, gen SweepGenerator, opts SweepOptions) (*SweepResul
 			firstErr = pr.Err
 		}
 		out.Points[i] = sp
+	}
+	if err != nil {
+		// Cancellation: the partial result travels with the context error.
+		return out, err
 	}
 	if firstErr != nil {
 		return out, fmt.Errorf("sweep: %d of %d points failed; first: %w",
