@@ -1,0 +1,93 @@
+// Command dyncomp-serve runs the simulation-as-a-service HTTP layer: a
+// long-lived process exposing the full engine × scenario matrix as a
+// JSON API — synchronous single-point evaluation with a process-wide
+// structure-keyed derivation cache, asynchronous design-space sweep jobs
+// with server-sent-event progress and cancellation, and introspection /
+// metrics endpoints. See docs/SERVING.md for the API reference.
+//
+//	dyncomp-serve -addr :8080
+//	dyncomp-serve -addr 127.0.0.1:0 -job-workers 4 -sweep-workers 8
+//
+//	curl -s localhost:8080/healthz
+//	curl -s localhost:8080/v1/engines
+//	curl -s -X POST localhost:8080/v1/run -d '{"scenario":"didactic","params":{"tokens":1000}}'
+//
+// With -addr host:0 the kernel picks a free port; the bound address is
+// printed on stdout as "listening on <addr>" before serving begins, so
+// wrappers (tests, scripts) can scrape it.
+//
+// The process shuts down gracefully on SIGINT/SIGTERM: the listener
+// stops accepting, in-flight HTTP requests get -drain-timeout to finish,
+// running sweep jobs are cancelled through their contexts (settling as
+// "cancelled" with partial results), and only then does the process
+// exit.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"dyncomp/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address (host:0 picks a free port)")
+	jobWorkers := flag.Int("job-workers", 2, "concurrent sweep jobs")
+	jobQueue := flag.Int("job-queue", 64, "queued sweep jobs before 429")
+	sweepWorkers := flag.Int("sweep-workers", 0, "per-job point-level workers (0: all processors)")
+	maxPoints := flag.Int("max-grid-points", 100000, "largest accepted sweep grid")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown budget for in-flight requests")
+	flag.Parse()
+
+	srv := serve.New(serve.Config{
+		JobWorkers:    *jobWorkers,
+		JobQueue:      *jobQueue,
+		SweepWorkers:  *sweepWorkers,
+		MaxGridPoints: *maxPoints,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dyncomp-serve: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("listening on %s\n", ln.Addr())
+
+	hs := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		// The listener failed outright; nothing to drain.
+		fmt.Fprintf(os.Stderr, "dyncomp-serve: %v\n", err)
+		srv.Close()
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+
+	fmt.Println("shutting down")
+	// Cancel running jobs first: they settle as "cancelled", which also
+	// ends their SSE streams, so the HTTP drain below empties fast.
+	srv.Close()
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := hs.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintf(os.Stderr, "dyncomp-serve: shutdown: %v\n", err)
+	}
+	fmt.Println("bye")
+}

@@ -1,0 +1,78 @@
+package dyncomp_test
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// mdLink matches inline markdown links and images: [text](target).
+// Reference-style links are not used in this repository.
+var mdLink = regexp.MustCompile(`!?\[[^\]]*\]\(([^)\s]+)(?:\s+"[^"]*")?\)`)
+
+// TestDocsLinks is the markdown link checker CI runs: every relative
+// link in the repository's markdown files must point at a file or
+// directory that exists, so the documentation suite cannot rot
+// silently. External links (with a scheme) and pure in-page anchors
+// are out of scope — nothing here should depend on the network.
+func TestDocsLinks(t *testing.T) {
+	var files []string
+	for _, pattern := range []string{"*.md", "docs/*.md"} {
+		match, err := filepath.Glob(pattern)
+		if err != nil {
+			t.Fatal(err)
+		}
+		files = append(files, match...)
+	}
+	if len(files) < 8 {
+		t.Fatalf("only %d markdown files found (%v); glob broken?", len(files), files)
+	}
+
+	checked := 0
+	for _, file := range files {
+		raw, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Fenced code blocks may contain [x](y)-looking text (e.g. shell
+		// arrays); strip them before matching.
+		content := stripFences(string(raw))
+		for _, m := range mdLink.FindAllStringSubmatch(content, -1) {
+			target := m[1]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") {
+				continue // external; not checked offline
+			}
+			target, _, _ = strings.Cut(target, "#")
+			if target == "" {
+				continue // pure in-page anchor
+			}
+			resolved := filepath.Join(filepath.Dir(file), target)
+			if _, err := os.Stat(resolved); err != nil {
+				t.Errorf("%s: broken link %q (resolved %s)", file, m[0], resolved)
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no relative links checked; regexp broken?")
+	}
+}
+
+// stripFences removes ``` fenced blocks.
+func stripFences(s string) string {
+	var out strings.Builder
+	inFence := false
+	for _, line := range strings.Split(s, "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			inFence = !inFence
+			continue
+		}
+		if !inFence {
+			out.WriteString(line)
+			out.WriteString("\n")
+		}
+	}
+	return out.String()
+}

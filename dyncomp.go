@@ -33,6 +33,12 @@
 // (RunReference, RunEquivalent, RunHybrid and RunAdaptive remain as
 // compatibility shims over the registry.)
 //
+// The whole matrix is also served over HTTP: internal/serve and the
+// dyncomp-serve command expose synchronous runs, asynchronous sweep
+// jobs with server-sent-event progress, and introspection endpoints,
+// sharing one NewCache-style derivation cache across all requests (see
+// docs/SERVING.md).
+//
 // The sub-systems live in internal packages: internal/sim (discrete-event
 // kernel), internal/model (architecture description), internal/maxplus
 // ((max,+) algebra), internal/tdg (temporal dependency graphs),
@@ -40,10 +46,12 @@
 // internal/baseline and internal/core (the two execution engines),
 // internal/hybrid (partial abstraction), internal/adaptive (temporal
 // abstraction / engine switching), internal/sweep (design-space
-// exploration), internal/observe (traces and resource usage),
-// internal/lte (the LTE case study) and internal/exp (the paper's
-// experiments). See docs/ARCHITECTURE.md for the paper-section→package
-// map and an engine decision table.
+// exploration), internal/serve (the HTTP serving layer),
+// internal/observe (traces and resource usage), internal/lte (the LTE
+// case study) and internal/exp (the paper's experiments). See
+// docs/ARCHITECTURE.md for the paper-section→package map and an engine
+// decision table, and docs/TUTORIAL.md for a guided tour from first
+// model to served sweeps.
 package dyncomp
 
 import (
@@ -158,8 +166,10 @@ func runNamed(engineName string, a *Architecture, opts EngineOptions) (*RunResul
 // RunReference simulates the architecture with the event-driven reference
 // executor — every relation among functions is a simulation event.
 //
-// Deprecated: RunReference is a shim over Run(ctx, "reference", a, ...);
-// new code should address engines by name through Run.
+// Deprecated: RunReference is a shim over [Run] with the engine name
+// "reference"; new code should address engines by name through the
+// registry — see the [Run] example (ExampleRun in example_test.go)
+// for the full replacement pattern.
 func RunReference(a *Architecture, opts RunOptions) (*RunResult, error) {
 	return runNamed("reference", a, EngineOptions{
 		Record: opts.Record, LimitNs: opts.LimitNs, Reduce: opts.Reduce,
@@ -171,8 +181,10 @@ func RunReference(a *Architecture, opts RunOptions) (*RunResult, error) {
 // computed, not simulated, so only boundary events reach the kernel. The
 // recorded trace is bit-exact against RunReference.
 //
-// Deprecated: RunEquivalent is a shim over Run(ctx, "equivalent", a,
-// ...); new code should address engines by name through Run.
+// Deprecated: RunEquivalent is a shim over [Run] with the engine name
+// "equivalent"; new code should address engines by name through the
+// registry — see the [Run] example for the replacement pattern, and
+// [NewCache] for sharing derivations across such runs.
 func RunEquivalent(a *Architecture, opts RunOptions) (*RunResult, error) {
 	return runNamed("equivalent", a, EngineOptions{
 		Record: opts.Record, LimitNs: opts.LimitNs, Reduce: opts.Reduce,
@@ -186,9 +198,10 @@ func RunEquivalent(a *Architecture, opts RunOptions) (*RunResult, error) {
 // processes". The group must cover whole resources and emit through one
 // boundary output channel.
 //
-// Deprecated: RunHybrid is a shim over Run(ctx, "hybrid", a, ...) with
-// EngineOptions.AbstractGroup; new code should address engines by name
-// through Run.
+// Deprecated: RunHybrid is a shim over [Run] with the engine name
+// "hybrid" and EngineOptions.AbstractGroup set to group; new code
+// should address engines by name through the registry — see the [Run]
+// example for the replacement pattern.
 func RunHybrid(a *Architecture, group []string, opts RunOptions) (*RunResult, error) {
 	return runNamed("hybrid", a, EngineOptions{
 		Record: opts.Record, LimitNs: opts.LimitNs, Reduce: opts.Reduce,

@@ -1,7 +1,9 @@
 package dyncomp_test
 
 import (
+	"context"
 	"fmt"
+	"strings"
 
 	"dyncomp"
 )
@@ -159,4 +161,65 @@ func ExampleRunHybrid() {
 	fmt.Println("exact:", dyncomp.CompareTraces(ref.Trace, hyb.Trace) == nil)
 	// Output:
 	// exact: true
+}
+
+// Engines are addressed by registered name through one uniform entry
+// point; this is the replacement for the deprecated per-engine wrappers
+// (RunReference, RunEquivalent, RunHybrid) and works for every engine
+// the registry knows, present or future.
+func ExampleRun() {
+	ctx := context.Background()
+	ref, err := dyncomp.Run(ctx, "reference", buildExample(), dyncomp.EngineOptions{Record: true})
+	if err != nil {
+		panic(err)
+	}
+	eq, err := dyncomp.Run(ctx, "equivalent", buildExample(), dyncomp.EngineOptions{Record: true})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("exact:", dyncomp.CompareTraces(ref.Trace, eq.Trace) == nil)
+	fmt.Println("events saved:", eq.Activations < ref.Activations)
+	// Output:
+	// exact: true
+	// events saved: true
+}
+
+// The registry lists every executor; any listed name is valid for Run,
+// SweepOptions.EngineName and the CLIs' -engine flags.
+func ExampleEngines() {
+	fmt.Println(strings.Join(dyncomp.Engines(), " "))
+	// Output:
+	// adaptive equivalent hybrid reference
+}
+
+// A shared cache derives the temporal dependency graph once per
+// structural shape: three runs differing only in the source period pay
+// one symbolic execution — the mechanism the sweep engine and the
+// dyncomp-serve HTTP layer use across requests.
+func ExampleNewCache() {
+	build := func(period dyncomp.Time) *dyncomp.Architecture {
+		a := dyncomp.NewArchitecture("example")
+		in := a.AddChannel("in", dyncomp.Rendezvous, 0)
+		out := a.AddChannel("out", dyncomp.Rendezvous, 0)
+		f := a.AddFunction("decode",
+			dyncomp.Read{Ch: in},
+			dyncomp.Exec{Label: "Tdec", Cost: dyncomp.OpsPerByte(100, 2)},
+			dyncomp.Write{Ch: out})
+		a.Map(a.AddProcessor("CPU0", 1e9), f)
+		a.AddSource("camera", in, dyncomp.Periodic(period, 0),
+			func(k int) dyncomp.Token { return dyncomp.Token{Size: 64} }, 100)
+		a.AddSink("display", out)
+		return a
+	}
+	cache := dyncomp.NewCache()
+	ctx := context.Background()
+	for _, period := range []dyncomp.Time{800, 1000, 1200} {
+		if _, err := dyncomp.Run(ctx, "equivalent", build(period), dyncomp.EngineOptions{Cache: cache}); err != nil {
+			panic(err)
+		}
+	}
+	hits, misses := cache.Stats()
+	fmt.Println("derivations:", misses, "rebinds:", hits)
+	// Output:
+	// derivations: 1 rebinds: 2
 }

@@ -1,0 +1,335 @@
+package serve
+
+// The wire types in this file deliberately duplicate the library's
+// result/stats structs instead of marshalling them directly: the HTTP
+// schema is a published contract (docs/SERVING.md, pinned by
+// codec_test.go) and must not shift when an internal struct gains or
+// renames a field. The conversion funcs at the bottom are the single
+// place the two worlds meet.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"dyncomp/internal/engine"
+	"dyncomp/internal/sweep"
+)
+
+// maxBodyBytes bounds every decoded request body; the grids and option
+// sets this API accepts are tiny, so anything larger is a client error.
+const maxBodyBytes = 1 << 20
+
+// RunOptions is the wire form of the engine options a caller may set on
+// a single run. It maps onto engine.Options; fields an engine has no
+// use for are ignored by it, exactly as in the library.
+type RunOptions struct {
+	// LimitNs bounds the simulated time in nanoseconds (0: run to
+	// completion).
+	LimitNs int64 `json:"limit_ns,omitempty"`
+	// IterLimit bounds the evolution to iterations [0, IterLimit).
+	IterLimit int `json:"iter_limit,omitempty"`
+	// WindowK is the adaptive engine's steady-state confirmation window.
+	WindowK int `json:"window_k,omitempty"`
+	// Group names the functions the hybrid engine abstracts; empty
+	// selects the scenario's canonical group.
+	Group []string `json:"group,omitempty"`
+	// Reduce prunes value-redundant arcs from derived graphs.
+	Reduce bool `json:"reduce,omitempty"`
+}
+
+// RunRequest is the body of POST /v1/run: one engine × scenario
+// evaluation. Params supplies the scenario's named integer parameters
+// (absent names fall back to scenario defaults, unknown names are
+// rejected).
+type RunRequest struct {
+	Engine   string           `json:"engine,omitempty"` // default "equivalent"
+	Scenario string           `json:"scenario"`
+	Params   map[string]int64 `json:"params,omitempty"`
+	Options  RunOptions       `json:"options"`
+}
+
+// EngineResult is the wire form of a completed run, mirroring
+// engine.Result field for field (minus the trace, which is not served).
+type EngineResult struct {
+	Activations int64 `json:"activations"`
+	Events      int64 `json:"events"`
+	FinalTimeNs int64 `json:"final_time_ns"`
+	WallNs      int64 `json:"wall_ns"`
+	Iterations  int   `json:"iterations,omitempty"`
+	GraphNodes  int   `json:"graph_nodes,omitempty"`
+	Switches    int   `json:"switches,omitempty"`
+	Fallbacks   int   `json:"fallbacks,omitempty"`
+}
+
+// CacheStats is a snapshot of the server's process-wide derivation
+// cache: Misses counts derivations actually performed (== distinct
+// structural shapes requested), Hits requests served by rebinding an
+// existing template.
+type CacheStats struct {
+	Shapes int   `json:"shapes"`
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
+}
+
+// RunResponse is the body of a successful POST /v1/run.
+type RunResponse struct {
+	Engine   string       `json:"engine"`
+	Scenario string       `json:"scenario"`
+	Result   EngineResult `json:"result"`
+	Cache    CacheStats   `json:"cache"`
+}
+
+// Axis is one dimension of a sweep grid on the wire.
+type Axis struct {
+	Name   string  `json:"name"`
+	Values []int64 `json:"values"`
+}
+
+// SweepOptions is the wire form of the per-job sweep configuration.
+type SweepOptions struct {
+	// Workers is the per-job worker-pool size (0: the server default).
+	Workers int `json:"workers,omitempty"`
+	// WindowK, Group, Reduce and LimitNs are the per-point engine
+	// options, as in RunOptions.
+	WindowK int      `json:"window_k,omitempty"`
+	Group   []string `json:"group,omitempty"`
+	Reduce  bool     `json:"reduce,omitempty"`
+	LimitNs int64    `json:"limit_ns,omitempty"`
+	// Baseline pairs every point with a reference-executor run and
+	// fills the per-point event ratio and speed-up.
+	Baseline bool `json:"baseline,omitempty"`
+}
+
+// SweepRequest is the body of POST /v1/sweeps: an asynchronous grid
+// evaluation. Axes spans the grid; Params fixes additional scenario
+// parameters that are not swept (an axis of the same name wins).
+type SweepRequest struct {
+	Engine   string           `json:"engine,omitempty"` // default "equivalent"
+	Scenario string           `json:"scenario"`
+	Axes     []Axis           `json:"axes"`
+	Params   map[string]int64 `json:"params,omitempty"`
+	Options  SweepOptions     `json:"options"`
+}
+
+// Job is the wire form of a sweep job's lifecycle state, returned by
+// POST /v1/sweeps (202), GET /v1/sweeps and embedded in JobResult.
+// State is one of "queued", "running", "cancelling", "done", "failed",
+// "cancelled"; Done/Total report point-level progress.
+type Job struct {
+	ID       string     `json:"id"`
+	State    string     `json:"state"`
+	Engine   string     `json:"engine"`
+	Scenario string     `json:"scenario"`
+	Done     int        `json:"done"`
+	Total    int        `json:"total"`
+	Created  time.Time  `json:"created"`
+	Started  *time.Time `json:"started,omitempty"`
+	Finished *time.Time `json:"finished,omitempty"`
+	Error    string     `json:"error,omitempty"`
+}
+
+// Aggregate is the wire form of sweep.Aggregate.
+type Aggregate struct {
+	N       int     `json:"n"`
+	Min     float64 `json:"min"`
+	Max     float64 `json:"max"`
+	Mean    float64 `json:"mean"`
+	Geomean float64 `json:"geomean"`
+}
+
+// SweepStats is the wire form of sweep.Stats.
+type SweepStats struct {
+	Points      int        `json:"points"`
+	Failed      int        `json:"failed"`
+	Shapes      int        `json:"shapes"`
+	DeriveCalls int64      `json:"derive_calls"`
+	CacheHits   int64      `json:"cache_hits"`
+	WallNs      int64      `json:"wall_ns"`
+	SpeedUp     *Aggregate `json:"speed_up,omitempty"`
+	EventRatio  *Aggregate `json:"event_ratio,omitempty"`
+}
+
+// SweepPoint is the wire form of one evaluated grid point.
+type SweepPoint struct {
+	Params     map[string]int64 `json:"params"`
+	Result     *EngineResult    `json:"result,omitempty"`
+	EventRatio float64          `json:"event_ratio,omitempty"`
+	SpeedUp    float64          `json:"speed_up,omitempty"`
+	Error      string           `json:"error,omitempty"`
+}
+
+// JobResult is the body of GET /v1/sweeps/{id}: the job plus — once the
+// job reached a terminal state — the sweep statistics and per-point
+// results (also the partial ones of a cancelled job).
+type JobResult struct {
+	Job
+	Stats  *SweepStats  `json:"stats,omitempty"`
+	Points []SweepPoint `json:"points,omitempty"`
+}
+
+// Error is the uniform error envelope: a stable machine-readable code
+// plus a human-readable message.
+type Error struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// ErrorResponse wraps every non-2xx JSON body.
+type ErrorResponse struct {
+	Err Error `json:"error"`
+}
+
+// Error codes returned by the API.
+const (
+	CodeBadJSON         = "bad_json"
+	CodeUnknownEngine   = "unknown_engine"
+	CodeUnknownScenario = "unknown_scenario"
+	CodeUnknownParam    = "unknown_param"
+	CodeInvalidAxes     = "invalid_axes"
+	CodeGridTooLarge    = "grid_too_large"
+	CodeMissingGroup    = "missing_group"
+	CodeRunFailed       = "run_failed"
+	CodeJobNotFound     = "job_not_found"
+	CodeJobTerminal     = "job_terminal"
+	CodeQueueFull       = "queue_full"
+	CodeUnavailable     = "unavailable"
+	CodeBodyTooLarge    = "body_too_large"
+)
+
+// engineOptions maps wire run options onto the unified engine options.
+func (o RunOptions) engineOptions(group []string) engine.Options {
+	opts := engine.Options{
+		LimitNs:       o.LimitNs,
+		IterLimit:     o.IterLimit,
+		WindowK:       o.WindowK,
+		AbstractGroup: group,
+	}
+	opts.Derive.Reduce = o.Reduce
+	return opts
+}
+
+// resultJSON converts a unified engine result to its wire form.
+func resultJSON(r *engine.Result) EngineResult {
+	return EngineResult{
+		Activations: r.Activations,
+		Events:      r.Events,
+		FinalTimeNs: r.FinalTimeNs,
+		WallNs:      r.WallNs,
+		Iterations:  r.Iterations,
+		GraphNodes:  r.GraphNodes,
+		Switches:    r.Switches,
+		Fallbacks:   r.Fallbacks,
+	}
+}
+
+// sweepAxes converts and validates wire axes.
+func sweepAxes(axes []Axis) ([]sweep.Axis, error) {
+	if len(axes) == 0 {
+		return nil, fmt.Errorf("no axes")
+	}
+	out := make([]sweep.Axis, len(axes))
+	seen := map[string]bool{}
+	for i, ax := range axes {
+		if ax.Name == "" {
+			return nil, fmt.Errorf("axis %d has no name", i)
+		}
+		if len(ax.Values) == 0 {
+			return nil, fmt.Errorf("axis %q has no values", ax.Name)
+		}
+		if seen[ax.Name] {
+			return nil, fmt.Errorf("duplicate axis %q", ax.Name)
+		}
+		seen[ax.Name] = true
+		out[i] = sweep.Axis{Name: ax.Name, Values: ax.Values}
+	}
+	return out, nil
+}
+
+// statsJSON converts sweep statistics to their wire form.
+func statsJSON(st sweep.Stats) *SweepStats {
+	out := &SweepStats{
+		Points:      st.Points,
+		Failed:      st.Failed,
+		Shapes:      st.Shapes,
+		DeriveCalls: st.DeriveCalls,
+		CacheHits:   st.CacheHits,
+		WallNs:      st.Wall.Nanoseconds(),
+	}
+	if st.SpeedUp.N > 0 {
+		out.SpeedUp = aggregateJSON(st.SpeedUp)
+	}
+	if st.EventRatio.N > 0 {
+		out.EventRatio = aggregateJSON(st.EventRatio)
+	}
+	return out
+}
+
+func aggregateJSON(a sweep.Aggregate) *Aggregate {
+	return &Aggregate{N: a.N, Min: a.Min, Max: a.Max, Mean: a.Mean, Geomean: a.Geomean}
+}
+
+// pointJSON converts one evaluated grid point to its wire form.
+func pointJSON(pr sweep.PointResult) SweepPoint {
+	sp := SweepPoint{Params: map[string]int64{}}
+	for i, n := range pr.Point.Names {
+		sp.Params[n] = pr.Point.Values[i]
+	}
+	if pr.Err != nil {
+		sp.Error = pr.Err.Error()
+		return sp
+	}
+	sp.Result = &EngineResult{
+		Activations: pr.Run.Activations,
+		Events:      pr.Run.Events,
+		FinalTimeNs: pr.Run.FinalTimeNs,
+		WallNs:      pr.Run.Wall.Nanoseconds(),
+		Iterations:  pr.Run.Iterations,
+		GraphNodes:  pr.Run.GraphNodes,
+		Switches:    pr.Run.Switches,
+		Fallbacks:   pr.Run.Fallbacks,
+	}
+	sp.EventRatio = pr.EventRatio
+	sp.SpeedUp = pr.SpeedUp
+	return sp
+}
+
+// decodeJSON strictly decodes a bounded request body into dst: unknown
+// fields and trailing garbage answer 400 bad_json, an oversized body
+// 413 body_too_large (so a client learns the size limit instead of
+// "malformed JSON").
+func decodeJSON(w http.ResponseWriter, r *http.Request, dst any) *apiError {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			return apiErrorf(http.StatusRequestEntityTooLarge, CodeBodyTooLarge,
+				"request body exceeds %d bytes", tooLarge.Limit)
+		}
+		return apiErrorf(http.StatusBadRequest, CodeBadJSON, "decoding request: %v", err)
+	}
+	if dec.More() {
+		return apiErrorf(http.StatusBadRequest, CodeBadJSON, "trailing data after JSON body")
+	}
+	return nil
+}
+
+// writeJSON writes a JSON response with the given status code.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v) // the status line is already out; nothing to recover
+}
+
+// writeError writes the uniform error envelope.
+func writeError(w http.ResponseWriter, status int, code, format string, args ...any) {
+	writeJSON(w, status, ErrorResponse{Err: Error{
+		Code:    code,
+		Message: fmt.Sprintf(format, args...),
+	}})
+}

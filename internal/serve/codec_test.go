@@ -1,0 +1,214 @@
+package serve
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+	"time"
+
+	"dyncomp/internal/engine"
+	"dyncomp/internal/sweep"
+)
+
+// Every wire type must survive a marshal/unmarshal round trip unchanged
+// — the schemas in docs/SERVING.md are exactly these structs.
+func TestWireTypesRoundTrip(t *testing.T) {
+	started := time.Date(2026, 7, 28, 12, 0, 0, 0, time.UTC)
+	finished := started.Add(3 * time.Second)
+	cases := []struct {
+		name string
+		v    any
+	}{
+		{"run request", &RunRequest{
+			Engine:   "hybrid",
+			Scenario: "didactic",
+			Params:   map[string]int64{"tokens": 1000, "period": 1200},
+			Options: RunOptions{
+				LimitNs:   5_000_000,
+				IterLimit: 100,
+				WindowK:   8,
+				Group:     []string{"F3", "F4"},
+				Reduce:    true,
+			},
+		}},
+		{"run request minimal", &RunRequest{Scenario: "pipeline"}},
+		{"run response", &RunResponse{
+			Engine:   "equivalent",
+			Scenario: "didactic",
+			Result: EngineResult{
+				Activations: 12, Events: 34, FinalTimeNs: 56, WallNs: 78,
+				Iterations: 9, GraphNodes: 10, Switches: 2, Fallbacks: 1,
+			},
+			Cache: CacheStats{Shapes: 3, Hits: 5, Misses: 3},
+		}},
+		{"sweep request", &SweepRequest{
+			Engine:   "adaptive",
+			Scenario: "pipeline",
+			Axes: []Axis{
+				{Name: "xsize", Values: []int64{6, 10, 20}},
+				{Name: "tokens", Values: []int64{1000}},
+			},
+			Params: map[string]int64{"period": 600},
+			Options: SweepOptions{
+				Workers: 4, WindowK: 16, Reduce: true, LimitNs: 7, Baseline: true,
+			},
+		}},
+		{"job", &Job{
+			ID: "job-000042", State: "running", Engine: "equivalent",
+			Scenario: "lte", Done: 3, Total: 36, Created: started, Started: &started,
+		}},
+		{"job result", &JobResult{
+			Job: Job{
+				ID: "job-000042", State: "done", Engine: "equivalent", Scenario: "lte",
+				Done: 2, Total: 2, Created: started, Started: &started, Finished: &finished,
+			},
+			Stats: &SweepStats{
+				Points: 2, Shapes: 1, DeriveCalls: 1, CacheHits: 1, WallNs: 9,
+				SpeedUp: &Aggregate{N: 2, Min: 1, Max: 3, Mean: 2, Geomean: 1.7},
+			},
+			Points: []SweepPoint{
+				{Params: map[string]int64{"symbols": 1000}, Result: &EngineResult{FinalTimeNs: 5}, SpeedUp: 2.5},
+				{Params: map[string]int64{"symbols": 2000}, Error: "boom"},
+			},
+		}},
+		{"error response", &ErrorResponse{Err: Error{Code: CodeUnknownEngine, Message: "no such engine"}}},
+		{"health", &Health{Status: "ok", UptimeNs: 12345, JobsQueued: 1, JobsRunning: 2, CacheShapes: 3}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			b, err := json.Marshal(tc.v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := reflect.New(reflect.TypeOf(tc.v).Elem()).Interface()
+			if err := json.Unmarshal(b, got); err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(tc.v, got) {
+				t.Fatalf("round trip changed the value:\n in: %#v\nout: %#v\njson: %s", tc.v, got, b)
+			}
+		})
+	}
+}
+
+// The documented field names are part of the API contract; a silently
+// renamed JSON tag must fail this test, not a client.
+func TestWireFieldNames(t *testing.T) {
+	b, err := json.Marshal(RunResponse{
+		Result: EngineResult{Iterations: 1, GraphNodes: 1, Switches: 1, Fallbacks: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(b, &m); err != nil {
+		t.Fatal(err)
+	}
+	result, ok := m["result"].(map[string]any)
+	if !ok {
+		t.Fatalf("no result object in %s", b)
+	}
+	for _, key := range []string{
+		"activations", "events", "final_time_ns", "wall_ns",
+		"iterations", "graph_nodes", "switches", "fallbacks",
+	} {
+		if _, ok := result[key]; !ok {
+			t.Errorf("result field %q missing in %s", key, b)
+		}
+	}
+	cache, ok := m["cache"].(map[string]any)
+	if !ok {
+		t.Fatalf("no cache object in %s", b)
+	}
+	for _, key := range []string{"shapes", "hits", "misses"} {
+		if _, ok := cache[key]; !ok {
+			t.Errorf("cache field %q missing in %s", key, b)
+		}
+	}
+}
+
+// resultJSON and pointJSON must carry every engine-result field onto
+// the wire.
+func TestResultConversions(t *testing.T) {
+	er := &engine.Result{
+		Activations: 1, Events: 2, FinalTimeNs: 3, WallNs: 4,
+		Iterations: 5, GraphNodes: 6, Switches: 7, Fallbacks: 8,
+	}
+	got := resultJSON(er)
+	want := EngineResult{
+		Activations: 1, Events: 2, FinalTimeNs: 3, WallNs: 4,
+		Iterations: 5, GraphNodes: 6, Switches: 7, Fallbacks: 8,
+	}
+	if got != want {
+		t.Fatalf("resultJSON = %+v, want %+v", got, want)
+	}
+
+	pr := sweep.PointResult{
+		Point: sweep.Point{Names: []string{"a", "b"}, Values: []int64{1, 2}},
+		Run: sweep.PointStats{
+			Activations: 1, Events: 2, FinalTimeNs: 3, Iterations: 4,
+			GraphNodes: 5, Switches: 6, Fallbacks: 7, Wall: 8 * time.Nanosecond,
+		},
+		EventRatio: 1.5,
+		SpeedUp:    2.5,
+	}
+	sp := pointJSON(pr)
+	if sp.Error != "" || sp.Result == nil {
+		t.Fatalf("pointJSON = %+v", sp)
+	}
+	if sp.Params["a"] != 1 || sp.Params["b"] != 2 {
+		t.Fatalf("params %+v", sp.Params)
+	}
+	if *sp.Result != (EngineResult{
+		Activations: 1, Events: 2, FinalTimeNs: 3, WallNs: 8,
+		Iterations: 4, GraphNodes: 5, Switches: 6, Fallbacks: 7,
+	}) {
+		t.Fatalf("point result %+v", *sp.Result)
+	}
+	if sp.EventRatio != 1.5 || sp.SpeedUp != 2.5 {
+		t.Fatalf("ratios %+v", sp)
+	}
+}
+
+// statsJSON maps sweep statistics onto the wire, omitting aggregates of
+// sweeps without a baseline.
+func TestStatsConversion(t *testing.T) {
+	st := sweep.Stats{
+		Points: 6, Failed: 1, Shapes: 2, DeriveCalls: 2, CacheHits: 4,
+		Wall: 42 * time.Nanosecond,
+	}
+	got := statsJSON(st)
+	if got.Points != 6 || got.Failed != 1 || got.Shapes != 2 ||
+		got.DeriveCalls != 2 || got.CacheHits != 4 || got.WallNs != 42 {
+		t.Fatalf("statsJSON = %+v", got)
+	}
+	if got.SpeedUp != nil || got.EventRatio != nil {
+		t.Fatal("aggregates present without baseline")
+	}
+	st.SpeedUp = sweep.Aggregate{N: 5, Min: 1, Max: 2, Mean: 1.5, Geomean: 1.4}
+	if got := statsJSON(st); got.SpeedUp == nil || got.SpeedUp.N != 5 {
+		t.Fatalf("speed-up aggregate lost: %+v", got.SpeedUp)
+	}
+}
+
+// sweepAxes validates the wire grid.
+func TestSweepAxesValidation(t *testing.T) {
+	if _, err := sweepAxes(nil); err == nil {
+		t.Error("empty axes accepted")
+	}
+	if _, err := sweepAxes([]Axis{{Values: []int64{1}}}); err == nil {
+		t.Error("unnamed axis accepted")
+	}
+	if _, err := sweepAxes([]Axis{{Name: "a"}}); err == nil {
+		t.Error("valueless axis accepted")
+	}
+	if _, err := sweepAxes([]Axis{
+		{Name: "a", Values: []int64{1}}, {Name: "a", Values: []int64{2}},
+	}); err == nil {
+		t.Error("duplicate axis accepted")
+	}
+	axes, err := sweepAxes([]Axis{{Name: "a", Values: []int64{1, 2}}})
+	if err != nil || len(axes) != 1 || axes[0].Name != "a" {
+		t.Fatalf("valid axes rejected: %v %v", axes, err)
+	}
+}

@@ -1,0 +1,141 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// metrics is a minimal, dependency-free Prometheus-text-format
+// collector: labelled monotonic counters plus a handful of gauges
+// computed at scrape time (cache statistics, job states, uptime). It is
+// deliberately not a full client library — the serving layer needs a
+// dozen series, not a registry.
+type metrics struct {
+	mu       sync.Mutex
+	counters map[string]map[string]int64 // metric name -> label set -> value
+}
+
+func newMetrics() *metrics {
+	return &metrics{counters: map[string]map[string]int64{}}
+}
+
+// inc adds one to the counter identified by name and a rendered label
+// set like `endpoint="run"` (empty for unlabelled counters).
+func (m *metrics) inc(name, labels string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	series, ok := m.counters[name]
+	if !ok {
+		series = map[string]int64{}
+		m.counters[name] = series
+	}
+	series[labels]++
+}
+
+// snapshot returns the counters as sorted, rendered sample lines.
+func (m *metrics) snapshot() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var lines []string
+	for name, series := range m.counters {
+		for labels, v := range series {
+			if labels == "" {
+				lines = append(lines, fmt.Sprintf("%s %d", name, v))
+			} else {
+				lines = append(lines, fmt.Sprintf("%s{%s} %d", name, labels, v))
+			}
+		}
+	}
+	sort.Strings(lines)
+	return lines
+}
+
+// Metric names. Requests are counted per endpoint and status class;
+// runs and jobs per engine / terminal state.
+const (
+	metricRequests = "dyncomp_serve_requests_total"
+	metricRuns     = "dyncomp_serve_runs_total"
+	metricJobs     = "dyncomp_serve_jobs_total"
+)
+
+// handleMetrics serves GET /metrics in the Prometheus text exposition
+// format: the accumulated counters plus scrape-time gauges for the
+// derivation cache, the job store and the process uptime.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+
+	fmt.Fprintf(w, "# HELP %s HTTP requests served, by endpoint and status class.\n", metricRequests)
+	fmt.Fprintf(w, "# TYPE %s counter\n", metricRequests)
+	fmt.Fprintf(w, "# HELP %s Synchronous /v1/run evaluations, by engine.\n", metricRuns)
+	fmt.Fprintf(w, "# TYPE %s counter\n", metricRuns)
+	fmt.Fprintf(w, "# HELP %s Sweep jobs that reached a terminal state, by state.\n", metricJobs)
+	fmt.Fprintf(w, "# TYPE %s counter\n", metricJobs)
+	for _, line := range s.metrics.snapshot() {
+		fmt.Fprintln(w, line)
+	}
+
+	hits, misses := s.cache.Stats()
+	fmt.Fprintf(w, "# HELP dyncomp_serve_derive_cache_hits_total Derivation-cache requests served by rebinding.\n")
+	fmt.Fprintf(w, "# TYPE dyncomp_serve_derive_cache_hits_total counter\n")
+	fmt.Fprintf(w, "dyncomp_serve_derive_cache_hits_total %d\n", hits)
+	fmt.Fprintf(w, "# HELP dyncomp_serve_derive_cache_misses_total Derivations actually performed (distinct shapes).\n")
+	fmt.Fprintf(w, "# TYPE dyncomp_serve_derive_cache_misses_total counter\n")
+	fmt.Fprintf(w, "dyncomp_serve_derive_cache_misses_total %d\n", misses)
+	fmt.Fprintf(w, "# HELP dyncomp_serve_derive_cache_shapes Cached structural shapes.\n")
+	fmt.Fprintf(w, "# TYPE dyncomp_serve_derive_cache_shapes gauge\n")
+	fmt.Fprintf(w, "dyncomp_serve_derive_cache_shapes %d\n", s.cache.Shapes())
+
+	queued, running := s.jobs.active()
+	fmt.Fprintf(w, "# HELP dyncomp_serve_jobs_queued Sweep jobs waiting for a worker.\n")
+	fmt.Fprintf(w, "# TYPE dyncomp_serve_jobs_queued gauge\n")
+	fmt.Fprintf(w, "dyncomp_serve_jobs_queued %d\n", queued)
+	fmt.Fprintf(w, "# HELP dyncomp_serve_jobs_running Sweep jobs currently executing.\n")
+	fmt.Fprintf(w, "# TYPE dyncomp_serve_jobs_running gauge\n")
+	fmt.Fprintf(w, "dyncomp_serve_jobs_running %d\n", running)
+
+	fmt.Fprintf(w, "# HELP dyncomp_serve_uptime_seconds Seconds since the server started.\n")
+	fmt.Fprintf(w, "# TYPE dyncomp_serve_uptime_seconds gauge\n")
+	fmt.Fprintf(w, "dyncomp_serve_uptime_seconds %.3f\n", time.Since(s.started).Seconds())
+}
+
+// statusRecorder captures the response status for the request-counting
+// middleware while keeping http.ResponseController features (notably
+// Flush, which the SSE endpoint needs) reachable through Unwrap.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (sr *statusRecorder) WriteHeader(code int) {
+	if sr.status == 0 {
+		sr.status = code
+	}
+	sr.ResponseWriter.WriteHeader(code)
+}
+
+func (sr *statusRecorder) Write(b []byte) (int, error) {
+	if sr.status == 0 {
+		sr.status = http.StatusOK
+	}
+	return sr.ResponseWriter.Write(b)
+}
+
+// Unwrap lets http.NewResponseController reach the underlying writer.
+func (sr *statusRecorder) Unwrap() http.ResponseWriter { return sr.ResponseWriter }
+
+// countRequests wraps a handler with the per-endpoint request counter.
+func (s *Server) countRequests(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		rec := &statusRecorder{ResponseWriter: w}
+		h(rec, r)
+		status := rec.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		s.metrics.inc(metricRequests,
+			fmt.Sprintf(`endpoint=%q,class=%q`, endpoint, fmt.Sprintf("%dxx", status/100)))
+	}
+}

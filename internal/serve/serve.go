@@ -1,0 +1,230 @@
+// Package serve is the simulation-as-a-service layer: a long-lived HTTP
+// JSON API multiplexing the whole engine × scenario matrix across
+// concurrent callers. It is the first deployment target of this
+// repository that is a process, not a command — the ROADMAP's
+// production-scale direction made concrete.
+//
+// The service exposes three groups of endpoints:
+//
+//   - Synchronous evaluation: POST /v1/run runs one engine on one
+//     scenario configuration and returns the unified result. Every run
+//     shares one process-wide structure-keyed derivation cache
+//     (derive.Cache), so structurally identical requests — the common
+//     case for a service hammered with parameter variations of a few
+//     architectures — rebind a cached temporal dependency graph instead
+//     of re-deriving it.
+//
+//   - Asynchronous sweeps: POST /v1/sweeps queues a design-space sweep
+//     job on a bounded worker pool and returns a job id; GET
+//     /v1/sweeps/{id} reports lifecycle and (when finished) the full
+//     per-point results; GET /v1/sweeps/{id}/events streams point-level
+//     progress as server-sent events; DELETE /v1/sweeps/{id} cancels
+//     through the same context plumbing the sweep engine already honors.
+//     Jobs share the process-wide derivation cache too.
+//
+//   - Introspection: GET /v1/engines and /v1/scenarios enumerate the two
+//     registries, /healthz reports liveness, /metrics exports request,
+//     cache and job counters in the Prometheus text format.
+//
+// The package is deliberately free of dependencies beyond the standard
+// library: routing uses net/http method patterns, metrics are rendered
+// by hand, SSE is a Flush loop. See docs/SERVING.md for the full API
+// reference and cmd/dyncomp-serve for the binary.
+package serve
+
+import (
+	"context"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+
+	"dyncomp/internal/derive"
+	"dyncomp/internal/engine"
+	"dyncomp/internal/zoo"
+
+	// Register the built-in executors and the LTE case-study scenario,
+	// so the served registries match the CLIs'.
+	_ "dyncomp/internal/adaptive"
+	_ "dyncomp/internal/baseline"
+	_ "dyncomp/internal/core"
+	_ "dyncomp/internal/hybrid"
+	_ "dyncomp/internal/lte"
+)
+
+// Config tunes the server. The zero value is usable: every field has a
+// production-lean default applied by New.
+type Config struct {
+	// JobWorkers bounds how many sweep jobs execute concurrently
+	// (default 2). Each job additionally runs its own point-level worker
+	// pool of SweepWorkers.
+	JobWorkers int
+	// JobQueue bounds how many jobs may wait for a worker (default 64);
+	// a full queue rejects POST /v1/sweeps with 429.
+	JobQueue int
+	// SweepWorkers is the per-job point-level pool size applied when a
+	// request does not set options.workers (default GOMAXPROCS).
+	SweepWorkers int
+	// MaxGridPoints rejects sweeps whose grid exceeds this many points
+	// (default 100000) — a service must bound a single caller's blast
+	// radius.
+	MaxGridPoints int
+}
+
+func (c Config) withDefaults() Config {
+	if c.JobWorkers <= 0 {
+		c.JobWorkers = 2
+	}
+	if c.JobQueue <= 0 {
+		c.JobQueue = 64
+	}
+	if c.SweepWorkers <= 0 {
+		c.SweepWorkers = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxGridPoints <= 0 {
+		c.MaxGridPoints = 100000
+	}
+	return c
+}
+
+// Server is the serving layer's state: the process-wide derivation
+// cache, the job store and pool, and the metrics collector. Create it
+// with New, expose Handler over an http.Server, and Close it on the way
+// out (Close cancels running jobs and waits for the pool to drain).
+type Server struct {
+	cfg     Config
+	cache   *derive.Cache
+	jobs    *jobStore
+	metrics *metrics
+	mux     *http.ServeMux
+	started time.Time
+
+	baseCtx context.Context
+	stop    context.CancelFunc
+	wg      sync.WaitGroup
+}
+
+// New creates a Server and starts its job worker pool.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	ctx, stop := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:     cfg,
+		cache:   derive.NewCache(),
+		jobs:    newJobStore(cfg.JobQueue),
+		metrics: newMetrics(),
+		mux:     http.NewServeMux(),
+		started: time.Now(),
+		baseCtx: ctx,
+		stop:    stop,
+	}
+	s.routes()
+	for i := 0; i < cfg.JobWorkers; i++ {
+		s.wg.Add(1)
+		go s.jobWorker()
+	}
+	return s
+}
+
+// Handler returns the root handler serving the full API.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close shuts the job pool down: new job submissions are rejected,
+// running jobs are cancelled (they settle as "cancelled" with their
+// partial results) and jobs still queued are settled as "cancelled"
+// too, so every SSE subscriber gets its terminal event instead of
+// hanging into the HTTP drain timeout. Close blocks until every worker
+// returned. Handlers may keep serving reads after Close.
+func (s *Server) Close() {
+	s.jobs.close() // before the drain: add() is serialized against it
+	s.stop()
+	s.wg.Wait()
+	// No worker will ever pop these; settle them.
+	for {
+		select {
+		case j := <-s.jobs.queue:
+			j.mu.Lock()
+			if j.state == jobQueued {
+				j.err = context.Canceled
+				j.settleLocked(jobCancelled, time.Now())
+			}
+			j.mu.Unlock()
+		default:
+			return
+		}
+	}
+}
+
+// routes wires every endpoint, wrapped in the request counter.
+func (s *Server) routes() {
+	s.mux.HandleFunc("GET /healthz", s.countRequests("healthz", s.handleHealthz))
+	s.mux.HandleFunc("GET /metrics", s.countRequests("metrics", s.handleMetrics))
+	s.mux.HandleFunc("GET /v1/engines", s.countRequests("engines", s.handleEngines))
+	s.mux.HandleFunc("GET /v1/scenarios", s.countRequests("scenarios", s.handleScenarios))
+	s.mux.HandleFunc("POST /v1/run", s.countRequests("run", s.handleRun))
+	s.mux.HandleFunc("POST /v1/sweeps", s.countRequests("sweep_create", s.handleSweepCreate))
+	s.mux.HandleFunc("GET /v1/sweeps", s.countRequests("sweep_list", s.handleSweepList))
+	s.mux.HandleFunc("GET /v1/sweeps/{id}", s.countRequests("sweep_get", s.handleSweepGet))
+	s.mux.HandleFunc("DELETE /v1/sweeps/{id}", s.countRequests("sweep_cancel", s.handleSweepCancel))
+	s.mux.HandleFunc("GET /v1/sweeps/{id}/events", s.countRequests("sweep_events", s.handleSweepEvents))
+}
+
+// Health is the body of GET /healthz.
+type Health struct {
+	Status      string `json:"status"`
+	UptimeNs    int64  `json:"uptime_ns"`
+	JobsQueued  int    `json:"jobs_queued"`
+	JobsRunning int    `json:"jobs_running"`
+	CacheShapes int    `json:"cache_shapes"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	queued, running := s.jobs.active()
+	writeJSON(w, http.StatusOK, Health{
+		Status:      "ok",
+		UptimeNs:    time.Since(s.started).Nanoseconds(),
+		JobsQueued:  queued,
+		JobsRunning: running,
+		CacheShapes: s.cache.Shapes(),
+	})
+}
+
+// EngineInfo is one entry of GET /v1/engines.
+type EngineInfo struct {
+	Name string `json:"name"`
+}
+
+func (s *Server) handleEngines(w http.ResponseWriter, r *http.Request) {
+	names := engine.Names()
+	out := struct {
+		Engines []EngineInfo `json:"engines"`
+	}{Engines: make([]EngineInfo, 0, len(names))}
+	for _, n := range names {
+		out.Engines = append(out.Engines, EngineInfo{Name: n})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// ScenarioInfo is one entry of GET /v1/scenarios.
+type ScenarioInfo struct {
+	Name        string   `json:"name"`
+	Desc        string   `json:"desc"`
+	Params      []string `json:"params"`
+	HybridGroup bool     `json:"hybrid_group"`
+}
+
+func (s *Server) handleScenarios(w http.ResponseWriter, r *http.Request) {
+	scs := zoo.Scenarios()
+	out := struct {
+		Scenarios []ScenarioInfo `json:"scenarios"`
+	}{Scenarios: make([]ScenarioInfo, 0, len(scs))}
+	for _, sc := range scs {
+		out.Scenarios = append(out.Scenarios, ScenarioInfo{
+			Name:        sc.Name,
+			Desc:        sc.Desc,
+			Params:      sc.ParamNames(),
+			HybridGroup: sc.HybridGroup != nil,
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}

@@ -1,0 +1,214 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"dyncomp/internal/model"
+	"dyncomp/internal/sim"
+	"dyncomp/internal/sweep"
+	"dyncomp/internal/zoo"
+)
+
+// layeredParams answers parameter lookups from the sweep point first and
+// the request's fixed params second, so a sweep request can pin
+// parameters it does not sweep (an axis of the same name wins).
+type layeredParams struct {
+	p     sweep.Point
+	fixed zoo.ParamMap
+}
+
+func (l layeredParams) Lookup(name string) (int64, bool) {
+	if v, ok := l.p.Lookup(name); ok {
+		return v, ok
+	}
+	return l.fixed.Lookup(name)
+}
+
+// handleSweepCreate serves POST /v1/sweeps: validate everything that can
+// fail fast — registry names, parameters, axes, grid size — then queue
+// the job and answer 202 with its lifecycle snapshot.
+func (s *Server) handleSweepCreate(w http.ResponseWriter, r *http.Request) {
+	var req SweepRequest
+	if aerr := decodeJSON(w, r, &req); aerr != nil {
+		writeError(w, aerr.status, aerr.code, "%s", aerr.msg)
+		return
+	}
+	eng, sc, fixed, aerr := resolve(req.Engine, req.Scenario, req.Params)
+	if aerr != nil {
+		writeError(w, aerr.status, aerr.code, "%s", aerr.msg)
+		return
+	}
+	axes, err := sweepAxes(req.Axes)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, CodeInvalidAxes, "%v", err)
+		return
+	}
+	// Axis names are scenario parameters too: a typoed axis would sweep
+	// a knob the builder never reads, silently evaluating one point N
+	// times.
+	axisParams := zoo.ParamMap{}
+	for _, ax := range axes {
+		axisParams[ax.Name] = ax.Values[0]
+	}
+	if err := sc.CheckParams(axisParams); err != nil {
+		writeError(w, http.StatusBadRequest, CodeInvalidAxes, "%v", err)
+		return
+	}
+	points := 1
+	for _, ax := range axes {
+		points *= len(ax.Values)
+		if points > s.cfg.MaxGridPoints {
+			writeError(w, http.StatusBadRequest, CodeGridTooLarge,
+				"grid exceeds %d points", s.cfg.MaxGridPoints)
+			return
+		}
+	}
+	if _, aerr := hybridGroup(eng, sc, req.Options.Group, fixed); aerr != nil {
+		writeError(w, aerr.status, aerr.code, "%s", aerr.msg)
+		return
+	}
+
+	workers := req.Options.Workers
+	if workers <= 0 {
+		workers = s.cfg.SweepWorkers
+	}
+	opts := sweep.Options{
+		Workers:  workers,
+		Engine:   eng.Name(),
+		Window:   req.Options.WindowK,
+		Baseline: req.Options.Baseline,
+		Limit:    sim.Time(req.Options.LimitNs),
+	}
+	opts.Derive.Reduce = req.Options.Reduce
+	if len(req.Options.Group) > 0 {
+		opts.Group = req.Options.Group
+	} else if eng.Name() == "hybrid" {
+		// Per point: axes may change the structure and with it the
+		// canonical group (e.g. sweeping the fork-join worker count).
+		opts.GroupFor = func(p sweep.Point) []string {
+			return sc.HybridGroup(layeredParams{p: p, fixed: fixed})
+		}
+	}
+	j := &job{
+		engine:   eng.Name(),
+		scenario: sc.Name,
+		axes:     axes,
+		opts:     opts,
+		total:    points,
+		created:  time.Now(),
+		gen: func(p sweep.Point) (*model.Architecture, error) {
+			return sc.Build(layeredParams{p: p, fixed: fixed}), nil
+		},
+		// Count every terminal state exactly once, wherever the job
+		// settles (worker, queued-cancel, shutdown drain).
+		onSettle: func(st jobState) {
+			s.metrics.inc(metricJobs, fmt.Sprintf(`state=%q`, st.String()))
+		},
+	}
+	if err := s.jobs.add(j); err != nil {
+		if errors.Is(err, errShuttingDown) {
+			writeError(w, http.StatusServiceUnavailable, CodeUnavailable, "%v", err)
+		} else {
+			writeError(w, http.StatusTooManyRequests, CodeQueueFull, "%v", err)
+		}
+		return
+	}
+	writeJSON(w, http.StatusAccepted, j.snapshot())
+}
+
+// handleSweepList serves GET /v1/sweeps: every job, creation order.
+func (s *Server) handleSweepList(w http.ResponseWriter, r *http.Request) {
+	jobs := s.jobs.list()
+	out := struct {
+		Jobs []Job `json:"jobs"`
+	}{Jobs: make([]Job, 0, len(jobs))}
+	for _, j := range jobs {
+		out.Jobs = append(out.Jobs, j.snapshot())
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleSweepGet serves GET /v1/sweeps/{id}: lifecycle plus, in terminal
+// states, the sweep statistics and per-point results.
+func (s *Server) handleSweepGet(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobs.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, CodeJobNotFound, "no job %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, j.result())
+}
+
+// handleSweepCancel serves DELETE /v1/sweeps/{id}: queued jobs settle as
+// cancelled immediately, running jobs get their context cancelled and
+// settle when the worker observes it (the response then reports the
+// transient "cancelling" state); terminal jobs answer 409.
+func (s *Server) handleSweepCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobs.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, CodeJobNotFound, "no job %q", r.PathValue("id"))
+		return
+	}
+	st, ok := j.requestCancel(time.Now())
+	if !ok {
+		writeError(w, http.StatusConflict, CodeJobTerminal,
+			"job %s already settled as %q", j.id, st)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, j.snapshot())
+}
+
+// handleSweepEvents serves GET /v1/sweeps/{id}/events as a server-sent
+// event stream: one initial "state" snapshot, "progress" events with
+// absolute done/total counts as points finish, a final "state" event
+// when the job settles, then EOF. Slow consumers skip intermediate
+// progress events but never the terminal state.
+func (s *Server) handleSweepEvents(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobs.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, CodeJobNotFound, "no job %q", r.PathValue("id"))
+		return
+	}
+	ch, unsubscribe := j.subscribe()
+	defer unsubscribe()
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	rc := http.NewResponseController(w)
+	_ = rc.Flush()
+
+	emit := func(ev event) bool {
+		data, err := json.Marshal(ev.Data)
+		if err != nil {
+			return false
+		}
+		if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Name, data); err != nil {
+			return false
+		}
+		return rc.Flush() == nil
+	}
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case ev, ok := <-ch:
+			if !ok {
+				// The job settled (only settleLocked closes a channel the
+				// handler still owns). Render the terminal state here —
+				// never through the droppable broadcast path — so even a
+				// consumer whose buffer overflowed gets it.
+				emit(event{Name: "state", Data: j.snapshot()})
+				return
+			}
+			if !emit(ev) {
+				return
+			}
+		}
+	}
+}

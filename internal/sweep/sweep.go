@@ -29,6 +29,7 @@ import (
 	"math"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dyncomp/internal/derive"
@@ -172,6 +173,16 @@ type Options struct {
 	// for the sweep. Sharing a cache across sweeps carries its hit/miss
 	// statistics over.
 	Cache *derive.Cache
+	// Progress, when non-nil, receives (completed, total) after every
+	// point finishes — successful or failed. It is invoked from the
+	// worker goroutine that finished the point, so it must be safe for
+	// concurrent calls, and concurrent deliveries may be observed out
+	// of order (a later call can carry a smaller count): consumers
+	// wanting a monotonic counter keep the max. Every count 1..total is
+	// delivered exactly once, also under cancellation. Long-running
+	// consumers (e.g. a serving layer streaming job progress) should
+	// only forward, never block.
+	Progress func(done, total int)
 }
 
 // PointStats reports one completed simulation of one point.
@@ -204,24 +215,32 @@ type PointResult struct {
 	Err error
 }
 
-// Aggregate summarizes one metric across the grid.
+// Aggregate summarizes one metric across the grid. The JSON field
+// names are what the dyncomp-sweep CLI's -format json output emits,
+// matching the snake_case convention of docs/SERVING.md (whose wire
+// structs are deliberately separate).
 type Aggregate struct {
-	N                       int
-	Min, Max, Mean, Geomean float64
+	N       int     `json:"n"`
+	Min     float64 `json:"min"`
+	Max     float64 `json:"max"`
+	Mean    float64 `json:"mean"`
+	Geomean float64 `json:"geomean"`
 }
 
-// Stats summarizes a completed sweep.
+// Stats summarizes a completed sweep. The JSON field names are what
+// the dyncomp-sweep CLI's -format json output emits, matching the
+// snake_case convention of docs/SERVING.md.
 type Stats struct {
-	Points      int           // grid size
-	Failed      int           // points with Err set
-	Shapes      int           // distinct structural shapes in the cache
-	DeriveCalls int64         // cache misses == derivations performed
-	CacheHits   int64         // points served by rebinding
-	Wall        time.Duration // wall-clock time of the whole sweep
+	Points      int           `json:"points"`       // grid size
+	Failed      int           `json:"failed"`       // points with Err set
+	Shapes      int           `json:"shapes"`       // distinct structural shapes in the cache
+	DeriveCalls int64         `json:"derive_calls"` // cache misses == derivations performed
+	CacheHits   int64         `json:"cache_hits"`   // points served by rebinding
+	Wall        time.Duration `json:"wall_ns"`      // wall-clock time of the whole sweep
 	// SpeedUp and EventRatio aggregate the per-point ratios when
 	// Options.Baseline was set.
-	SpeedUp    Aggregate
-	EventRatio Aggregate
+	SpeedUp    Aggregate `json:"speed_up"`
+	EventRatio Aggregate `json:"event_ratio"`
 }
 
 // Result is a completed sweep: one entry per grid point, in grid order,
@@ -286,6 +305,13 @@ func RunContext(ctx context.Context, axes []Axis, gen Generator, opts Options) (
 	results := make([]PointResult, len(pts))
 	jobs := make(chan int)
 	var wg sync.WaitGroup
+	var completed atomic.Int64
+	finish := func(i int, pr PointResult) {
+		results[i] = pr
+		if opts.Progress != nil {
+			opts.Progress(int(completed.Add(1)), len(pts))
+		}
+	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
@@ -294,10 +320,10 @@ func RunContext(ctx context.Context, axes []Axis, gen Generator, opts Options) (
 				// A dispatched point may still see the cancellation
 				// before its evaluation started.
 				if err := ctx.Err(); err != nil {
-					results[i] = PointResult{Point: pts[i], Err: err}
+					finish(i, PointResult{Point: pts[i], Err: err})
 					continue
 				}
-				results[i] = evalPoint(ctx, pts[i], gen, eng, refEng, opts, cache)
+				finish(i, evalPoint(ctx, pts[i], gen, eng, refEng, opts, cache))
 			}
 		}()
 	}
@@ -306,9 +332,10 @@ dispatch:
 		select {
 		case <-ctx.Done():
 			// Stop dispatching; the undispatched tail is only touched
-			// here, never by a worker.
+			// here, never by a worker. The tail still counts toward
+			// progress, so consumers see done == total even on cancel.
 			for j := i; j < len(pts); j++ {
-				results[j] = PointResult{Point: pts[j], Err: ctx.Err()}
+				finish(j, PointResult{Point: pts[j], Err: ctx.Err()})
 			}
 			break dispatch
 		case jobs <- i:

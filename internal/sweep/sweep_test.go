@@ -1,9 +1,13 @@
 package sweep
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"dyncomp/internal/derive"
@@ -313,5 +317,72 @@ func TestPointString(t *testing.T) {
 	}
 	if got := fmt.Sprint(pts[0]); got != "a=1,b=2" {
 		t.Fatalf("Sprint = %q", got)
+	}
+}
+
+// Progress fires once per finished point with a monotonic completed
+// count, and reaches done == total — also when points fail.
+func TestProgressHook(t *testing.T) {
+	axes := []Axis{
+		{Name: "tokens", Values: []int64{10, 20}},
+		{Name: "period", Values: []int64{500, 800, 1100}},
+	}
+	var mu sync.Mutex
+	var dones []int
+	res, err := Run(axes, pipelineGen(false), Options{
+		Workers: 3,
+		Progress: func(done, total int) {
+			if total != 6 {
+				t.Errorf("total = %d, want 6", total)
+			}
+			mu.Lock()
+			dones = append(dones, done)
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Points != 6 {
+		t.Fatalf("points = %d, want 6", res.Stats.Points)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(dones) != 6 {
+		t.Fatalf("progress fired %d times, want 6", len(dones))
+	}
+	sort.Ints(dones)
+	for i, d := range dones {
+		if d != i+1 {
+			t.Fatalf("completed counts %v, want 1..6", dones)
+		}
+	}
+}
+
+// A cancelled sweep still drives progress to done == total: the
+// undispatched tail is counted as it is failed, so streaming consumers
+// observe a complete bar before the terminal state.
+func TestProgressReachesTotalOnCancel(t *testing.T) {
+	axes := []Axis{{Name: "tokens", Values: []int64{10, 20, 30, 40}}}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	// Deliveries may be observed out of order; track the max.
+	var high atomic.Int64
+	_, err := RunContext(ctx, axes, pipelineGen(false), Options{
+		Workers: 2,
+		Progress: func(done, total int) {
+			for {
+				cur := high.Load()
+				if int64(done) <= cur || high.CompareAndSwap(cur, int64(done)) {
+					return
+				}
+			}
+		},
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if got := high.Load(); got != 4 {
+		t.Fatalf("final completed count = %d, want 4", got)
 	}
 }

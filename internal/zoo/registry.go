@@ -34,6 +34,49 @@ type Scenario struct {
 	HybridGroup func(p Params) []string
 }
 
+// ParamNames returns the scenario's recognized parameter names, parsed
+// from ParamsHelp (a comma-separated list). An empty ParamsHelp yields
+// nil: the scenario takes no parameters.
+func (s Scenario) ParamNames() []string {
+	if strings.TrimSpace(s.ParamsHelp) == "" {
+		return nil
+	}
+	var names []string
+	for _, n := range strings.Split(s.ParamsHelp, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			names = append(names, n)
+		}
+	}
+	return names
+}
+
+// CheckParams rejects parameters the scenario does not recognize — the
+// builders silently fall back to defaults on absent names, so a typoed
+// parameter would otherwise be ignored without a trace. Serving layers
+// decoding parameters from JSON call this before Build.
+func (s Scenario) CheckParams(p ParamMap) error {
+	known := s.ParamNames()
+	var bad []string
+	for name := range p {
+		found := false
+		for _, k := range known {
+			if k == name {
+				found = true
+				break
+			}
+		}
+		if !found {
+			bad = append(bad, name)
+		}
+	}
+	if len(bad) == 0 {
+		return nil
+	}
+	sort.Strings(bad)
+	return fmt.Errorf("zoo: scenario %q: unknown parameter(s) %s (recognized: %s)",
+		s.Name, strings.Join(bad, ", "), s.ParamsHelp)
+}
+
 // GroupFor returns the scenario's canonical abstraction group when the
 // named engine needs one ("hybrid"), and nil otherwise — including when
 // the scenario declares no canonical group, which callers should treat

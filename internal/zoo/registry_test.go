@@ -38,6 +38,36 @@ func TestRegisteredScenariosBuildValidModels(t *testing.T) {
 	}
 }
 
+// ParamNames parses ParamsHelp; CheckParams rejects unknown parameter
+// names (the builders silently default absent ones, so a typo would
+// otherwise vanish) and accepts every advertised one.
+func TestParamNamesAndCheckParams(t *testing.T) {
+	sc, err := zoo.LookupScenario("didactic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := sc.ParamNames()
+	if len(names) == 0 {
+		t.Fatal("didactic advertises no parameters")
+	}
+	all := zoo.ParamMap{}
+	for _, n := range names {
+		all[n] = 1
+	}
+	if err := sc.CheckParams(all); err != nil {
+		t.Fatalf("advertised params rejected: %v", err)
+	}
+	if err := sc.CheckParams(zoo.ParamMap{"tokens": 10, "bogus": 1}); err == nil {
+		t.Fatal("unknown parameter accepted")
+	}
+	if err := sc.CheckParams(nil); err != nil {
+		t.Fatalf("empty params rejected: %v", err)
+	}
+	if got := (zoo.Scenario{}).ParamNames(); got != nil {
+		t.Fatalf("empty ParamsHelp parsed to %v, want nil", got)
+	}
+}
+
 func TestLookupScenario(t *testing.T) {
 	if _, err := zoo.LookupScenario("pipeline"); err != nil {
 		t.Fatal(err)

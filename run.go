@@ -13,6 +13,27 @@ import (
 	_ "dyncomp/internal/hybrid"
 )
 
+// Cache is a process-wide, structure-keyed derivation cache. Runs and
+// sweeps sharing one Cache derive each structural shape exactly once
+// and serve every later request for that shape by rebinding the cached
+// template — the mechanism behind both the sweep engine's statistics
+// and the serving layer's cross-request cache. A Cache is safe for
+// concurrent use; the zero value is not usable, create it with
+// NewCache.
+type Cache struct{ c *derive.Cache }
+
+// NewCache creates an empty derivation cache to share across Run and
+// Sweep calls via EngineOptions.Cache / SweepOptions.Cache.
+func NewCache() *Cache { return &Cache{c: derive.NewCache()} }
+
+// Stats returns how many cache requests were served by an existing
+// template (hits) and how many derived (misses — equal to the number of
+// distinct structural shapes requested so far).
+func (c *Cache) Stats() (hits, misses int64) { return c.c.Stats() }
+
+// Shapes returns the number of distinct structural shapes cached.
+func (c *Cache) Shapes() int { return c.c.Shapes() }
+
 // EngineOptions is the unified configuration accepted by every engine;
 // fields an engine has no use for are ignored (only the adaptive engine
 // reads WindowK, only the hybrid engine reads AbstractGroup).
@@ -34,31 +55,44 @@ type EngineOptions struct {
 	// Reduce prunes value-redundant arcs from derived temporal
 	// dependency graphs.
 	Reduce bool
+	// Cache shares a structure-keyed derivation cache across runs (see
+	// NewCache); nil derives privately. The reference executor needs no
+	// derivation and ignores it.
+	Cache *Cache
+	// Progress, when non-nil, receives coarse progress notifications
+	// (completed evolution iterations, total or 0 when unknown) at the
+	// engine's natural boundaries — the adaptive engine at every mode
+	// switch, the others once at completion. Always invoked from the
+	// calling goroutine.
+	Progress func(done, total int)
 }
 
 // EngineResult is the unified report of a completed run; fields an
 // engine cannot fill stay zero (the reference executor derives no graph,
-// only the adaptive engine switches modes).
+// only the adaptive engine switches modes). The JSON field names follow
+// the snake_case schema documented in docs/SERVING.md; the serving
+// layer defines its own wire structs (pinned by tests) so the HTTP API
+// cannot shift when this struct evolves.
 type EngineResult struct {
 	// Trace holds the recorded evolution when EngineOptions.Record was
-	// set; it is bit-exact across engines.
-	Trace *Trace
+	// set; it is bit-exact across engines. Traces are not serialized.
+	Trace *Trace `json:"-"`
 	// Activations counts kernel context switches, Events kernel
 	// event-queue operations.
-	Activations int64
-	Events      int64
+	Activations int64 `json:"activations"`
+	Events      int64 `json:"events"`
 	// FinalTimeNs is the simulated time reached.
-	FinalTimeNs int64
+	FinalTimeNs int64 `json:"final_time_ns"`
 	// WallNs is the host wall-clock time of the execution section.
-	WallNs int64
+	WallNs int64 `json:"wall_ns"`
 	// Iterations counts completed evolution iterations (0 when the
 	// engine does not track them).
-	Iterations int
+	Iterations int `json:"iterations,omitempty"`
 	// GraphNodes is the derived graph size in the paper's counting.
-	GraphNodes int
+	GraphNodes int `json:"graph_nodes,omitempty"`
 	// Switches and Fallbacks report the adaptive engine's mode changes.
-	Switches  int
-	Fallbacks int
+	Switches  int `json:"switches,omitempty"`
+	Fallbacks int `json:"fallbacks,omitempty"`
 }
 
 // Engines lists the registered execution engines, sorted by name —
@@ -85,14 +119,19 @@ func Run(ctx context.Context, engineName string, a *Architecture, opts EngineOpt
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	r, err := eng.Run(ctx, a, engine.Options{
+	eopts := engine.Options{
 		Record:        opts.Record,
 		LimitNs:       opts.LimitNs,
 		IterLimit:     opts.IterLimit,
 		WindowK:       opts.WindowK,
 		AbstractGroup: opts.AbstractGroup,
 		Derive:        derive.Options{Reduce: opts.Reduce},
-	})
+		Progress:      opts.Progress,
+	}
+	if opts.Cache != nil {
+		eopts.Cache = opts.Cache.c
+	}
+	r, err := eng.Run(ctx, a, eopts)
 	if err != nil {
 		return nil, err
 	}

@@ -3,6 +3,7 @@ package dyncomp
 import (
 	"context"
 	"errors"
+	"sync/atomic"
 	"testing"
 
 	"dyncomp/internal/zoo"
@@ -111,5 +112,63 @@ func TestSweepContextCancelledAndHybridByName(t *testing.T) {
 		if err := CompareTraces(pr.Baseline.Trace, pr.Trace); err != nil {
 			t.Fatalf("point %d: %v", i, err)
 		}
+	}
+}
+
+// A shared Cache derives each structural shape once across independent
+// Run and Sweep calls, and Progress hooks fire on both paths.
+func TestSharedCacheAndProgressAcrossRunsAndSweeps(t *testing.T) {
+	cache := NewCache()
+	ctx := context.Background()
+
+	runDone := 0
+	if _, err := Run(ctx, "equivalent", buildSmoke(100), EngineOptions{
+		Cache:    cache,
+		Progress: func(done, total int) { runDone = done },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if hits, misses := cache.Stats(); hits != 0 || misses != 1 {
+		t.Fatalf("after first run: hits %d misses %d, want 0/1", hits, misses)
+	}
+	if runDone == 0 {
+		t.Fatal("run progress hook never fired")
+	}
+
+	if _, err := Run(ctx, "equivalent", buildSmoke(100), EngineOptions{Cache: cache}); err != nil {
+		t.Fatal(err)
+	}
+	if hits, misses := cache.Stats(); hits != 1 || misses != 1 {
+		t.Fatalf("second run no cache hit: hits %d misses %d", hits, misses)
+	}
+	if cache.Shapes() != 1 {
+		t.Fatalf("shapes = %d, want 1", cache.Shapes())
+	}
+
+	// Deliveries may be observed out of order; track the max.
+	var sweepDone atomic.Int64
+	res, err := Sweep([]SweepAxis{{Name: "tokens", Values: []int64{50, 100, 150}}},
+		func(p SweepPoint) (*Architecture, error) { return buildSmoke(int(p.Get("tokens", 100))), nil },
+		SweepOptions{
+			Cache: cache,
+			Progress: func(done, total int) {
+				for {
+					cur := sweepDone.Load()
+					if int64(done) <= cur || sweepDone.CompareAndSwap(cur, int64(done)) {
+						return
+					}
+				}
+			},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same structural shape as the two direct runs: zero derivations in
+	// the sweep, three more hits.
+	if res.Stats.DeriveCalls != 1 || res.Stats.CacheHits != 4 {
+		t.Fatalf("sweep stats %+v, want the shared cache's 1 derivation / 4 hits", res.Stats)
+	}
+	if got := sweepDone.Load(); got != 3 {
+		t.Fatalf("sweep progress reached %d, want 3", got)
 	}
 }

@@ -91,6 +91,14 @@ type SweepOptions struct {
 	// point and fills the per-point Baseline result, EventRatio and
 	// SpeedUp, plus the aggregate statistics.
 	Baseline bool
+	// Cache shares a structure-keyed derivation cache (see NewCache)
+	// with other sweeps and runs; nil creates a fresh one per sweep.
+	Cache *Cache
+	// Progress, when non-nil, receives (completed, total) after every
+	// point finishes. It is invoked from the finishing worker's
+	// goroutine, so it must be safe for concurrent calls and must not
+	// block.
+	Progress func(done, total int)
 }
 
 // SweepPointResult is the evaluation of one grid point: the equivalent
@@ -151,7 +159,7 @@ func SweepContext(ctx context.Context, axes []SweepAxis, gen SweepGenerator, opt
 	if name == "" {
 		name = opts.Engine.name()
 	}
-	res, err := sweep.RunContext(ctx, axes, sweep.Generator(gen), sweep.Options{
+	sopts := sweep.Options{
 		Workers:  opts.Workers,
 		Engine:   name,
 		Window:   opts.WindowK,
@@ -160,7 +168,12 @@ func SweepContext(ctx context.Context, axes []SweepAxis, gen SweepGenerator, opt
 		Limit:    sim.Time(opts.LimitNs),
 		Baseline: opts.Baseline,
 		Derive:   derive.Options{Reduce: opts.Reduce},
-	})
+		Progress: opts.Progress,
+	}
+	if opts.Cache != nil {
+		sopts.Cache = opts.Cache.c
+	}
+	res, err := sweep.RunContext(ctx, axes, sweep.Generator(gen), sopts)
 	if err != nil && res == nil {
 		return nil, err
 	}
