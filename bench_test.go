@@ -208,20 +208,13 @@ func BenchmarkQuantum(b *testing.B) {
 
 // BenchmarkComputeInstant isolates the cost of one ComputeInstant()
 // action as a function of graph size — the knee position of Fig. 5 is
-// where this cost catches up with the saved kernel events.
+// where this cost catches up with the saved kernel events. The
+// "nodesN" variants run the compiled evaluation program (the default
+// evaluator of every engine); "nodesN/interpreted" walks the graph's
+// arc lists, the pre-compilation baseline.
 func BenchmarkComputeInstant(b *testing.B) {
-	for _, nodes := range []int{10, 100, 1000, 3000} {
-		dres, err := derive.Derive(
-			zoo.Didactic(zoo.DidacticSpec{Tokens: 1, Period: 100, Seed: 1}),
-			derive.Options{PadNodes: nodes - 7})
-		if err != nil {
-			b.Fatal(err)
-		}
-		ev, err := tdg.NewEvaluator(dres.Graph)
-		if err != nil {
-			b.Fatal(err)
-		}
-		b.Run(fmt.Sprintf("nodes%d", nodes), func(b *testing.B) {
+	stepLoop := func(ev *tdg.Evaluator) func(b *testing.B) {
+		return func(b *testing.B) {
 			b.ReportAllocs()
 			u := []maxplus.T{0}
 			for i := 0; i < b.N; i++ {
@@ -230,7 +223,21 @@ func BenchmarkComputeInstant(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
-		})
+		}
+	}
+	for _, nodes := range []int{10, 100, 1000, 3000} {
+		dres, err := derive.Derive(
+			zoo.Didactic(zoo.DidacticSpec{Tokens: 1, Period: 100, Seed: 1}),
+			derive.Options{PadNodes: nodes - 7})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("nodes%d", nodes), stepLoop(dres.Program().NewEvaluator()))
+		iv, err := tdg.NewEvaluator(dres.Graph)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("nodes%d/interpreted", nodes), stepLoop(iv))
 	}
 }
 

@@ -5,7 +5,12 @@
 // every build and uploads BENCH_engines.json as an artifact, so the
 // per-engine cost trend is trackable across commits.
 //
-//	dyncomp-bench -tokens 2000 -reps 3 -o BENCH_engines.json
+// It also measures the ComputeInstant hot path — interpreted versus
+// compiled Step cost per graph size, and the allocation profile of a
+// full equivalent-model run — into BENCH_compute.json, tracking the
+// compiled evaluator's speed-up and the zero-alloc run path.
+//
+//	dyncomp-bench -tokens 2000 -reps 3 -o BENCH_engines.json -compute-o BENCH_compute.json
 package main
 
 import (
@@ -14,14 +19,19 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"time"
 
+	"dyncomp/internal/core"
+	"dyncomp/internal/derive"
 	"dyncomp/internal/engine"
+	"dyncomp/internal/maxplus"
+	"dyncomp/internal/tdg"
 	"dyncomp/internal/zoo"
 
 	// Link the four executors into the registry.
 	_ "dyncomp/internal/adaptive"
 	_ "dyncomp/internal/baseline"
-	_ "dyncomp/internal/core"
 	_ "dyncomp/internal/hybrid"
 )
 
@@ -42,10 +52,35 @@ type benchReport struct {
 	Engines  []engineBench `json:"engines"`
 }
 
+// computeBench is one graph size of the ComputeInstant benchmark.
+type computeBench struct {
+	Nodes         int     `json:"nodes"`
+	InterpretedNs float64 `json:"interpreted_ns_per_step"`
+	CompiledNs    float64 `json:"compiled_ns_per_step"`
+	SpeedUp       float64 `json:"speed_up"`
+}
+
+// runBench is the allocation/latency profile of core.Model.Run.
+type runBench struct {
+	Scenario     string  `json:"scenario"`
+	Tokens       int     `json:"tokens"`
+	NsPerRun     int64   `json:"ns_per_run"`
+	AllocsPerRun float64 `json:"allocs_per_run"`
+	AllocsPerIt  float64 `json:"allocs_per_iteration"`
+}
+
+type computeReport struct {
+	Steps    int            `json:"steps_per_measurement"`
+	Sizes    []computeBench `json:"sizes"`
+	ModelRun runBench       `json:"model_run"`
+}
+
 func main() {
 	tokens := flag.Int("tokens", 2000, "didactic workload size in tokens")
 	reps := flag.Int("reps", 3, "repetitions per engine (best wall time wins)")
 	out := flag.String("o", "BENCH_engines.json", "output file (- for stdout)")
+	computeOut := flag.String("compute-o", "BENCH_compute.json", "ComputeInstant benchmark output file (- for stdout, empty to skip)")
+	steps := flag.Int("steps", 20000, "Step calls per ComputeInstant measurement")
 	flag.Parse()
 
 	if *reps < 1 {
@@ -88,9 +123,111 @@ func main() {
 		report.Engines = append(report.Engines, *best)
 	}
 
+	writeJSON(*out, report)
+	if *computeOut != "" {
+		writeJSON(*computeOut, computeInstantReport(*steps, *tokens))
+	}
+}
+
+// computeInstantReport measures the ComputeInstant hot path: interpreted
+// vs compiled Step cost per graph size (the Fig. 5 padded didactic
+// graphs), and the allocation profile of a full equivalent-model run of
+// the case-study receiver shape (here the didactic scenario for
+// comparability with the engine benchmark).
+func computeInstantReport(steps, tokens int) computeReport {
+	rep := computeReport{Steps: steps}
+	for _, nodes := range []int{10, 100, 1000, 3000} {
+		dres, err := derive.Derive(
+			zoo.Didactic(zoo.DidacticSpec{Tokens: 1, Period: 100, Seed: 1}),
+			derive.Options{PadNodes: nodes - 7})
+		if err != nil {
+			fatal(err)
+		}
+		iv, err := tdg.NewEvaluator(dres.Graph)
+		if err != nil {
+			fatal(err)
+		}
+		cv := dres.Program().NewEvaluator()
+		cb := computeBench{
+			Nodes:         nodes,
+			InterpretedNs: stepCost(iv, steps),
+			CompiledNs:    stepCost(cv, steps),
+		}
+		if cb.CompiledNs > 0 {
+			cb.SpeedUp = cb.InterpretedNs / cb.CompiledNs
+		}
+		cv.Release()
+		rep.Sizes = append(rep.Sizes, cb)
+	}
+	rep.ModelRun = modelRunCost(tokens)
+	return rep
+}
+
+// stepCost times one evaluator over the given number of Step calls and
+// returns the nanoseconds per call (best of 3 measurements).
+func stepCost(ev *tdg.Evaluator, steps int) float64 {
+	u := []maxplus.T{0}
+	best := 0.0
+	for rep := 0; rep < 3; rep++ {
+		start := time.Now()
+		for i := 0; i < steps; i++ {
+			u[0] = maxplus.T(i * 100)
+			if _, err := ev.Step(u); err != nil {
+				fatal(err)
+			}
+		}
+		ns := float64(time.Since(start).Nanoseconds()) / float64(steps)
+		if best == 0 || ns < best {
+			best = ns
+		}
+	}
+	return best
+}
+
+// modelRunCost measures one reusable equivalent model end to end:
+// nanoseconds and heap allocations per Run (after a warmup run so
+// pooled buffers are at steady capacity), and the allocation count
+// amortized per iteration — zero when the steady-state loop is clean.
+func modelRunCost(tokens int) runBench {
+	dres, err := derive.Derive(
+		zoo.Didactic(zoo.DidacticSpec{Tokens: tokens, Period: 1200, Seed: 41}),
+		derive.Options{})
+	if err != nil {
+		fatal(err)
+	}
+	m, err := core.New(dres)
+	if err != nil {
+		fatal(err)
+	}
+	if _, err := m.Run(core.Options{}); err != nil { // warmup
+		fatal(err)
+	}
+	const reps = 5
+	var ms0, ms1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&ms0)
+	start := time.Now()
+	for i := 0; i < reps; i++ {
+		if _, err := m.Run(core.Options{}); err != nil {
+			fatal(err)
+		}
+	}
+	wall := time.Since(start)
+	runtime.ReadMemStats(&ms1)
+	allocs := float64(ms1.Mallocs-ms0.Mallocs) / reps
+	return runBench{
+		Scenario:     "didactic",
+		Tokens:       tokens,
+		NsPerRun:     wall.Nanoseconds() / reps,
+		AllocsPerRun: allocs,
+		AllocsPerIt:  allocs / float64(tokens),
+	}
+}
+
+func writeJSON(path string, v interface{}) {
 	w := os.Stdout
-	if *out != "-" {
-		f, err := os.Create(*out)
+	if path != "-" {
+		f, err := os.Create(path)
 		if err != nil {
 			fatal(err)
 		}
@@ -99,7 +236,7 @@ func main() {
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(report); err != nil {
+	if err := enc.Encode(v); err != nil {
 		fatal(err)
 	}
 }

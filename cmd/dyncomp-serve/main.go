@@ -44,6 +44,7 @@ func main() {
 	jobQueue := flag.Int("job-queue", 64, "queued sweep jobs before 429")
 	sweepWorkers := flag.Int("sweep-workers", 0, "per-job point-level workers (0: all processors)")
 	maxPoints := flag.Int("max-grid-points", 100000, "largest accepted sweep grid")
+	cacheEntries := flag.Int("cache-entries", 0, "derive-cache LRU bound in shapes (0: default, <0: unbounded)")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown budget for in-flight requests")
 	flag.Parse()
 
@@ -52,6 +53,7 @@ func main() {
 		JobQueue:      *jobQueue,
 		SweepWorkers:  *sweepWorkers,
 		MaxGridPoints: *maxPoints,
+		CacheEntries:  *cacheEntries,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

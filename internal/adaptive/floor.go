@@ -151,10 +151,7 @@ func (r *runner) floorsFor(k0 int) (map[floorKey]sim.Time, map[srcFloorKey]sim.T
 				if v == maxplus.Epsilon {
 					continue
 				}
-				if a.Weight != nil {
-					v = maxplus.Otimes(v, a.Weight(k))
-				}
-				acc = maxplus.Oplus(acc, v)
+				acc = maxplus.Oplus(acc, a.Weight.Apply(v, k))
 			}
 			if acc == maxplus.Epsilon || acc <= 0 {
 				continue

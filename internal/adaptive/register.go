@@ -28,14 +28,15 @@ func (adEngine) Run(ctx context.Context, a *model.Architecture, opts engine.Opti
 	}
 	begin := time.Now()
 	res, err := Run(a, Options{
-		Trace:     trace,
-		Limit:     sim.Time(opts.LimitNs),
-		Window:    opts.WindowK,
-		Derive:    opts.Derive,
-		Cache:     opts.Cache,
-		IterLimit: opts.IterLimit,
-		Ctx:       ctx,
-		Progress:  opts.Progress,
+		Trace:       trace,
+		Limit:       sim.Time(opts.LimitNs),
+		Window:      opts.WindowK,
+		Derive:      opts.Derive,
+		Cache:       opts.Cache,
+		IterLimit:   opts.IterLimit,
+		Ctx:         ctx,
+		Progress:    opts.Progress,
+		Interpreted: opts.Interpreted,
 	})
 	if err != nil {
 		return nil, err

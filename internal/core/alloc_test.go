@@ -1,0 +1,50 @@
+package core
+
+import (
+	"testing"
+
+	"dyncomp/internal/derive"
+	"dyncomp/internal/zoo"
+)
+
+// TestRunSteadyStateAllocationFree pins the zero-steady-state-alloc
+// property of Model.Run: allocations per run are setup-only (kernel,
+// goroutines, events), not proportional to the iteration count. A
+// single allocation per iteration in the deliver/Step/emit loop would
+// fail the margin by an order of magnitude.
+func TestRunSteadyStateAllocationFree(t *testing.T) {
+	runAllocs := func(tokens int) float64 {
+		dres, err := derive.Derive(
+			zoo.Didactic(zoo.DidacticSpec{Tokens: tokens, Period: 900, Seed: 3}),
+			derive.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := New(dres)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.warmup(t)
+		return testing.AllocsPerRun(5, func() {
+			if _, err := m.Run(Options{}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	small := runAllocs(50)
+	large := runAllocs(1550)
+	// 1500 extra iterations must not cost 1500 extra allocations; allow
+	// slack for goroutine stacks and queue growth noise.
+	if grown := large - small; grown > 150 {
+		t.Fatalf("Run allocations grow with iterations: %0.f (50 tokens) vs %0.f (1550 tokens)", small, large)
+	}
+}
+
+// warmup runs the model once so pooled buffers reach steady capacity
+// before the measured runs.
+func (m *Model) warmup(t *testing.T) {
+	t.Helper()
+	if _, err := m.Run(Options{}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -20,6 +20,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"dyncomp/internal/chanrt"
 	"dyncomp/internal/derive"
@@ -40,6 +41,11 @@ type Options struct {
 	// IterLimit, when positive, bounds the evolution to iterations
 	// [0, IterLimit): every source stops after token IterLimit-1.
 	IterLimit int
+	// Interpreted forces ComputeInstant through the tree-walking graph
+	// interpreter instead of the compiled evaluation program. Off by
+	// default (the compiled path is bit-exact and faster); the property
+	// tests flip it to prove exactly that.
+	Interpreted bool
 }
 
 // Result reports a completed run.
@@ -56,9 +62,13 @@ type Result struct {
 // (sequentially), each call simulating from scratch with a fresh kernel
 // and evaluator. The iteration count is re-read from the architecture's
 // sources on every Run, so a sweep can re-run one derived structure
-// across parameter points without re-deriving.
+// across parameter points without re-deriving. Engine state (the
+// arrival and output buffers) is pooled across Run calls, and compiled
+// evaluators recycle their history rings through the program's shared
+// pool, so repeated runs of one shape allocate nothing per iteration.
 type Model struct {
-	res *derive.Result
+	res  *derive.Result
+	pool sync.Pool // *engine, reset per Run
 }
 
 // New builds an equivalent model from a derivation result. All sources of
@@ -103,31 +113,69 @@ func (m *Model) Run(opts Options) (*Result, error) {
 		iter = opts.IterLimit
 	}
 	k := sim.New()
-	ev, err := tdg.NewEvaluator(m.res.Graph)
-	if err != nil {
+	var ev *tdg.Evaluator
+	if prog := m.res.Program(); prog != nil && !opts.Interpreted {
+		ev = prog.NewEvaluator()
+	} else if ev, err = tdg.NewEvaluator(m.res.Graph); err != nil {
 		return nil, err
 	}
 
-	eng := &engine{
-		model:   m,
-		iter:    iter,
-		kernel:  k,
-		eval:    ev,
-		trace:   opts.Trace,
-		arrived: make([]int, len(m.res.Inputs)),
-		inputs:  make([]maxplus.T, len(m.res.Inputs)),
-		outputs: make([][]maxplus.T, len(m.res.Outputs)),
-		stepped: k.NewEvent("stepped"),
-		emitted: k.NewEvent("emitted"),
+	eng := m.engineFor(iter, k, ev, opts.Trace)
+	eng.build()
+	runErr := k.Run(limit)
+	res := &Result{Stats: k.Stats(), Trace: opts.Trace, Iterations: ev.K()}
+	// Recycle also on failure: Kernel.Run has shut every process down, so
+	// the engine state and the evaluator ring are safe to pool either way.
+	m.recycle(eng)
+	if runErr != nil {
+		return nil, runErr
 	}
-	if opts.Trace != nil {
+	return res, nil
+}
+
+// engineFor prepares the running state of one simulation, reusing a
+// pooled engine (with its grown buffers) when one is available.
+func (m *Model) engineFor(iter int, k *sim.Kernel, ev *tdg.Evaluator, trace *observe.Trace) *engine {
+	eng, ok := m.pool.Get().(*engine)
+	if !ok {
+		eng = &engine{
+			arrived: make([]int, len(m.res.Inputs)),
+			inputs:  make([]maxplus.T, len(m.res.Inputs)),
+			outputs: make([][]maxplus.T, len(m.res.Outputs)),
+		}
+	}
+	eng.model = m
+	eng.iter = iter
+	eng.kernel = k
+	eng.eval = ev
+	eng.trace = trace
+	eng.pending = 0
+	for i := range eng.arrived {
+		eng.arrived[i] = 0
+	}
+	for j := range eng.outputs {
+		// Preallocate the known iteration count so the steady-state loop
+		// appends without growing.
+		if cap(eng.outputs[j]) < iter {
+			eng.outputs[j] = make([]maxplus.T, 0, iter)
+		} else {
+			eng.outputs[j] = eng.outputs[j][:0]
+		}
+	}
+	eng.stepped = k.NewEvent("stepped")
+	eng.emitted = k.NewEvent("emitted")
+	if trace != nil && eng.vals == nil {
 		eng.vals = make([]maxplus.T, m.res.Graph.NodeCount())
 	}
-	eng.build()
-	if err := k.Run(limit); err != nil {
-		return nil, err
-	}
-	return &Result{Stats: k.Stats(), Trace: opts.Trace, Iterations: ev.K()}, nil
+	return eng
+}
+
+// recycle releases a finished engine's evaluator ring and parks the
+// engine state for the next Run.
+func (m *Model) recycle(eng *engine) {
+	eng.eval.Release()
+	eng.kernel, eng.eval, eng.trace, eng.stepped, eng.emitted = nil, nil, nil, nil, nil
+	m.pool.Put(eng)
 }
 
 // engine is the running state of one equivalent-model simulation.
@@ -248,10 +296,7 @@ func (e *engine) runReception(p *sim.Proc, idx int, ib derive.InputBinding, ch c
 			panic(fmt.Sprintf("core: %v", err))
 		}
 		for _, sg := range ib.SameIterGate {
-			v := e.inputs[sg.InputIndex]
-			if sg.Weight != nil {
-				v = maxplus.Otimes(v, sg.Weight(k))
-			}
+			v := sg.Weight.Apply(e.inputs[sg.InputIndex], k)
 			gate = maxplus.Oplus(gate, v)
 		}
 		if !gate.IsEpsilon() && sim.Time(gate) > p.Now() {

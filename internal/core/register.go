@@ -43,9 +43,10 @@ func (eqEngine) Run(ctx context.Context, a *model.Architecture, opts uni.Options
 	}
 	begin := time.Now()
 	res, err := m.Run(Options{
-		Trace:     trace,
-		Limit:     sim.Time(opts.LimitNs),
-		IterLimit: opts.IterLimit,
+		Trace:       trace,
+		Limit:       sim.Time(opts.LimitNs),
+		IterLimit:   opts.IterLimit,
+		Interpreted: opts.Interpreted,
 	})
 	if err != nil {
 		return nil, err

@@ -46,6 +46,11 @@ type Options struct {
 	// producing graphs as minimal as the paper's hand-written ones. Off by
 	// default to keep the derived structure literal.
 	Reduce bool
+	// NoCompile skips compiling the derived graph into a flat evaluation
+	// program (tdg.Compile), leaving engines on the tree-walking
+	// interpreter. Compilation is on by default; the flag exists for the
+	// bit-exactness property tests and as an escape hatch.
+	NoCompile bool
 }
 
 // Probe locates one execution on the graph for resource-usage
@@ -90,7 +95,7 @@ type InputBinding struct {
 // SameIterGate is one same-iteration readiness term of an input channel.
 type SameIterGate struct {
 	InputIndex int
-	Weight     tdg.WeightFn // nil means identity
+	Weight     tdg.Weight // zero value means identity
 }
 
 // OutputBinding connects one sink-drained channel to the graph.
@@ -125,7 +130,18 @@ type Result struct {
 	chRead    []tdg.NodeID // read node per channel index
 	recipes   [][]execRef  // arc tag t -> recipes[t-1]
 	probeRefs []probeRef
+
+	// prog is the graph compiled into a flat evaluation program
+	// (tdg.Compile). The cache/Rebind path compiles once per structural
+	// shape and patches the rebound copies' weight tables in place of a
+	// recompilation; rebound programs share one evaluator pool.
+	prog *tdg.Program
 }
+
+// Program returns the compiled evaluation program of the derived graph,
+// or nil when compilation was skipped (Options.NoCompile). Engines
+// prefer it over interpreting Result.Graph; both evaluate bit-exactly.
+func (res *Result) Program() *tdg.Program { return res.prog }
 
 // term is one max-term of a readiness expression during symbolic
 // execution: node(k-delay) ⊗ Σ durs.
@@ -221,6 +237,11 @@ func Derive(a *model.Architecture, opts Options) (*Result, error) {
 	for i, ch := range a.Channels {
 		res.chWrite[i] = d.writeNode[ch]
 		res.chRead[i] = d.readNode[ch]
+	}
+	if !opts.NoCompile {
+		if res.prog, err = tdg.Compile(d.g); err != nil {
+			return nil, err
+		}
 	}
 	if err := res.buildBindings(); err != nil {
 		return nil, err
@@ -435,7 +456,7 @@ func (d *deriver) addArcs(to tdg.NodeID, expr []term) {
 			continue
 		}
 		d.recipes = append(d.recipes, d.refsOf(t.durs))
-		d.g.AddTaggedArc(t.node, to, t.delay, weightOf(t.durs), len(d.recipes))
+		d.g.AddWeightedArc(t.node, to, t.delay, weightOf(t.durs), len(d.recipes))
 	}
 }
 
@@ -449,22 +470,25 @@ func (d *deriver) refsOf(durs []*model.ExecInfo) []execRef {
 }
 
 // weightOf turns an accumulated duration list into an arc weight.
-func weightOf(durs []*model.ExecInfo) tdg.WeightFn {
+// Execution durations are data dependent (they evaluate the cost
+// function on the k-th token), so the weight stays k-varying; the
+// compiled evaluator routes it through its indirect side table.
+func weightOf(durs []*model.ExecInfo) tdg.Weight {
 	if len(durs) == 0 {
-		return nil
+		return tdg.Weight{}
 	}
 	if len(durs) == 1 {
 		e := durs[0]
-		return func(k int) maxplus.T { return e.Duration(k) }
+		return tdg.VaryingWeight(func(k int) maxplus.T { return e.Duration(k) })
 	}
 	ds := append([]*model.ExecInfo(nil), durs...)
-	return func(k int) maxplus.T {
+	return tdg.VaryingWeight(func(k int) maxplus.T {
 		var sum maxplus.T
 		for _, e := range ds {
 			sum = maxplus.Otimes(sum, e.Duration(k))
 		}
 		return sum
-	}
+	})
 }
 
 // connectSources feeds each source's schedule instant into its channel.

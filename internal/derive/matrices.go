@@ -127,10 +127,7 @@ func (m *MatrixForm) D(_, _ int) *maxplus.Matrix {
 }
 
 func weightAt(a tdg.Arc, k int) maxplus.T {
-	if a.Weight == nil {
-		return maxplus.E
-	}
-	return a.Weight(k)
+	return a.Weight.At(k)
 }
 
 // System instantiates the maxplus recurrence solver over this matrix

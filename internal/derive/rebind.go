@@ -131,7 +131,7 @@ func rebind(base *Result, a *model.Architecture, key string) (*Result, error) {
 		return e, nil
 	}
 
-	weights := make([]tdg.WeightFn, len(base.recipes))
+	weights := make([]tdg.Weight, len(base.recipes))
 	for i, recipe := range base.recipes {
 		durs := make([]*model.ExecInfo, len(recipe))
 		for j, r := range recipe {
@@ -141,16 +141,16 @@ func rebind(base *Result, a *model.Architecture, key string) (*Result, error) {
 		}
 		weights[i] = weightOf(durs)
 	}
-	g, err := base.Graph.CloneReweighted(func(to tdg.NodeID, arc tdg.Arc) (tdg.WeightFn, error) {
+	g, err := base.Graph.CloneReweighted(func(to tdg.NodeID, arc tdg.Arc) (tdg.Weight, error) {
 		if arc.Tag == 0 {
-			if arc.Weight != nil {
-				return nil, fmt.Errorf("derive: graph %q has an untagged weighted arc into %q; cannot rebind",
+			if !arc.Weight.IsIdentity() {
+				return tdg.Weight{}, fmt.Errorf("derive: graph %q has an untagged weighted arc into %q; cannot rebind",
 					base.Graph.Name, base.Graph.Nodes()[to].Name)
 			}
-			return nil, nil
+			return tdg.Weight{}, nil
 		}
 		if arc.Tag < 1 || arc.Tag > len(weights) {
-			return nil, fmt.Errorf("derive: arc tag %d outside recipe table of size %d", arc.Tag, len(weights))
+			return tdg.Weight{}, fmt.Errorf("derive: arc tag %d outside recipe table of size %d", arc.Tag, len(weights))
 		}
 		return weights[arc.Tag-1], nil
 	})
@@ -185,6 +185,14 @@ func rebind(base *Result, a *model.Architecture, key string) (*Result, error) {
 		chRead:    base.chRead,
 		recipes:   base.recipes,
 		probeRefs: base.probeRefs,
+	}
+	if base.prog != nil {
+		// Patch the compiled weight tables against the rebound graph
+		// instead of recompiling; the rebound program shares the
+		// template's structure arrays and evaluator pool.
+		if res.prog, err = base.prog.Rebound(g); err != nil {
+			return nil, err
+		}
 	}
 	if err := res.buildBindings(); err != nil {
 		return nil, err

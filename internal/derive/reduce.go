@@ -42,7 +42,7 @@ func findRedundantArc(g *tdg.Graph) (int, int) {
 	for _, n := range g.Nodes() {
 		arcs := g.Incoming(n.ID)
 		for i, a := range arcs {
-			if a.Weight != nil {
+			if !a.Weight.IsIdentity() {
 				continue
 			}
 			if hasAltPath(g, a.From, n.ID, a.Delay, i) {

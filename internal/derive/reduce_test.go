@@ -101,7 +101,7 @@ func TestReduceKeepsWeightedArcs(t *testing.T) {
 	weighted := 0
 	for _, node := range red.Graph.Nodes() {
 		for _, a := range red.Graph.Incoming(node.ID) {
-			if a.Weight != nil {
+			if !a.Weight.IsIdentity() {
 				weighted++
 			}
 		}

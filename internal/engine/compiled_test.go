@@ -1,0 +1,105 @@
+package engine_test
+
+import (
+	"context"
+	"testing"
+
+	"dyncomp/internal/adaptive"
+	"dyncomp/internal/engine"
+	"dyncomp/internal/observe"
+	"dyncomp/internal/zoo"
+)
+
+// The compiled-evaluator acceptance property: on every registered
+// scenario, every registered engine produces bit-exact evolution
+// instants whether ComputeInstant runs the compiled evaluation program
+// (the default) or the tree-walking interpreter, and both match the
+// reference executor. This covers the equivalent model's Step loop, the
+// hybrid engine's wave evaluation with SetValue/PeekDelayed on the
+// boundary, and the adaptive engine's SeedHistory resume windows.
+func TestCompiledEvaluatorBitExactEverywhere(t *testing.T) {
+	ctx := context.Background()
+	ref, err := engine.Lookup("reference")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sc := range zoo.Scenarios() {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			rr, err := ref.Run(ctx, sc.Build(testParams), engine.Options{Record: true})
+			if err != nil {
+				t.Fatalf("reference: %v", err)
+			}
+			for _, name := range engine.Names() {
+				if name == "reference" {
+					continue
+				}
+				eng, err := engine.Lookup(name)
+				if err != nil {
+					t.Fatal(err)
+				}
+				group := sc.GroupFor(name, testParams)
+				if name == "hybrid" && group == nil {
+					continue
+				}
+				var traces [2]*observe.Trace
+				for i, interpreted := range []bool{false, true} {
+					r, err := eng.Run(ctx, sc.Build(testParams), engine.Options{
+						Record:        true,
+						AbstractGroup: group,
+						Interpreted:   interpreted,
+					})
+					if err != nil {
+						t.Errorf("%s (interpreted=%t) on %s: %v", name, interpreted, sc.Name, err)
+						continue
+					}
+					traces[i] = r.Trace
+					if err := observe.CompareInstants(rr.Trace, r.Trace); err != nil {
+						t.Errorf("%s (interpreted=%t) differs from reference on %s: %v", name, interpreted, sc.Name, err)
+					}
+				}
+				if traces[0] != nil && traces[1] != nil {
+					if err := observe.CompareInstants(traces[1], traces[0]); err != nil {
+						t.Errorf("%s: compiled differs from interpreted on %s: %v", name, sc.Name, err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestCompiledAdaptiveHotSwitchResume drives the adaptive engine through
+// real detailed→abstract→detailed transitions on the phase-changing
+// workload and checks the compiled evaluator seeds its ring from the
+// live trace exactly as the interpreter does.
+func TestCompiledAdaptiveHotSwitchResume(t *testing.T) {
+	sc, err := zoo.LookupScenario("phased")
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := zoo.ParamMap{"tokens": 120, "seed": 5}
+	run := func(interpreted bool) (*adaptive.Result, *observe.Trace) {
+		trace := observe.NewTrace("phased/adaptive")
+		res, err := adaptive.Run(sc.Build(params), adaptive.Options{
+			Trace:       trace,
+			Window:      4,
+			Interpreted: interpreted,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, trace
+	}
+	cRes, cTrace := run(false)
+	iRes, iTrace := run(true)
+	if cRes.Switches == 0 || cRes.Fallbacks == 0 {
+		t.Fatalf("workload did not exercise hot switching: %d switches, %d fallbacks", cRes.Switches, cRes.Fallbacks)
+	}
+	if cRes.Switches != iRes.Switches || cRes.Fallbacks != iRes.Fallbacks {
+		t.Fatalf("switch counts differ: compiled %d/%d, interpreted %d/%d",
+			cRes.Switches, cRes.Fallbacks, iRes.Switches, iRes.Fallbacks)
+	}
+	if err := observe.CompareInstants(iTrace, cTrace); err != nil {
+		t.Fatalf("compiled adaptive trace differs from interpreted: %v", err)
+	}
+}

@@ -36,6 +36,7 @@ type engine struct {
 
 	// Evaluation state.
 	graph    *tdg.Graph
+	prog     *tdg.Program // nil: interpret the graph's arc lists
 	depth    int
 	ring     []maxplus.T
 	nodeDone []int // computed iterations per node
@@ -62,6 +63,7 @@ func newEngine(a *model.Architecture, sub *subArch, dres *derive.Result, kern *s
 		iters:    iters,
 		inputs:   make([]int, len(dres.Inputs)),
 		graph:    g,
+		prog:     dres.Program(),
 		depth:    depth,
 		ring:     make([]maxplus.T, g.NodeCount()*depth),
 		nodeDone: make([]int, g.NodeCount()),
@@ -197,16 +199,10 @@ func (e *engine) gateValue(ib derive.InputBinding, k int) maxplus.T {
 		if v == maxplus.Epsilon {
 			continue
 		}
-		if a.Weight != nil {
-			v = maxplus.Otimes(v, a.Weight(k))
-		}
-		gate = maxplus.Oplus(gate, v)
+		gate = maxplus.Oplus(gate, a.Weight.Apply(v, k))
 	}
 	for _, sg := range ib.SameIterGate {
-		v := e.arrRing[sg.InputIndex][k%e.depth]
-		if sg.Weight != nil {
-			v = maxplus.Otimes(v, sg.Weight(k))
-		}
+		v := sg.Weight.Apply(e.arrRing[sg.InputIndex][k%e.depth], k)
 		gate = maxplus.Oplus(gate, v)
 	}
 	return gate
@@ -269,21 +265,25 @@ func (e *engine) runComputer(p *sim.Proc) {
 					block()
 				}
 			}
-			acc := maxplus.Epsilon
-			for _, a := range e.graph.Incoming(id) {
-				if a.Delay > k {
-					continue
-				}
-				src := *e.slot(a.From, k-a.Delay)
-				if src == maxplus.Epsilon {
-					continue
-				}
-				v := src
-				if a.Weight != nil {
-					v = maxplus.Otimes(src, a.Weight(k))
-				}
-				if v > acc {
-					acc = v
+			var acc maxplus.T
+			if e.prog != nil {
+				// The compiled arc table shares the evaluator ring layout,
+				// so the wave evaluation gets the flat fast path too.
+				acc = e.prog.EvalIncoming(e.ring, id, k)
+			} else {
+				acc = maxplus.Epsilon
+				for _, a := range e.graph.Incoming(id) {
+					if a.Delay > k {
+						continue
+					}
+					src := *e.slot(a.From, k-a.Delay)
+					if src == maxplus.Epsilon {
+						continue
+					}
+					v := a.Weight.Apply(src, k)
+					if v > acc {
+						acc = v
+					}
 				}
 			}
 			*e.slot(id, k) = acc

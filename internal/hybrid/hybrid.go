@@ -58,6 +58,10 @@ type Options struct {
 	// group's graph (e.g. from a design-space sweep); nil derives
 	// privately.
 	Cache *derive.Cache
+	// Interpreted forces the group's instants through the tree-walking
+	// graph interpreter instead of the compiled evaluation program. Off
+	// by default; the property tests flip it.
+	Interpreted bool
 }
 
 // Result reports a completed hybrid run.
@@ -134,6 +138,9 @@ func Run(a *model.Architecture, opts Options) (*Result, error) {
 	}
 
 	eng := newEngine(a, sub, dres, kern, opts.Trace, iters)
+	if opts.Interpreted {
+		eng.prog = nil
+	}
 	eng.build(boundary)
 
 	if err := kern.Run(limit); err != nil {

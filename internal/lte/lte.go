@@ -164,9 +164,28 @@ func Receiver(spec Spec) *model.Architecture {
 	a.Map(dsp, fns[:7]...)
 	a.Map(hw, fns[7])
 
+	// Precompute the per-frame token attributes: SymbolToken allocates a
+	// fresh Attrs slice per call, which would be the only allocation left
+	// in the equivalent model's steady-state loop (every weight
+	// evaluation re-generates the processed token). Tokens of one frame
+	// share one read-only attrs array instead.
 	seed := spec.Seed
+	frames := (spec.Symbols + SymbolsPerFrame - 1) / SymbolsPerFrame
+	if frames < 1 {
+		frames = 1
+	}
+	type frameInfo struct {
+		size  int64
+		attrs [3]float64
+	}
+	frame := make([]frameInfo, frames)
+	for f := range frame {
+		tok := SymbolToken(seed, f*SymbolsPerFrame)
+		frame[f] = frameInfo{size: tok.Size, attrs: [3]float64{tok.Attrs[0], tok.Attrs[1], tok.Attrs[2]}}
+	}
 	a.AddSource("Env", chs[0], model.Periodic(SymbolPeriod, 0), func(k int) model.Token {
-		return SymbolToken(seed, k)
+		fi := &frame[k/SymbolsPerFrame]
+		return model.Token{Size: fi.size, Attrs: fi.attrs[:]}
 	}, spec.Symbols)
 	a.AddSink("Out", chs[len(chs)-1])
 	return a

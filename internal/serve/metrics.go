@@ -6,6 +6,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"dyncomp/internal/tdg"
 )
 
 // metrics is a minimal, dependency-free Prometheus-text-format
@@ -81,12 +83,26 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "# HELP dyncomp_serve_derive_cache_hits_total Derivation-cache requests served by rebinding.\n")
 	fmt.Fprintf(w, "# TYPE dyncomp_serve_derive_cache_hits_total counter\n")
 	fmt.Fprintf(w, "dyncomp_serve_derive_cache_hits_total %d\n", hits)
-	fmt.Fprintf(w, "# HELP dyncomp_serve_derive_cache_misses_total Derivations actually performed (distinct shapes).\n")
+	fmt.Fprintf(w, "# HELP dyncomp_serve_derive_cache_misses_total Derivations actually performed (including re-derivations of evicted shapes).\n")
 	fmt.Fprintf(w, "# TYPE dyncomp_serve_derive_cache_misses_total counter\n")
 	fmt.Fprintf(w, "dyncomp_serve_derive_cache_misses_total %d\n", misses)
+	fmt.Fprintf(w, "# HELP dyncomp_serve_derive_cache_evictions_total Templates evicted by the LRU entry bound.\n")
+	fmt.Fprintf(w, "# TYPE dyncomp_serve_derive_cache_evictions_total counter\n")
+	fmt.Fprintf(w, "dyncomp_serve_derive_cache_evictions_total %d\n", s.cache.Evictions())
 	fmt.Fprintf(w, "# HELP dyncomp_serve_derive_cache_shapes Cached structural shapes.\n")
 	fmt.Fprintf(w, "# TYPE dyncomp_serve_derive_cache_shapes gauge\n")
 	fmt.Fprintf(w, "dyncomp_serve_derive_cache_shapes %d\n", s.cache.Shapes())
+	fmt.Fprintf(w, "# HELP dyncomp_serve_derive_cache_entry_limit Entry bound of the derivation cache (0: unbounded).\n")
+	fmt.Fprintf(w, "# TYPE dyncomp_serve_derive_cache_entry_limit gauge\n")
+	fmt.Fprintf(w, "dyncomp_serve_derive_cache_entry_limit %d\n", s.cache.Limit())
+	fmt.Fprintf(w, "# HELP dyncomp_serve_derive_cache_shape_hits Requests served per cached shape (occupancy snapshot).\n")
+	fmt.Fprintf(w, "# TYPE dyncomp_serve_derive_cache_shape_hits gauge\n")
+	for _, sh := range s.cache.Snapshot() {
+		fmt.Fprintf(w, "dyncomp_serve_derive_cache_shape_hits{arch=%q,shape=%q} %d\n", sh.Arch, sh.Digest, sh.Hits)
+	}
+	fmt.Fprintf(w, "# HELP dyncomp_serve_tdg_compiles_total Temporal-dependency-graph compilations performed process-wide; rebound shapes patch weight tables instead.\n")
+	fmt.Fprintf(w, "# TYPE dyncomp_serve_tdg_compiles_total counter\n")
+	fmt.Fprintf(w, "dyncomp_serve_tdg_compiles_total %d\n", tdg.Compiles())
 
 	queued, running := s.jobs.active()
 	fmt.Fprintf(w, "# HELP dyncomp_serve_jobs_queued Sweep jobs waiting for a worker.\n")

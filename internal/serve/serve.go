@@ -69,6 +69,12 @@ type Config struct {
 	// (default 100000) — a service must bound a single caller's blast
 	// radius.
 	MaxGridPoints int
+	// CacheEntries bounds the process-wide derivation cache to this many
+	// structural shapes, evicting least-recently-used templates beyond it
+	// (default derive.DefaultEntries; negative disables eviction). The
+	// bound protects long-lived servers against unbounded memory growth
+	// from streams of structurally distinct models.
+	CacheEntries int
 }
 
 func (c Config) withDefaults() Config {
@@ -83,6 +89,11 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxGridPoints <= 0 {
 		c.MaxGridPoints = 100000
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = derive.DefaultEntries
+	} else if c.CacheEntries < 0 {
+		c.CacheEntries = 0 // unbounded
 	}
 	return c
 }
@@ -110,7 +121,7 @@ func New(cfg Config) *Server {
 	ctx, stop := context.WithCancel(context.Background())
 	s := &Server{
 		cfg:     cfg,
-		cache:   derive.NewCache(),
+		cache:   derive.NewCacheLimit(cfg.CacheEntries),
 		jobs:    newJobStore(cfg.JobQueue),
 		metrics: newMetrics(),
 		mux:     http.NewServeMux(),

@@ -9,6 +9,8 @@ import (
 	"strings"
 	"sync"
 	"testing"
+
+	"dyncomp/internal/derive"
 )
 
 // newTestServer returns a started Server over httptest plus a cleanup.
@@ -264,8 +266,46 @@ func TestMetrics(t *testing.T) {
 		`dyncomp_serve_requests_total{endpoint="run",class="2xx"} 1`,
 		`dyncomp_serve_runs_total{engine="equivalent"} 1`,
 		`dyncomp_serve_derive_cache_misses_total 1`,
+		"dyncomp_serve_derive_cache_evictions_total 0",
+		fmt.Sprintf("dyncomp_serve_derive_cache_entry_limit %d", derive.DefaultEntries),
+		"dyncomp_serve_derive_cache_shapes 1",
+		`dyncomp_serve_derive_cache_shape_hits{arch="didactic-chain-1",shape="`,
+		"dyncomp_serve_tdg_compiles_total",
 		"dyncomp_serve_jobs_queued 0",
 		"dyncomp_serve_uptime_seconds",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q\n%s", want, body)
+		}
+	}
+}
+
+// A tight cache bound makes the server evict templates and report it.
+func TestMetricsCacheEviction(t *testing.T) {
+	_, ts := newTestServer(t, Config{CacheEntries: 1})
+	for _, sc := range []string{"didactic", "chain"} {
+		resp := postJSON(t, ts.URL+"/v1/run", RunRequest{
+			Scenario: sc, Params: map[string]int64{"tokens": 10},
+		})
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d", sc, resp.StatusCode)
+		}
+	}
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(mresp.Body); err != nil {
+		t.Fatal(err)
+	}
+	body := buf.String()
+	for _, want := range []string{
+		"dyncomp_serve_derive_cache_evictions_total 1",
+		"dyncomp_serve_derive_cache_shapes 1",
+		"dyncomp_serve_derive_cache_entry_limit 1",
 	} {
 		if !strings.Contains(body, want) {
 			t.Errorf("metrics missing %q\n%s", want, body)

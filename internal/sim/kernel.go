@@ -15,7 +15,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 )
@@ -62,6 +61,7 @@ type Kernel struct {
 	now      Time
 	queue    eventQueue
 	runnable []*Proc // ready at the current time, FIFO order
+	runHead  int     // next runnable index; the drained prefix is reused
 	procs    []*Proc
 	parked   chan struct{} // signalled by a process when it yields
 	seq      int64
@@ -137,29 +137,65 @@ type queued struct {
 	e   entry
 }
 
+// eventQueue is a binary min-heap ordered by (time, sequence). It is
+// hand-rolled rather than container/heap because the interface-based
+// heap boxes every pushed entry into an allocation; with a flat slice
+// the steady-state simulation loop schedules events without allocating.
 type eventQueue []queued
 
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
+func (q eventQueue) less(i, j int) bool {
 	if q[i].t != q[j].t {
 		return q[i].t < q[j].t
 	}
 	return q[i].seq < q[j].seq
 }
-func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(queued)) }
-func (q *eventQueue) Pop() interface{} {
-	old := *q
-	n := len(old)
-	it := old[n-1]
-	*q = old[:n-1]
-	return it
+
+func (q eventQueue) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q[i], q[parent] = q[parent], q[i]
+		i = parent
+	}
+}
+
+func (q eventQueue) down(i int) {
+	n := len(q)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		min := l
+		if r := l + 1; r < n && q.less(r, l) {
+			min = r
+		}
+		if !q.less(min, i) {
+			return
+		}
+		q[i], q[min] = q[min], q[i]
+		i = min
+	}
 }
 
 func (k *Kernel) push(t Time, e entry) {
 	k.seq++
-	heap.Push(&k.queue, queued{t: t, seq: k.seq, e: e})
+	k.queue = append(k.queue, queued{t: t, seq: k.seq, e: e})
+	k.queue.up(len(k.queue) - 1)
 	k.stats.TimedEvents++
+}
+
+// popMin removes and returns the earliest queued entry.
+func (k *Kernel) popMin() queued {
+	q := k.queue
+	it := q[0]
+	last := len(q) - 1
+	q[0] = q[last]
+	k.queue = q[:last]
+	k.queue.down(0)
+	return it
 }
 
 // Run executes the simulation until the event queue drains, the time limit
@@ -173,12 +209,17 @@ func (k *Kernel) Run(limit Time) error {
 	defer func() { k.running = false }()
 
 	for k.failure == nil {
-		// Drain the runnable set of the current delta.
-		for len(k.runnable) > 0 && k.failure == nil {
-			p := k.runnable[0]
-			k.runnable = k.runnable[1:]
+		// Drain the runnable set of the current delta. Activated
+		// processes may append more runnables; the head index walks the
+		// growing slice, and the drained storage is reclaimed for the
+		// next delta instead of sliding (and reallocating) forward.
+		for k.runHead < len(k.runnable) && k.failure == nil {
+			p := k.runnable[k.runHead]
+			k.runHead++
 			k.activate(p)
 		}
+		k.runnable = k.runnable[:0]
+		k.runHead = 0
 		if k.failure != nil {
 			break
 		}
@@ -190,7 +231,7 @@ func (k *Kernel) Run(limit Time) error {
 			k.now = limit
 			break
 		}
-		it := heap.Pop(&k.queue).(queued)
+		it := k.popMin()
 		k.now = it.t
 		k.dispatch(it.e)
 	}

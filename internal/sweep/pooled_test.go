@@ -1,0 +1,60 @@
+package sweep
+
+import (
+	"fmt"
+	"testing"
+
+	"dyncomp/internal/maxplus"
+	"dyncomp/internal/model"
+	"dyncomp/internal/zoo"
+)
+
+// TestPooledEvaluatorsUnderParallelSweep hammers the compiled-evaluator
+// pool from the worker pool: every point of the grid shares one
+// structural shape, so every worker rebinds the same template and
+// recycles rings through the program's shared sync.Pool. Run with -race
+// (CI does), this is the data-race check for pooled evaluator reuse; the
+// per-point results must also be independent of the worker count.
+func TestPooledEvaluatorsUnderParallelSweep(t *testing.T) {
+	axes := []Axis{
+		{Name: "period", Values: []int64{500, 700, 900, 1100, 1300, 1500}},
+		{Name: "seed", Values: []int64{1, 2, 3, 4, 5, 6}},
+	}
+	gen := func(p Point) (*model.Architecture, error) {
+		return zoo.Didactic(zoo.DidacticSpec{
+			Tokens: 25,
+			Period: maxplus.T(p.Get("period", 1000)),
+			Seed:   p.Get("seed", 1),
+		}), nil
+	}
+	run := func(workers int) *Result {
+		res, err := Run(axes, gen, Options{Workers: workers, Record: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Stats.Failed > 0 {
+			t.Fatalf("%d points failed", res.Stats.Failed)
+		}
+		return res
+	}
+	serial := run(1)
+	parallel := run(8)
+	for i := range serial.Points {
+		s, p := serial.Points[i], parallel.Points[i]
+		if s.Run.FinalTimeNs != p.Run.FinalTimeNs || s.Run.Iterations != p.Run.Iterations {
+			t.Fatalf("point %d (%s): serial (%d ns, %d iters) != parallel (%d ns, %d iters)",
+				i, s.Point, s.Run.FinalTimeNs, s.Run.Iterations, p.Run.FinalTimeNs, p.Run.Iterations)
+		}
+		label := fmt.Sprintf("point %d (%s)", i, s.Point)
+		si := s.Trace.Instants("M6_2")
+		pi := p.Trace.Instants("M6_2")
+		if len(si) != len(pi) {
+			t.Fatalf("%s: trace lengths differ", label)
+		}
+		for k := range si {
+			if si[k] != pi[k] {
+				t.Fatalf("%s: instant %d differs: %v vs %v", label, k, si[k], pi[k])
+			}
+		}
+	}
+}

@@ -183,6 +183,10 @@ type Options struct {
 	// consumers (e.g. a serving layer streaming job progress) should
 	// only forward, never block.
 	Progress func(done, total int)
+	// Interpreted forces every point through the tree-walking graph
+	// interpreter instead of the compiled evaluation program; for
+	// debugging and bit-exactness testing.
+	Interpreted bool
 }
 
 // PointStats reports one completed simulation of one point.
@@ -393,6 +397,7 @@ func evalPoint(ctx context.Context, p Point, gen Generator, eng, refEng engine.E
 		AbstractGroup: group,
 		Derive:        dopts,
 		Cache:         cache,
+		Interpreted:   opts.Interpreted,
 	})
 	if err != nil {
 		pr.Err = fmt.Errorf("sweep: point %d (%s): %w", p.Index, p, err)

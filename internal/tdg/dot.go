@@ -30,7 +30,7 @@ func (g *Graph) WriteDOT(w io.Writer) error {
 			attr := ""
 			if a.Delay > 0 {
 				attr = fmt.Sprintf(" [style=dashed label=\"(k-%d)\"]", a.Delay)
-			} else if a.Weight == nil {
+			} else if a.Weight.IsIdentity() {
 				attr = " [label=\"e\"]"
 			}
 			fmt.Fprintf(&b, "  n%d -> n%d%s;\n", a.From, to, attr)

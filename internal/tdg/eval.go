@@ -13,15 +13,22 @@ import (
 // The evaluator keeps one ring buffer per node sized by the graph's
 // maximum delay, so memory is O(nodes × (maxDelay+1)) regardless of how
 // many iterations are computed.
+//
+// An evaluator runs in one of two modes with bit-identical results: the
+// tree-walking interpreter over the graph's arc lists (NewEvaluator), or
+// the flat compiled program of Compile (Program.NewEvaluator), which
+// replaces the per-arc pointer chasing and weight closure calls of the
+// interpreter with a branch-light pass over packed arrays.
 type Evaluator struct {
 	g      *Graph
+	prog   *Program // non-nil: Step runs the compiled passes
 	k      int
 	depth  int         // ring depth = maxDelay + 1
 	ring   []maxplus.T // ring[node*depth + (k mod depth)]
 	outBuf []maxplus.T // reused by Step
 }
 
-// NewEvaluator creates an evaluator over a frozen graph.
+// NewEvaluator creates an interpreting evaluator over a frozen graph.
 func NewEvaluator(g *Graph) (*Evaluator, error) {
 	if !g.frozen {
 		return nil, fmt.Errorf("tdg: graph %q is not frozen", g.Name)
@@ -37,6 +44,21 @@ func NewEvaluator(g *Graph) (*Evaluator, error) {
 		ring:   ring,
 		outBuf: make([]maxplus.T, len(g.outputs)),
 	}, nil
+}
+
+// Compiled reports whether Step runs the compiled program rather than the
+// interpreter.
+func (e *Evaluator) Compiled() bool { return e.prog != nil }
+
+// Release returns a compiled evaluator to its program's pool for reuse by
+// a later Program.NewEvaluator (sweeps re-run one shape across many
+// points; pooling makes those runs allocation-free). The evaluator must
+// not be used after Release. Releasing an interpreting evaluator is a
+// no-op.
+func (e *Evaluator) Release() {
+	if e.prog != nil {
+		e.prog.release(e)
+	}
 }
 
 // K returns the index of the next iteration to be computed.
@@ -60,6 +82,22 @@ func (e *Evaluator) Step(u []maxplus.T) ([]maxplus.T, error) {
 	for i, id := range e.g.inputs {
 		e.ring[int(id)*e.depth+slot] = u[i]
 	}
+	if e.prog != nil {
+		e.prog.pass(e.ring, k, slot)
+	} else {
+		e.interpretPass(k, slot)
+	}
+	for i, id := range e.g.outputs {
+		e.outBuf[i] = e.ring[int(id)*e.depth+slot]
+	}
+	e.k++
+	return e.outBuf, nil
+}
+
+// interpretPass computes every non-input instant of iteration k by
+// walking the graph's arc lists — the reference semantics the compiled
+// passes must match bit-exactly.
+func (e *Evaluator) interpretPass(k, slot int) {
 	for _, id := range e.g.topo {
 		n := e.g.nodes[id]
 		if n.Kind == Input {
@@ -74,21 +112,13 @@ func (e *Evaluator) Step(u []maxplus.T) ([]maxplus.T, error) {
 			if src == maxplus.Epsilon {
 				continue
 			}
-			v := src
-			if a.Weight != nil {
-				v = maxplus.Otimes(src, a.Weight(k))
-			}
+			v := a.Weight.Apply(src, k)
 			if v > acc {
 				acc = v
 			}
 		}
 		e.ring[int(id)*e.depth+slot] = acc
 	}
-	for i, id := range e.g.outputs {
-		e.outBuf[i] = e.ring[int(id)*e.depth+slot]
-	}
-	e.k++
-	return e.outBuf, nil
 }
 
 // Value returns the instant of the given node at the most recently
@@ -208,10 +238,7 @@ func (e *Evaluator) PeekDelayed(arcs []Arc, k int) (maxplus.T, error) {
 		if src == maxplus.Epsilon {
 			continue
 		}
-		v := src
-		if a.Weight != nil {
-			v = maxplus.Otimes(src, a.Weight(k))
-		}
+		v := a.Weight.Apply(src, k)
 		if v > acc {
 			acc = v
 		}

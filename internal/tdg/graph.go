@@ -57,6 +57,57 @@ func (k NodeKind) String() string {
 // must be deterministic in k.
 type WeightFn func(k int) maxplus.T
 
+// Weight describes an arc weight for evaluation and compilation: the
+// identity e, a compile-time constant, or a genuinely k-dependent
+// function. The zero value is the identity. Compile inlines identity and
+// constant weights into the flat arc table; only varying weights keep an
+// indirect call at evaluation time, so builders that know a weight is
+// constant (AddConstArc, or derive threading constness through rebinding)
+// should say so rather than wrap the constant in a closure.
+type Weight struct {
+	fn WeightFn
+	c  maxplus.T
+}
+
+// ConstWeight returns a weight with the same value at every iteration.
+func ConstWeight(v maxplus.T) Weight { return Weight{c: v} }
+
+// VaryingWeight wraps a k-dependent weight function; a nil fn is the
+// identity.
+func VaryingWeight(fn WeightFn) Weight {
+	if fn == nil {
+		return Weight{}
+	}
+	return Weight{fn: fn}
+}
+
+// IsIdentity reports whether the weight is e (adds nothing).
+func (w Weight) IsIdentity() bool { return w.fn == nil && w.c == maxplus.E }
+
+// Const returns the weight's value and true when it is iteration
+// independent (identity or constant).
+func (w Weight) Const() (maxplus.T, bool) { return w.c, w.fn == nil }
+
+// At returns the weight at iteration k.
+func (w Weight) At(k int) maxplus.T {
+	if w.fn != nil {
+		return w.fn(k)
+	}
+	return w.c
+}
+
+// Apply returns src ⊗ w(k): src unchanged for the identity, the
+// saturating (max,+) product otherwise (ε absorbing).
+func (w Weight) Apply(src maxplus.T, k int) maxplus.T {
+	if w.fn == nil {
+		if w.c == maxplus.E {
+			return src
+		}
+		return maxplus.Otimes(src, w.c)
+	}
+	return maxplus.Otimes(src, w.fn(k))
+}
+
 // Node is one evolution instant of the graph.
 type Node struct {
 	ID   NodeID
@@ -69,7 +120,7 @@ type Node struct {
 type Arc struct {
 	From   NodeID
 	Delay  int
-	Weight WeightFn // nil means the identity e (weight 0)
+	Weight Weight // zero value means the identity e (weight 0)
 	// Tag is an opaque positive identifier the graph builder may attach
 	// to a weighted arc so the weight can later be re-bound to another
 	// parameter point of the same structure (see CloneReweighted); 0
@@ -132,11 +183,18 @@ func (g *Graph) addNode(name string, kind NodeKind) NodeID {
 // AddArc adds the dependency to(k) ≥ from(k-delay) ⊗ w(k). A nil weight
 // is the identity e.
 func (g *Graph) AddArc(from, to NodeID, delay int, w WeightFn) {
-	g.AddTaggedArc(from, to, delay, w, 0)
+	g.AddWeightedArc(from, to, delay, VaryingWeight(w), 0)
 }
 
 // AddTaggedArc is AddArc with a rebinding tag attached to the arc.
 func (g *Graph) AddTaggedArc(from, to NodeID, delay int, w WeightFn, tag int) {
+	g.AddWeightedArc(from, to, delay, VaryingWeight(w), tag)
+}
+
+// AddWeightedArc adds an arc with an explicit weight descriptor and
+// rebinding tag; it is the general form behind AddArc/AddTaggedArc/
+// AddConstArc.
+func (g *Graph) AddWeightedArc(from, to NodeID, delay int, w Weight, tag int) {
 	if g.frozen {
 		panic("tdg: graph is frozen")
 	}
@@ -152,13 +210,10 @@ func (g *Graph) AddTaggedArc(from, to NodeID, delay int, w WeightFn, tag int) {
 	g.in[to] = append(g.in[to], Arc{From: from, Delay: delay, Weight: w, Tag: tag})
 }
 
-// AddConstArc adds an arc with a constant weight.
+// AddConstArc adds an arc with a constant weight, which the compiled
+// evaluator inlines into its flat arc table.
 func (g *Graph) AddConstArc(from, to NodeID, delay int, w maxplus.T) {
-	if w == maxplus.E {
-		g.AddArc(from, to, delay, nil)
-		return
-	}
-	g.AddArc(from, to, delay, func(int) maxplus.T { return w })
+	g.AddWeightedArc(from, to, delay, ConstWeight(w), 0)
 }
 
 // AddPadChain appends n pad nodes chained from the given node with
@@ -336,8 +391,10 @@ func (g *Graph) Freeze() error {
 // fresh arc slices whose weights are replaced by rw(to, arc). rw returning
 // an error aborts the clone. The clone is independently evaluable: derive
 // uses it to re-bind one derived structure to many parameter points
-// without re-deriving.
-func (g *Graph) CloneReweighted(rw func(to NodeID, a Arc) (WeightFn, error)) (*Graph, error) {
+// without re-deriving. Constness threads through: an rw returning
+// ConstWeight keeps the compiled evaluator's inline fast path on the
+// clone.
+func (g *Graph) CloneReweighted(rw func(to NodeID, a Arc) (Weight, error)) (*Graph, error) {
 	if !g.frozen {
 		return nil, fmt.Errorf("tdg: CloneReweighted on unfrozen graph %q", g.Name)
 	}

@@ -1,0 +1,400 @@
+package tdg
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"dyncomp/internal/maxplus"
+)
+
+// Program is a frozen graph compiled into a flat evaluation program: the
+// topological node order and every arc are packed into contiguous arrays
+// with ring-slot offsets precomputed, and iteration-independent weights
+// (the identity and constants) are inlined into the arc table. Only
+// genuinely k-dependent weights keep an indirect call, through a side
+// table the rebinding path patches without recompiling.
+//
+// One Program serves any number of concurrent evaluators: all compiled
+// state is immutable after Compile. The steady-state pass (once every
+// delayed reference lands after the origin) is branch-light and performs
+// no allocations, which is what moves the knee of the paper's Fig. 5 —
+// the point where ComputeInstant cost catches up with the saved kernel
+// events — toward larger graphs.
+type Program struct {
+	g     *Graph
+	depth int32
+
+	// nodes lists the non-input nodes in evaluation (topological) order;
+	// the arcs of nodes[i] are arcs[nodes[i].lo:nodes[i].hi].
+	nodes []progNode
+	arcs  []progArc
+	// weights is the indirect side table for k-dependent arc weights.
+	weights []Weight
+	// nodeRange maps a NodeID to its arc range for random access
+	// (EvalIncoming); input nodes have an empty range.
+	nodeRange [][2]int32
+
+	// pool recycles evaluators (ring and output buffers) across runs.
+	// Rebound clones share it, so a design-space sweep reuses the same
+	// rings for every point of one structural shape.
+	pool *sync.Pool
+
+	constArcs int
+	varyArcs  int
+}
+
+// progNode is one non-input node of the compiled evaluation order.
+type progNode struct {
+	slotBase int32 // NodeID * depth: base index of the node's ring slots
+	lo, hi   int32 // arc range in Program.arcs
+	// copySrc specializes the most common node shape — exactly one
+	// zero-delay identity arc (pad chains, rendezvous forwarding) — into
+	// a single ring-to-ring copy: >= 0 is the source node's slot base,
+	// -1 means evaluate the arc range.
+	copySrc int32
+}
+
+// progArc is one packed arc of the flat table.
+type progArc struct {
+	srcBase int32 // From * depth
+	slotSub int32 // Delay % depth: ring-slot offset of the referenced slot
+	delay   int32 // full delay, for the pre-origin rule of the warm pass
+	widx    int32 // >= 0: index into Program.weights; < 0: w is inline
+	w       maxplus.T
+}
+
+// compiles counts Compile invocations process-wide; serving metrics use
+// it to show how much model-construction work the rebinding path avoids.
+var compiles atomic.Int64
+
+// Compiles returns the number of times Compile has run in this process.
+func Compiles() int64 { return compiles.Load() }
+
+// Compile flattens a frozen graph into an evaluation program. The
+// compiled evaluator is bit-exact against the interpreter by
+// construction: both apply the same (max,+) fold in the same node and
+// arc order.
+func Compile(g *Graph) (*Program, error) {
+	if !g.frozen {
+		return nil, fmt.Errorf("tdg: Compile on unfrozen graph %q", g.Name)
+	}
+	compiles.Add(1)
+	depth := int32(g.maxDelay + 1)
+	p := &Program{
+		g:         g,
+		depth:     depth,
+		nodes:     make([]progNode, 0, len(g.topo)-len(g.inputs)),
+		nodeRange: make([][2]int32, len(g.nodes)),
+		pool:      &sync.Pool{},
+	}
+	arcCount := 0
+	for _, arcs := range g.in {
+		arcCount += len(arcs)
+	}
+	p.arcs = make([]progArc, 0, arcCount)
+	for _, id := range g.topo {
+		if g.nodes[id].Kind == Input {
+			continue
+		}
+		lo := int32(len(p.arcs))
+		for _, a := range g.in[id] {
+			p.arcs = append(p.arcs, p.packArc(a))
+		}
+		hi := int32(len(p.arcs))
+		n := progNode{slotBase: int32(id) * depth, lo: lo, hi: hi, copySrc: -1}
+		if hi == lo+1 {
+			if a := &p.arcs[lo]; a.delay == 0 && a.widx < 0 && a.w == maxplus.E {
+				n.copySrc = a.srcBase
+			}
+		}
+		p.nodes = append(p.nodes, n)
+		p.nodeRange[id] = [2]int32{lo, hi}
+	}
+	return p, nil
+}
+
+// packArc flattens one arc, inlining iteration-independent weights and
+// appending the k-dependent ones to the side table.
+func (p *Program) packArc(a Arc) progArc {
+	pa := progArc{
+		srcBase: int32(a.From) * p.depth,
+		slotSub: int32(a.Delay) % p.depth,
+		delay:   int32(a.Delay),
+		widx:    -1,
+	}
+	if c, ok := a.Weight.Const(); ok {
+		pa.w = c
+		p.constArcs++
+	} else {
+		pa.widx = int32(len(p.weights))
+		p.weights = append(p.weights, a.Weight)
+		p.varyArcs++
+	}
+	return pa
+}
+
+// Rebound returns a program for a CloneReweighted sibling of the compiled
+// graph: the flat structure (node order, arc layout, ring geometry) is
+// shared, only the weight tables are rebuilt from g's arcs. The rebound
+// program shares the original's evaluator pool, so one structural shape
+// re-bound across many sweep points recycles one set of rings. A graph
+// whose structure does not match falls back to a full Compile.
+func (p *Program) Rebound(g *Graph) (*Program, error) {
+	if !g.frozen || len(g.nodes) != len(p.g.nodes) || g.maxDelay != p.g.maxDelay {
+		return Compile(g)
+	}
+	np := &Program{
+		g:         g,
+		depth:     p.depth,
+		nodes:     p.nodes,
+		nodeRange: p.nodeRange,
+		arcs:      make([]progArc, len(p.arcs)),
+		weights:   make([]Weight, 0, len(p.weights)),
+		pool:      p.pool,
+	}
+	copy(np.arcs, p.arcs)
+	ai := 0
+	reclassified := false
+	for _, id := range g.topo {
+		if g.nodes[id].Kind == Input {
+			continue
+		}
+		for _, a := range g.in[id] {
+			if ai >= len(np.arcs) {
+				return Compile(g)
+			}
+			pa := &np.arcs[ai]
+			if pa.srcBase != int32(a.From)*p.depth || pa.delay != int32(a.Delay) {
+				return Compile(g) // structure drifted: recompile
+			}
+			wasIdentity := pa.widx < 0 && pa.w == maxplus.E
+			if c, ok := a.Weight.Const(); ok {
+				pa.w, pa.widx = c, -1
+				np.constArcs++
+			} else {
+				pa.w = maxplus.E
+				pa.widx = int32(len(np.weights))
+				np.weights = append(np.weights, a.Weight)
+				np.varyArcs++
+			}
+			if wasIdentity != (pa.widx < 0 && pa.w == maxplus.E) {
+				reclassified = true
+			}
+			ai++
+		}
+	}
+	if ai != len(np.arcs) {
+		return Compile(g)
+	}
+	if reclassified {
+		// The copy-node specialization baked into the shared node table
+		// no longer matches the new weights; recompile (still sharing the
+		// evaluator pool — the ring geometry is unchanged).
+		fresh, err := Compile(g)
+		if err != nil {
+			return nil, err
+		}
+		fresh.pool = p.pool
+		return fresh, nil
+	}
+	return np, nil
+}
+
+// Graph returns the graph the program was compiled from.
+func (p *Program) Graph() *Graph { return p.g }
+
+// ProgramStats describes a compiled program's shape.
+type ProgramStats struct {
+	Nodes    int // evaluated (non-input) nodes
+	Arcs     int // total packed arcs
+	Inline   int // arcs with identity or constant weight, inlined
+	Indirect int // arcs with k-dependent weights, via the side table
+}
+
+// Stats returns the program's shape counters.
+func (p *Program) Stats() ProgramStats {
+	return ProgramStats{
+		Nodes:    len(p.nodes),
+		Arcs:     len(p.arcs),
+		Inline:   p.constArcs,
+		Indirect: p.varyArcs,
+	}
+}
+
+// NewEvaluator returns an evaluator running the compiled program,
+// recycling a previously Released one when available. The evaluator
+// starts at iteration zero with an ε-cleared history ring.
+func (p *Program) NewEvaluator() *Evaluator {
+	if e, ok := p.pool.Get().(*Evaluator); ok {
+		// Pooled rings come from a program of identical geometry (the
+		// pool is shared only across Rebound siblings), but may carry the
+		// previous run's instants.
+		e.g = p.g
+		e.prog = p
+		e.Reset()
+		return e
+	}
+	depth := int(p.depth)
+	ring := make([]maxplus.T, len(p.g.nodes)*depth)
+	for i := range ring {
+		ring[i] = maxplus.Epsilon
+	}
+	return &Evaluator{
+		g:      p.g,
+		prog:   p,
+		depth:  depth,
+		ring:   ring,
+		outBuf: make([]maxplus.T, len(p.g.outputs)),
+	}
+}
+
+// release returns an evaluator to the pool (see Evaluator.Release).
+func (p *Program) release(e *Evaluator) {
+	p.pool.Put(e)
+}
+
+// pass computes every non-input instant of iteration k. The warm pass
+// applies the pre-origin rule (a delayed arc referencing an iteration
+// before the origin contributes ε); once k is at least the maximum
+// delay — immediately for delay-free graphs, and for every resumed
+// evaluator past its seed window — the steady pass drops that branch.
+func (p *Program) pass(ring []maxplus.T, k, slot int) {
+	if k >= int(p.depth)-1 {
+		p.steadyPass(ring, k, slot)
+	} else {
+		p.warmPass(ring, k, slot)
+	}
+}
+
+// steadyPass is the hot loop of ComputeInstant: one branch-light,
+// allocation-free sweep over the packed arc table.
+func (p *Program) steadyPass(ring []maxplus.T, k, slot int) {
+	arcs := p.arcs
+	weights := p.weights
+	depth := p.depth
+	s := int32(slot)
+	for ni := range p.nodes {
+		n := &p.nodes[ni]
+		if cs := n.copySrc; cs >= 0 {
+			ring[n.slotBase+s] = ring[cs+s]
+			continue
+		}
+		acc := maxplus.Epsilon
+		for ai := n.lo; ai < n.hi; ai++ {
+			a := &arcs[ai]
+			ss := s - a.slotSub
+			if ss < 0 {
+				ss += depth
+			}
+			src := ring[a.srcBase+ss]
+			var v maxplus.T
+			if a.widx < 0 {
+				if a.w == maxplus.E {
+					v = src // identity: ε stays ε, finite stays put
+				} else {
+					v = maxplus.Otimes(src, a.w)
+				}
+			} else {
+				if src == maxplus.Epsilon {
+					continue
+				}
+				v = maxplus.Otimes(src, weights[a.widx].At(k))
+			}
+			if v > acc {
+				acc = v
+			}
+		}
+		ring[n.slotBase+s] = acc
+	}
+}
+
+// warmPass is steadyPass plus the pre-origin rule for iterations still
+// inside the delay window.
+func (p *Program) warmPass(ring []maxplus.T, k, slot int) {
+	arcs := p.arcs
+	weights := p.weights
+	depth := p.depth
+	s := int32(slot)
+	k32 := int32(k)
+	for ni := range p.nodes {
+		n := &p.nodes[ni]
+		if cs := n.copySrc; cs >= 0 {
+			// Zero-delay identity arcs never reference a pre-origin
+			// iteration, so the copy fast path holds in the warm pass too.
+			ring[n.slotBase+s] = ring[cs+s]
+			continue
+		}
+		acc := maxplus.Epsilon
+		for ai := n.lo; ai < n.hi; ai++ {
+			a := &arcs[ai]
+			if a.delay > k32 {
+				continue // references an iteration before the origin: ε
+			}
+			ss := s - a.slotSub
+			if ss < 0 {
+				ss += depth
+			}
+			src := ring[a.srcBase+ss]
+			var v maxplus.T
+			if a.widx < 0 {
+				if a.w == maxplus.E {
+					v = src
+				} else {
+					v = maxplus.Otimes(src, a.w)
+				}
+			} else {
+				if src == maxplus.Epsilon {
+					continue
+				}
+				v = maxplus.Otimes(src, weights[a.widx].At(k))
+			}
+			if v > acc {
+				acc = v
+			}
+		}
+		ring[n.slotBase+s] = acc
+	}
+}
+
+// EvalIncoming computes ⊕ over the compiled incoming arcs of node id at
+// iteration k against a ring in the evaluator's layout
+// (ring[node*depth + k%depth]), applying the pre-origin rule. The hybrid
+// engine's stage-wise ("wave") evaluation uses it to compute single nodes
+// out of the monolithic Step order without walking Arc slices.
+func (p *Program) EvalIncoming(ring []maxplus.T, id NodeID, k int) maxplus.T {
+	r := p.nodeRange[id]
+	arcs := p.arcs
+	depth := p.depth
+	s := int32(k % int(depth))
+	k32 := int32(k)
+	acc := maxplus.Epsilon
+	for ai := r[0]; ai < r[1]; ai++ {
+		a := &arcs[ai]
+		if a.delay > k32 {
+			continue
+		}
+		ss := s - a.slotSub
+		if ss < 0 {
+			ss += depth
+		}
+		src := ring[a.srcBase+ss]
+		var v maxplus.T
+		if a.widx < 0 {
+			if a.w == maxplus.E {
+				v = src
+			} else {
+				v = maxplus.Otimes(src, a.w)
+			}
+		} else {
+			if src == maxplus.Epsilon {
+				continue
+			}
+			v = maxplus.Otimes(src, p.weights[a.widx].At(k))
+		}
+		if v > acc {
+			acc = v
+		}
+	}
+	return acc
+}

@@ -14,22 +14,33 @@ import (
 )
 
 // Cache is a process-wide, structure-keyed derivation cache. Runs and
-// sweeps sharing one Cache derive each structural shape exactly once
-// and serve every later request for that shape by rebinding the cached
-// template — the mechanism behind both the sweep engine's statistics
-// and the serving layer's cross-request cache. A Cache is safe for
-// concurrent use; the zero value is not usable, create it with
-// NewCache.
+// sweeps sharing one Cache derive (and compile) each structural shape
+// once while it stays cached, serving every later request for that
+// shape by rebinding the cached template — the mechanism behind both
+// the sweep engine's statistics and the serving layer's cross-request
+// cache. The cache is bounded: beyond its entry limit the
+// least-recently-used template is evicted and a later request for that
+// shape re-derives. A Cache is safe for concurrent use; the zero value
+// is not usable, create it with NewCache or NewCacheLimit.
 type Cache struct{ c *derive.Cache }
 
-// NewCache creates an empty derivation cache to share across Run and
-// Sweep calls via EngineOptions.Cache / SweepOptions.Cache.
+// NewCache creates an empty derivation cache, bounded to a default of
+// 1024 structural shapes, to share across Run and Sweep calls via
+// EngineOptions.Cache / SweepOptions.Cache.
 func NewCache() *Cache { return &Cache{c: derive.NewCache()} }
 
+// NewCacheLimit creates an empty derivation cache evicting
+// least-recently-used templates beyond limit structural shapes;
+// limit <= 0 disables eviction.
+func NewCacheLimit(limit int) *Cache { return &Cache{c: derive.NewCacheLimit(limit)} }
+
 // Stats returns how many cache requests were served by an existing
-// template (hits) and how many derived (misses — equal to the number of
-// distinct structural shapes requested so far).
+// template (hits) and how many derived (misses — the number of
+// derivations performed, including re-derivations of evicted shapes).
 func (c *Cache) Stats() (hits, misses int64) { return c.c.Stats() }
+
+// Evictions returns how many templates the entry bound has evicted.
+func (c *Cache) Evictions() int64 { return c.c.Evictions() }
 
 // Shapes returns the number of distinct structural shapes cached.
 func (c *Cache) Shapes() int { return c.c.Shapes() }
@@ -65,6 +76,12 @@ type EngineOptions struct {
 	// switch, the others once at completion. Always invoked from the
 	// calling goroutine.
 	Progress func(done, total int)
+	// Interpreted forces ComputeInstant through the tree-walking graph
+	// interpreter instead of the compiled evaluation program. Off by
+	// default: the compiled evaluator is bit-exact (the property tests
+	// run both and compare) and 2–4× faster per iteration. The reference
+	// executor evaluates no graph and ignores it.
+	Interpreted bool
 }
 
 // EngineResult is the unified report of a completed run; fields an
@@ -127,6 +144,7 @@ func Run(ctx context.Context, engineName string, a *Architecture, opts EngineOpt
 		AbstractGroup: opts.AbstractGroup,
 		Derive:        derive.Options{Reduce: opts.Reduce},
 		Progress:      opts.Progress,
+		Interpreted:   opts.Interpreted,
 	}
 	if opts.Cache != nil {
 		eopts.Cache = opts.Cache.c
