@@ -20,12 +20,15 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
+	"strings"
 	"time"
 
 	"dyncomp/internal/core"
 	"dyncomp/internal/derive"
 	"dyncomp/internal/engine"
 	"dyncomp/internal/maxplus"
+	"dyncomp/internal/model"
 	"dyncomp/internal/tdg"
 	"dyncomp/internal/zoo"
 
@@ -60,6 +63,17 @@ type computeBench struct {
 	SpeedUp       float64 `json:"speed_up"`
 }
 
+// batchBench is one (graph size, lane width) cell of the batched
+// ComputeInstant benchmark: the amortized cost of advancing one lane by
+// one iteration inside an N-wide batch, and its speed-up over the
+// per-point compiled evaluator of the same graph.
+type batchBench struct {
+	Nodes          int     `json:"nodes"`
+	Width          int     `json:"width"`
+	NsPerStepPoint float64 `json:"ns_per_step_point"`
+	SpeedUp        float64 `json:"speed_up_vs_compiled"`
+}
+
 // runBench is the allocation/latency profile of core.Model.Run.
 type runBench struct {
 	Scenario     string  `json:"scenario"`
@@ -72,6 +86,7 @@ type runBench struct {
 type computeReport struct {
 	Steps    int            `json:"steps_per_measurement"`
 	Sizes    []computeBench `json:"sizes"`
+	Batched  []batchBench   `json:"batched"`
 	ModelRun runBench       `json:"model_run"`
 }
 
@@ -81,6 +96,7 @@ func main() {
 	out := flag.String("o", "BENCH_engines.json", "output file (- for stdout)")
 	computeOut := flag.String("compute-o", "BENCH_compute.json", "ComputeInstant benchmark output file (- for stdout, empty to skip)")
 	steps := flag.Int("steps", 20000, "Step calls per ComputeInstant measurement")
+	compare := flag.String("compare", "", "baseline BENCH_compute.json to guard against; exits 1 if compiled ns/step regresses >10% at any size")
 	flag.Parse()
 
 	if *reps < 1 {
@@ -125,8 +141,66 @@ func main() {
 
 	writeJSON(*out, report)
 	if *computeOut != "" {
-		writeJSON(*computeOut, computeInstantReport(*steps, *tokens))
+		crep := computeInstantReport(*steps, *tokens)
+		if *compare != "" {
+			if err := compareCompute(*compare, crep); err != nil {
+				writeJSON(*computeOut, crep)
+				fatal(err)
+			}
+		}
+		writeJSON(*computeOut, crep)
 	}
+}
+
+// compareCompute guards the compiled ComputeInstant hot path against a
+// committed baseline report. Absolute wall times drift with the host, so
+// the fresh numbers are first normalized by the median interpreted-step
+// ratio (fresh/baseline across sizes) — the interpreter is the
+// machine-speed yardstick — and only then compared: a normalized
+// compiled regression beyond 10% at any size fails the build.
+func compareCompute(path string, fresh computeReport) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("-compare: %w", err)
+	}
+	var base computeReport
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("-compare %s: %w", path, err)
+	}
+	baseBySize := make(map[int]computeBench, len(base.Sizes))
+	for _, cb := range base.Sizes {
+		baseBySize[cb.Nodes] = cb
+	}
+	var ratios []float64
+	for _, cb := range fresh.Sizes {
+		if bb, ok := baseBySize[cb.Nodes]; ok && bb.InterpretedNs > 0 {
+			ratios = append(ratios, cb.InterpretedNs/bb.InterpretedNs)
+		}
+	}
+	if len(ratios) == 0 {
+		return fmt.Errorf("-compare %s: no common sizes with the baseline", path)
+	}
+	sort.Float64s(ratios)
+	hostScale := ratios[len(ratios)/2]
+	var bad []string
+	for _, cb := range fresh.Sizes {
+		bb, ok := baseBySize[cb.Nodes]
+		if !ok || bb.CompiledNs <= 0 {
+			continue
+		}
+		norm := cb.CompiledNs / hostScale
+		if norm > bb.CompiledNs*1.10 {
+			bad = append(bad, fmt.Sprintf(
+				"%d nodes: compiled %.1f ns/step (%.1f host-normalized) vs baseline %.1f (+%.0f%%)",
+				cb.Nodes, cb.CompiledNs, norm, bb.CompiledNs, 100*(norm/bb.CompiledNs-1)))
+		}
+	}
+	if len(bad) > 0 {
+		return fmt.Errorf("compiled ComputeInstant regressed beyond 10%% (host scale %.2f):\n  %s",
+			hostScale, strings.Join(bad, "\n  "))
+	}
+	fmt.Fprintf(os.Stderr, "dyncomp-bench: compiled path within 10%% of %s (host scale %.2f)\n", path, hostScale)
+	return nil
 }
 
 // computeInstantReport measures the ComputeInstant hot path: interpreted
@@ -158,6 +232,17 @@ func computeInstantReport(steps, tokens int) computeReport {
 		}
 		cv.Release()
 		rep.Sizes = append(rep.Sizes, cb)
+		for _, width := range []int{1, 4, 8, 16, 32} {
+			bb := batchBench{
+				Nodes:          nodes,
+				Width:          width,
+				NsPerStepPoint: batchStepCost(nodes, width, steps),
+			}
+			if bb.NsPerStepPoint > 0 {
+				bb.SpeedUp = cb.CompiledNs / bb.NsPerStepPoint
+			}
+			rep.Batched = append(rep.Batched, bb)
+		}
 	}
 	rep.ModelRun = modelRunCost(tokens)
 	return rep
@@ -177,6 +262,53 @@ func stepCost(ev *tdg.Evaluator, steps int) float64 {
 			}
 		}
 		ns := float64(time.Since(start).Nanoseconds()) / float64(steps)
+		if best == 0 || ns < best {
+			best = ns
+		}
+	}
+	return best
+}
+
+// batchStepCost times an N-wide batch evaluator over enough batched
+// steps to advance roughly the scalar measurement's point-iteration
+// count, and returns the nanoseconds per step per lane (best of 3).
+// The lanes are weight-lane rebinds of one derived shape, exactly what
+// a batched sweep dispatches.
+func batchStepCost(nodes, width, steps int) float64 {
+	archs := make([]*model.Architecture, width)
+	for l := range archs {
+		archs[l] = zoo.Didactic(zoo.DidacticSpec{Tokens: 1, Period: maxplus.T(100 + 10*l), Seed: int64(l + 1)})
+	}
+	lanes, err := derive.DeriveBatch(archs, derive.Options{PadNodes: nodes - 7})
+	if err != nil {
+		fatal(err)
+	}
+	progs := make([]*tdg.Program, width)
+	for l, lane := range lanes {
+		progs[l] = lane.Program()
+	}
+	be, err := tdg.NewBatchEvaluator(progs)
+	if err != nil {
+		fatal(err)
+	}
+	defer be.Release()
+	nsteps := steps / width
+	if nsteps < 500 {
+		nsteps = 500
+	}
+	u := make([]maxplus.T, width)
+	best := 0.0
+	for rep := 0; rep < 3; rep++ {
+		start := time.Now()
+		for i := 0; i < nsteps; i++ {
+			for lane := range u {
+				u[lane] = maxplus.T(i * 100)
+			}
+			if _, err := be.Step(u); err != nil {
+				fatal(err)
+			}
+		}
+		ns := float64(time.Since(start).Nanoseconds()) / float64(nsteps*width)
 		if best == 0 || ns < best {
 			best = ns
 		}

@@ -43,17 +43,19 @@ func main() {
 	jobWorkers := flag.Int("job-workers", 2, "concurrent sweep jobs")
 	jobQueue := flag.Int("job-queue", 64, "queued sweep jobs before 429")
 	sweepWorkers := flag.Int("sweep-workers", 0, "per-job point-level workers (0: all processors)")
+	batchWidth := flag.Int("batch-width", 0, "default batched-evaluation lane width for sweep jobs (0: per-point)")
 	maxPoints := flag.Int("max-grid-points", 100000, "largest accepted sweep grid")
 	cacheEntries := flag.Int("cache-entries", 0, "derive-cache LRU bound in shapes (0: default, <0: unbounded)")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown budget for in-flight requests")
 	flag.Parse()
 
 	srv := serve.New(serve.Config{
-		JobWorkers:    *jobWorkers,
-		JobQueue:      *jobQueue,
-		SweepWorkers:  *sweepWorkers,
-		MaxGridPoints: *maxPoints,
-		CacheEntries:  *cacheEntries,
+		JobWorkers:      *jobWorkers,
+		JobQueue:        *jobQueue,
+		SweepWorkers:    *sweepWorkers,
+		SweepBatchWidth: *batchWidth,
+		MaxGridPoints:   *maxPoints,
+		CacheEntries:    *cacheEntries,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

@@ -47,6 +47,7 @@ func main() {
 	scenario := flag.String("scenario", "pipeline", "architecture scenario: "+strings.Join(zoo.ScenarioNames(), "|"))
 	axesSpec := flag.String("axes", "", `grid axes, e.g. "xsize=6,10,20;tokens=500:2000:500"`)
 	workers := flag.Int("workers", 0, "worker-pool size (0: all processors)")
+	batch := flag.Int("batch", 0, "batched-evaluation lane width for same-shape points (0: per-point)")
 	engName := flag.String("engine", sweep.DefaultEngine, "per-point executor: "+strings.Join(engine.Names(), "|"))
 	group := flag.String("group", "", `functions the hybrid engine abstracts, comma-separated (default: the scenario's canonical group)`)
 	window := flag.Int("window", 0, "adaptive steady-state window in iterations (0: engine default)")
@@ -80,10 +81,11 @@ func main() {
 	}
 
 	opts := sweep.Options{
-		Workers:  *workers,
-		Engine:   *engName,
-		Baseline: *baseline,
-		Window:   *window,
+		Workers:    *workers,
+		Engine:     *engName,
+		Baseline:   *baseline,
+		Window:     *window,
+		BatchWidth: *batch,
 	}
 	if *engName == "hybrid" {
 		if *group != "" {

@@ -55,6 +55,18 @@ type Result struct {
 	Iterations int
 }
 
+// stepper is the ComputeInstant surface the engine drives. The scalar
+// tdg.Evaluator satisfies it directly; a batched run hands each lane a
+// view onto one shared tdg.BatchEvaluator instead (see RunBatch). The
+// engine is oblivious to which one it got — that indirection is the
+// whole batch refactor at this layer.
+type stepper interface {
+	K() int
+	Step(u []maxplus.T) ([]maxplus.T, error)
+	PeekDelayed(arcs []tdg.Arc, k int) (maxplus.T, error)
+	ValuesInto(dst []maxplus.T)
+}
+
 // Model is a runnable equivalent model built from a derived temporal
 // dependency graph.
 //
@@ -67,8 +79,7 @@ type Result struct {
 // evaluators recycle their history rings through the program's shared
 // pool, so repeated runs of one shape allocate nothing per iteration.
 type Model struct {
-	res  *derive.Result
-	pool sync.Pool // *engine, reset per Run
+	res *derive.Result
 }
 
 // New builds an equivalent model from a derivation result. All sources of
@@ -85,15 +96,17 @@ func New(res *derive.Result) (*Model, error) {
 
 // iterations resolves the number of iterations to simulate from the
 // architecture's sources, which must agree on one token count.
-func (m *Model) iterations() (int, error) {
-	if len(m.res.Inputs) == 0 {
-		return 0, fmt.Errorf("core: architecture %q has no inputs", m.res.Arch.Name)
+func (m *Model) iterations() (int, error) { return iterations(m.res) }
+
+func iterations(res *derive.Result) (int, error) {
+	if len(res.Inputs) == 0 {
+		return 0, fmt.Errorf("core: architecture %q has no inputs", res.Arch.Name)
 	}
-	count := m.res.Inputs[0].Source.Count
-	for _, ib := range m.res.Inputs[1:] {
+	count := res.Inputs[0].Source.Count
+	for _, ib := range res.Inputs[1:] {
 		if ib.Source.Count != count {
 			return 0, fmt.Errorf("core: sources %q and %q produce different token counts (%d vs %d)",
-				m.res.Inputs[0].Source.Name, ib.Source.Name, count, ib.Source.Count)
+				res.Inputs[0].Source.Name, ib.Source.Name, count, ib.Source.Count)
 		}
 	}
 	return count, nil
@@ -120,38 +133,52 @@ func (m *Model) Run(opts Options) (*Result, error) {
 		return nil, err
 	}
 
-	eng := m.engineFor(iter, k, ev, opts.Trace)
+	eng := engineFor(m.res, iter, k, ev, opts.Trace)
 	eng.build()
 	runErr := k.Run(limit)
 	res := &Result{Stats: k.Stats(), Trace: opts.Trace, Iterations: ev.K()}
 	// Recycle also on failure: Kernel.Run has shut every process down, so
 	// the engine state and the evaluator ring are safe to pool either way.
-	m.recycle(eng)
+	ev.Release()
+	recycle(eng)
 	if runErr != nil {
 		return nil, runErr
 	}
 	return res, nil
 }
 
+// enginePool recycles engine state (arrival and output buffers) across
+// runs of any model; engineFor resizes the buffers to the architecture
+// at hand. One pool serves scalar runs and every lane of a batched run.
+var enginePool sync.Pool
+
 // engineFor prepares the running state of one simulation, reusing a
 // pooled engine (with its grown buffers) when one is available.
-func (m *Model) engineFor(iter int, k *sim.Kernel, ev *tdg.Evaluator, trace *observe.Trace) *engine {
-	eng, ok := m.pool.Get().(*engine)
+func engineFor(res *derive.Result, iter int, k *sim.Kernel, ev stepper, trace *observe.Trace) *engine {
+	eng, ok := enginePool.Get().(*engine)
 	if !ok {
-		eng = &engine{
-			arrived: make([]int, len(m.res.Inputs)),
-			inputs:  make([]maxplus.T, len(m.res.Inputs)),
-			outputs: make([][]maxplus.T, len(m.res.Outputs)),
-		}
+		eng = &engine{}
 	}
-	eng.model = m
+	eng.res = res
 	eng.iter = iter
 	eng.kernel = k
 	eng.eval = ev
 	eng.trace = trace
 	eng.pending = 0
+	if cap(eng.arrived) < len(res.Inputs) {
+		eng.arrived = make([]int, len(res.Inputs))
+		eng.inputs = make([]maxplus.T, len(res.Inputs))
+	} else {
+		eng.arrived = eng.arrived[:len(res.Inputs)]
+		eng.inputs = eng.inputs[:len(res.Inputs)]
+	}
 	for i := range eng.arrived {
 		eng.arrived[i] = 0
+	}
+	if cap(eng.outputs) < len(res.Outputs) {
+		eng.outputs = make([][]maxplus.T, len(res.Outputs))
+	} else {
+		eng.outputs = eng.outputs[:len(res.Outputs)]
 	}
 	for j := range eng.outputs {
 		// Preallocate the known iteration count so the steady-state loop
@@ -164,26 +191,31 @@ func (m *Model) engineFor(iter int, k *sim.Kernel, ev *tdg.Evaluator, trace *obs
 	}
 	eng.stepped = k.NewEvent("stepped")
 	eng.emitted = k.NewEvent("emitted")
-	if trace != nil && eng.vals == nil {
-		eng.vals = make([]maxplus.T, m.res.Graph.NodeCount())
+	if trace != nil {
+		if cap(eng.vals) < res.Graph.NodeCount() {
+			eng.vals = make([]maxplus.T, res.Graph.NodeCount())
+		} else {
+			eng.vals = eng.vals[:res.Graph.NodeCount()]
+		}
 	}
 	return eng
 }
 
-// recycle releases a finished engine's evaluator ring and parks the
-// engine state for the next Run.
-func (m *Model) recycle(eng *engine) {
-	eng.eval.Release()
-	eng.kernel, eng.eval, eng.trace, eng.stepped, eng.emitted = nil, nil, nil, nil, nil
-	m.pool.Put(eng)
+// recycle parks a finished engine's state for the next run. The caller
+// releases the evaluator itself — a batched run retires its lanes
+// individually but releases the shared batch evaluator exactly once.
+func recycle(eng *engine) {
+	eng.res, eng.eval, eng.trace = nil, nil, nil
+	eng.kernel, eng.stepped, eng.emitted = nil, nil, nil
+	enginePool.Put(eng)
 }
 
 // engine is the running state of one equivalent-model simulation.
 type engine struct {
-	model  *Model
+	res    *derive.Result
 	iter   int // iterations to simulate (source token count)
 	kernel *sim.Kernel
-	eval   *tdg.Evaluator
+	eval   stepper
 	trace  *observe.Trace
 	vals   []maxplus.T
 
@@ -199,23 +231,23 @@ type engine struct {
 }
 
 func (e *engine) build() {
-	m := e.model
-	arch := m.res.Arch
+	res := e.res
+	arch := res.Arch
 
 	// Boundary channels keep their real runtimes; instants are recorded
 	// from the computed values (not by the runtimes) to keep a single
 	// source of truth.
-	inChans := make([]chanrt.RT, len(m.res.Inputs))
-	for i, ib := range m.res.Inputs {
+	inChans := make([]chanrt.RT, len(res.Inputs))
+	for i, ib := range res.Inputs {
 		inChans[i] = chanrt.New(e.kernel, ib.Channel, nil)
 	}
-	outChans := make([]chanrt.RT, len(m.res.Outputs))
-	for j, ob := range m.res.Outputs {
+	outChans := make([]chanrt.RT, len(res.Outputs))
+	for j, ob := range res.Outputs {
 		outChans[j] = chanrt.New(e.kernel, ob.Channel, nil)
 	}
 
 	// Environment sources, exactly as in the reference executor.
-	for i, ib := range m.res.Inputs {
+	for i, ib := range res.Inputs {
 		src := ib.Source
 		ch := inChans[i]
 		count := src.Count
@@ -237,9 +269,9 @@ func (e *engine) build() {
 	}
 
 	// Reception processes: gate, accept, compute.
-	for i := range m.res.Inputs {
+	for i := range res.Inputs {
 		idx := i
-		ib := m.res.Inputs[i]
+		ib := res.Inputs[i]
 		ch := inChans[i]
 		e.kernel.Spawn("Reception:"+ib.Channel.Name, func(p *sim.Proc) {
 			e.runReception(p, idx, ib, ch)
@@ -247,9 +279,9 @@ func (e *engine) build() {
 	}
 
 	// Emission processes replay stored output instants.
-	for j := range m.res.Outputs {
+	for j := range res.Outputs {
 		idx := j
-		ob := m.res.Outputs[j]
+		ob := res.Outputs[j]
 		ch := outChans[j]
 		e.kernel.Spawn("Emission:"+ob.Channel.Name, func(p *sim.Proc) {
 			for k := 0; k < e.iter; k++ {
@@ -268,7 +300,7 @@ func (e *engine) build() {
 	}
 
 	// Environment sinks.
-	for j, ob := range m.res.Outputs {
+	for j, ob := range res.Outputs {
 		ch := outChans[j]
 		e.kernel.Spawn(ob.Sink.Name, func(p *sim.Proc) {
 			for {
@@ -358,15 +390,15 @@ func (e *engine) deliver(k, idx int, arrival maxplus.T) {
 // on the local observation time (no simulator involvement).
 func (e *engine) record(k int) {
 	e.eval.ValuesInto(e.vals)
-	g := e.model.res.Graph
+	g := e.res.Graph
 	for _, n := range g.Nodes() {
-		label, ok := e.model.res.Labels[n.ID]
+		label, ok := e.res.Labels[n.ID]
 		if !ok {
 			continue
 		}
 		e.trace.RecordInstant(label, e.vals[n.ID])
 	}
-	for _, pr := range e.model.res.Probes {
+	for _, pr := range e.res.Probes {
 		start := pr.Start(e.vals[pr.Base], k)
 		if start == maxplus.Epsilon {
 			continue

@@ -40,6 +40,13 @@ type Cache struct {
 // DefaultEntries is the entry bound applied by NewCache.
 const DefaultEntries = 1024
 
+// entryKeyFor extends a structural shape key with the derivation options
+// that change the template (pad nodes, reduction, compilation), so one
+// cache serves differently-derived views of one shape side by side.
+func entryKeyFor(key string, opts Options) string {
+	return fmt.Sprintf("%s\x00pad=%d reduce=%t nocompile=%t", key, opts.PadNodes, opts.Reduce, opts.NoCompile)
+}
+
 type cacheEntry struct {
 	once sync.Once
 	res  *Result
@@ -80,7 +87,7 @@ func (c *Cache) Derive(a *model.Architecture, opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	entryKey := fmt.Sprintf("%s\x00pad=%d reduce=%t nocompile=%t", key, opts.PadNodes, opts.Reduce, opts.NoCompile)
+	entryKey := entryKeyFor(key, opts)
 
 	c.mu.Lock()
 	c.clock++

@@ -120,3 +120,26 @@ type Engine interface {
 	// must be bit-exact against every other engine's on the same model.
 	Run(ctx context.Context, a *model.Architecture, opts Options) (*Result, error)
 }
+
+// BatchRunner is the capability an engine advertises when it can
+// evaluate several architectures of one structural shape in a single
+// batched pass (the equivalent model batches ComputeInstant across
+// weight lanes). Callers discover it by type assertion:
+//
+//	if br, ok := eng.(BatchRunner); ok { br.RunBatch(...) }
+//
+// and fall back to per-point Run calls otherwise — the adaptive engine,
+// for example, switches representations mid-run and has no batched form.
+type BatchRunner interface {
+	Engine
+	// RunBatch simulates every architecture as one lane of a batch. All
+	// architectures must share one structural shape (derive.ShapeKey).
+	// Each lane's Result and recorded trace must be bit-exact against an
+	// individual Run of the same architecture with the same Options.
+	//
+	// The third return reports the batch failing wholesale (nothing ran
+	// — shape mismatch, unsupported options); callers then fall back to
+	// per-point Run. Per-lane failures land in the error slice, aligned
+	// with archs, while the other lanes' results stay valid.
+	RunBatch(ctx context.Context, archs []*model.Architecture, opts Options) ([]*Result, []error, error)
+}

@@ -101,6 +101,11 @@ type SweepOptions struct {
 	// Baseline pairs every point with a reference-executor run and
 	// fills the per-point event ratio and speed-up.
 	Baseline bool `json:"baseline,omitempty"`
+	// BatchWidth groups structurally identical grid points into batched
+	// lane evaluations of up to this many points (engines without the
+	// capability fall back per point). 0 selects the server default;
+	// negative is rejected.
+	BatchWidth int `json:"batch_width,omitempty"`
 }
 
 // SweepRequest is the body of POST /v1/sweeps: an asynchronous grid
@@ -142,14 +147,17 @@ type Aggregate struct {
 
 // SweepStats is the wire form of sweep.Stats.
 type SweepStats struct {
-	Points      int        `json:"points"`
-	Failed      int        `json:"failed"`
-	Shapes      int        `json:"shapes"`
-	DeriveCalls int64      `json:"derive_calls"`
-	CacheHits   int64      `json:"cache_hits"`
-	WallNs      int64      `json:"wall_ns"`
-	SpeedUp     *Aggregate `json:"speed_up,omitempty"`
-	EventRatio  *Aggregate `json:"event_ratio,omitempty"`
+	Points         int        `json:"points"`
+	Failed         int        `json:"failed"`
+	Shapes         int        `json:"shapes"`
+	DeriveCalls    int64      `json:"derive_calls"`
+	CacheHits      int64      `json:"cache_hits"`
+	WallNs         int64      `json:"wall_ns"`
+	Batches        int        `json:"batches,omitempty"`
+	BatchedPoints  int        `json:"batched_points,omitempty"`
+	BatchOccupancy float64    `json:"batch_occupancy,omitempty"`
+	SpeedUp        *Aggregate `json:"speed_up,omitempty"`
+	EventRatio     *Aggregate `json:"event_ratio,omitempty"`
 }
 
 // SweepPoint is the wire form of one evaluated grid point.
@@ -251,12 +259,15 @@ func sweepAxes(axes []Axis) ([]sweep.Axis, error) {
 // statsJSON converts sweep statistics to their wire form.
 func statsJSON(st sweep.Stats) *SweepStats {
 	out := &SweepStats{
-		Points:      st.Points,
-		Failed:      st.Failed,
-		Shapes:      st.Shapes,
-		DeriveCalls: st.DeriveCalls,
-		CacheHits:   st.CacheHits,
-		WallNs:      st.Wall.Nanoseconds(),
+		Points:         st.Points,
+		Failed:         st.Failed,
+		Shapes:         st.Shapes,
+		DeriveCalls:    st.DeriveCalls,
+		CacheHits:      st.CacheHits,
+		WallNs:         st.Wall.Nanoseconds(),
+		Batches:        st.Batches,
+		BatchedPoints:  st.BatchedPoints,
+		BatchOccupancy: st.BatchOccupancy,
 	}
 	if st.SpeedUp.N > 0 {
 		out.SpeedUp = aggregateJSON(st.SpeedUp)

@@ -51,6 +51,7 @@ func TestWireTypesRoundTrip(t *testing.T) {
 			Params: map[string]int64{"period": 600},
 			Options: SweepOptions{
 				Workers: 4, WindowK: 16, Reduce: true, LimitNs: 7, Baseline: true,
+				BatchWidth: 8,
 			},
 		}},
 		{"job", &Job{
@@ -64,6 +65,7 @@ func TestWireTypesRoundTrip(t *testing.T) {
 			},
 			Stats: &SweepStats{
 				Points: 2, Shapes: 1, DeriveCalls: 1, CacheHits: 1, WallNs: 9,
+				Batches: 1, BatchedPoints: 2, BatchOccupancy: 0.5,
 				SpeedUp: &Aggregate{N: 2, Min: 1, Max: 3, Mean: 2, Geomean: 1.7},
 			},
 			Points: []SweepPoint{
@@ -175,12 +177,16 @@ func TestResultConversions(t *testing.T) {
 func TestStatsConversion(t *testing.T) {
 	st := sweep.Stats{
 		Points: 6, Failed: 1, Shapes: 2, DeriveCalls: 2, CacheHits: 4,
-		Wall: 42 * time.Nanosecond,
+		Wall:    42 * time.Nanosecond,
+		Batches: 2, BatchedPoints: 5, BatchOccupancy: 0.625,
 	}
 	got := statsJSON(st)
 	if got.Points != 6 || got.Failed != 1 || got.Shapes != 2 ||
 		got.DeriveCalls != 2 || got.CacheHits != 4 || got.WallNs != 42 {
 		t.Fatalf("statsJSON = %+v", got)
+	}
+	if got.Batches != 2 || got.BatchedPoints != 5 || got.BatchOccupancy != 0.625 {
+		t.Fatalf("batch stats lost: %+v", got)
 	}
 	if got.SpeedUp != nil || got.EventRatio != nil {
 		t.Fatal("aggregates present without baseline")

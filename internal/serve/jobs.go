@@ -377,6 +377,11 @@ func (s *Server) runJob(j *job) {
 	opts.Cache = s.cache
 	opts.Progress = j.progress
 	res, err := sweep.RunContext(ctx, j.axes, j.gen, opts)
+	if res != nil && res.Stats.Batches > 0 {
+		s.sweepBatches.Add(int64(res.Stats.Batches))
+		s.sweepBatchPoints.Add(int64(res.Stats.BatchedPoints))
+		s.sweepBatchLanes.Add(int64(res.Stats.Batches * opts.BatchWidth))
+	}
 
 	j.mu.Lock()
 	j.res = res

@@ -104,6 +104,26 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "# TYPE dyncomp_serve_tdg_compiles_total counter\n")
 	fmt.Fprintf(w, "dyncomp_serve_tdg_compiles_total %d\n", tdg.Compiles())
 
+	batches := s.sweepBatches.Load()
+	batchPoints := s.sweepBatchPoints.Load()
+	batchLanes := s.sweepBatchLanes.Load()
+	fmt.Fprintf(w, "# HELP dyncomp_serve_sweep_batches_total Batched lane evaluations dispatched by sweep jobs.\n")
+	fmt.Fprintf(w, "# TYPE dyncomp_serve_sweep_batches_total counter\n")
+	fmt.Fprintf(w, "dyncomp_serve_sweep_batches_total %d\n", batches)
+	fmt.Fprintf(w, "# HELP dyncomp_serve_sweep_batch_points_total Grid points evaluated through the batched path.\n")
+	fmt.Fprintf(w, "# TYPE dyncomp_serve_sweep_batch_points_total counter\n")
+	fmt.Fprintf(w, "dyncomp_serve_sweep_batch_points_total %d\n", batchPoints)
+	fmt.Fprintf(w, "# HELP dyncomp_serve_sweep_batch_lanes_total Lane capacity offered by those batches (batches x width).\n")
+	fmt.Fprintf(w, "# TYPE dyncomp_serve_sweep_batch_lanes_total counter\n")
+	fmt.Fprintf(w, "dyncomp_serve_sweep_batch_lanes_total %d\n", batchLanes)
+	occupancy := 0.0
+	if batchLanes > 0 {
+		occupancy = float64(batchPoints) / float64(batchLanes)
+	}
+	fmt.Fprintf(w, "# HELP dyncomp_serve_sweep_batch_occupancy Mean lane utilization of batched sweep evaluations (points / capacity).\n")
+	fmt.Fprintf(w, "# TYPE dyncomp_serve_sweep_batch_occupancy gauge\n")
+	fmt.Fprintf(w, "dyncomp_serve_sweep_batch_occupancy %.4f\n", occupancy)
+
 	queued, running := s.jobs.active()
 	fmt.Fprintf(w, "# HELP dyncomp_serve_jobs_queued Sweep jobs waiting for a worker.\n")
 	fmt.Fprintf(w, "# TYPE dyncomp_serve_jobs_queued gauge\n")

@@ -37,6 +37,7 @@ import (
 	"net/http"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dyncomp/internal/derive"
@@ -65,6 +66,11 @@ type Config struct {
 	// SweepWorkers is the per-job point-level pool size applied when a
 	// request does not set options.workers (default GOMAXPROCS).
 	SweepWorkers int
+	// SweepBatchWidth is the batched-evaluation lane width applied when
+	// a request does not set options.batch_width (default 0: per-point
+	// evaluation). Jobs on engines without the batch capability run per
+	// point regardless.
+	SweepBatchWidth int
 	// MaxGridPoints rejects sweeps whose grid exceeds this many points
 	// (default 100000) — a service must bound a single caller's blast
 	// radius.
@@ -90,6 +96,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxGridPoints <= 0 {
 		c.MaxGridPoints = 100000
 	}
+	if c.SweepBatchWidth < 0 {
+		c.SweepBatchWidth = 0
+	}
 	if c.CacheEntries == 0 {
 		c.CacheEntries = derive.DefaultEntries
 	} else if c.CacheEntries < 0 {
@@ -109,6 +118,13 @@ type Server struct {
 	metrics *metrics
 	mux     *http.ServeMux
 	started time.Time
+
+	// Batched-sweep accounting across every finished job, scraped by
+	// /metrics: batched engine invocations, the points they carried and
+	// the lane capacity they offered (batches × width).
+	sweepBatches     atomic.Int64
+	sweepBatchPoints atomic.Int64
+	sweepBatchLanes  atomic.Int64
 
 	baseCtx context.Context
 	stop    context.CancelFunc

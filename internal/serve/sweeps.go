@@ -72,16 +72,26 @@ func (s *Server) handleSweepCreate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	if req.Options.BatchWidth < 0 {
+		writeError(w, http.StatusBadRequest, CodeBadJSON,
+			"options.batch_width must be non-negative, got %d", req.Options.BatchWidth)
+		return
+	}
 	workers := req.Options.Workers
 	if workers <= 0 {
 		workers = s.cfg.SweepWorkers
 	}
+	batchWidth := req.Options.BatchWidth
+	if batchWidth == 0 {
+		batchWidth = s.cfg.SweepBatchWidth
+	}
 	opts := sweep.Options{
-		Workers:  workers,
-		Engine:   eng.Name(),
-		Window:   req.Options.WindowK,
-		Baseline: req.Options.Baseline,
-		Limit:    sim.Time(req.Options.LimitNs),
+		Workers:    workers,
+		Engine:     eng.Name(),
+		Window:     req.Options.WindowK,
+		Baseline:   req.Options.Baseline,
+		Limit:      sim.Time(req.Options.LimitNs),
+		BatchWidth: batchWidth,
 	}
 	opts.Derive.Reduce = req.Options.Reduce
 	if len(req.Options.Group) > 0 {

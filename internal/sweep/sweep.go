@@ -178,15 +178,30 @@ type Options struct {
 	// worker goroutine that finished the point, so it must be safe for
 	// concurrent calls, and concurrent deliveries may be observed out
 	// of order (a later call can carry a smaller count): consumers
-	// wanting a monotonic counter keep the max. Every count 1..total is
-	// delivered exactly once, also under cancellation. Long-running
-	// consumers (e.g. a serving layer streaming job progress) should
-	// only forward, never block.
+	// wanting a monotonic counter keep the max. In a per-point sweep
+	// every count 1..total is delivered exactly once, also under
+	// cancellation; a batched sweep (BatchWidth > 0) coalesces the
+	// notifications — one per finished chunk, advancing by the chunk
+	// size — but still sums to total, also under cancellation.
+	// Long-running consumers (e.g. a serving layer streaming job
+	// progress) should only forward, never block.
 	Progress func(done, total int)
 	// Interpreted forces every point through the tree-walking graph
 	// interpreter instead of the compiled evaluation program; for
-	// debugging and bit-exactness testing.
+	// debugging and bit-exactness testing. Disables batching
+	// (BatchWidth): there is no batched interpreter.
 	Interpreted bool
+	// BatchWidth, when positive, groups grid points sharing one
+	// structural shape (derive.ShapeKey, same per-point derive options
+	// and group) into cohorts and evaluates each cohort in chunks of up
+	// to BatchWidth lanes through the engine's batched path
+	// (engine.BatchRunner) — one compiled structure, one lockstep pass
+	// per iteration for the whole chunk. Points keep their bit-exact
+	// per-point results; only the evaluation strategy changes. Engines
+	// without the batch capability (reference, hybrid, adaptive) and
+	// interpreted sweeps fall back to the per-point path, as does any
+	// chunk whose batched run fails wholesale. 0 disables batching.
+	BatchWidth int
 }
 
 // PointStats reports one completed simulation of one point.
@@ -241,6 +256,13 @@ type Stats struct {
 	DeriveCalls int64         `json:"derive_calls"` // cache misses == derivations performed
 	CacheHits   int64         `json:"cache_hits"`   // points served by rebinding
 	Wall        time.Duration `json:"wall_ns"`      // wall-clock time of the whole sweep
+	// Batched-evaluation accounting (zero in per-point sweeps):
+	// Batches counts the batched engine invocations, BatchedPoints the
+	// points they evaluated, and BatchOccupancy the mean lane
+	// utilization — BatchedPoints over Batches × BatchWidth capacity.
+	Batches        int     `json:"batches"`
+	BatchedPoints  int     `json:"batched_points"`
+	BatchOccupancy float64 `json:"batch_occupancy"`
 	// SpeedUp and EventRatio aggregate the per-point ratios when
 	// Options.Baseline was set.
 	SpeedUp    Aggregate `json:"speed_up"`
@@ -307,15 +329,45 @@ func RunContext(ctx context.Context, axes []Axis, gen Generator, opts Options) (
 
 	start := time.Now()
 	results := make([]PointResult, len(pts))
-	jobs := make(chan int)
-	var wg sync.WaitGroup
 	var completed atomic.Int64
-	finish := func(i int, pr PointResult) {
-		results[i] = pr
-		if opts.Progress != nil {
-			opts.Progress(int(completed.Add(1)), len(pts))
+	// report advances the coalesced progress counter by n finished
+	// points; the per-point path always advances by one, the batched
+	// path by whole chunks.
+	report := func(n int) {
+		if opts.Progress != nil && n > 0 {
+			opts.Progress(int(completed.Add(int64(n))), len(pts))
 		}
 	}
+	finish := func(i int, pr PointResult) {
+		results[i] = pr
+		report(1)
+	}
+
+	var bstats batchStats
+	if br, ok := eng.(engine.BatchRunner); ok && opts.BatchWidth > 0 && !opts.Interpreted {
+		bstats = runBatched(ctx, pts, gen, br, refEng, opts, cache, workers, results, report)
+	} else {
+		runPerPoint(ctx, pts, gen, eng, refEng, opts, cache, workers, finish)
+	}
+
+	res := &Result{Points: results}
+	res.Stats = summarize(results, cache, time.Since(start))
+	res.Stats.Batches = bstats.batches
+	res.Stats.BatchedPoints = bstats.points
+	if bstats.batches > 0 {
+		res.Stats.BatchOccupancy = float64(bstats.points) / float64(bstats.batches*opts.BatchWidth)
+	}
+	if err := ctx.Err(); err != nil {
+		return res, err
+	}
+	return res, nil
+}
+
+// runPerPoint is the point-at-a-time worker pool: every grid point is an
+// independent job.
+func runPerPoint(ctx context.Context, pts []Point, gen Generator, eng, refEng engine.Engine, opts Options, cache *derive.Cache, workers int, finish func(int, PointResult)) {
+	jobs := make(chan int)
+	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
@@ -347,13 +399,6 @@ dispatch:
 	}
 	close(jobs)
 	wg.Wait()
-
-	res := &Result{Points: results}
-	res.Stats = summarize(results, cache, time.Since(start))
-	if err := ctx.Err(); err != nil {
-		return res, err
-	}
-	return res, nil
 }
 
 // evalPoint evaluates one grid point: generate the architecture, run the
@@ -407,32 +452,40 @@ func evalPoint(ctx context.Context, p Point, gen Generator, eng, refEng engine.E
 	pr.Trace = r.Trace
 
 	if opts.Baseline {
-		// A fresh instance keeps the engines from sharing memoized
-		// per-statement state.
-		ab, err := gen(p)
-		if err != nil {
-			pr.Err = fmt.Errorf("sweep: point %d (%s): baseline: %w", p.Index, p, err)
-			return pr
-		}
-		br, err := refEng.Run(ctx, ab, engine.Options{
-			Record:  opts.Record,
-			LimitNs: int64(opts.Limit),
-		})
-		if err != nil {
-			pr.Err = fmt.Errorf("sweep: point %d (%s): baseline: %w", p.Index, p, err)
-			return pr
-		}
-		bs := pointStats(br)
-		pr.Baseline = &bs
-		pr.BaselineTrace = br.Trace
-		if pr.Run.Activations > 0 {
-			pr.EventRatio = float64(bs.Activations) / float64(pr.Run.Activations)
-		}
-		if pr.Run.Wall > 0 {
-			pr.SpeedUp = bs.Wall.Seconds() / pr.Run.Wall.Seconds()
-		}
+		addBaseline(ctx, p, gen, refEng, opts, &pr)
 	}
 	return pr
+}
+
+// addBaseline pairs an evaluated point with a reference-executor run and
+// fills the paper's two headline ratios. Both the per-point and the
+// batched path use it — baselines always run point-at-a-time (the
+// reference executor has no batched form).
+func addBaseline(ctx context.Context, p Point, gen Generator, refEng engine.Engine, opts Options, pr *PointResult) {
+	// A fresh instance keeps the engines from sharing memoized
+	// per-statement state.
+	ab, err := gen(p)
+	if err != nil {
+		pr.Err = fmt.Errorf("sweep: point %d (%s): baseline: %w", p.Index, p, err)
+		return
+	}
+	br, err := refEng.Run(ctx, ab, engine.Options{
+		Record:  opts.Record,
+		LimitNs: int64(opts.Limit),
+	})
+	if err != nil {
+		pr.Err = fmt.Errorf("sweep: point %d (%s): baseline: %w", p.Index, p, err)
+		return
+	}
+	bs := pointStats(br)
+	pr.Baseline = &bs
+	pr.BaselineTrace = br.Trace
+	if pr.Run.Activations > 0 {
+		pr.EventRatio = float64(bs.Activations) / float64(pr.Run.Activations)
+	}
+	if pr.Run.Wall > 0 {
+		pr.SpeedUp = bs.Wall.Seconds() / pr.Run.Wall.Seconds()
+	}
 }
 
 // pointStats converts a uniform engine result into per-point statistics.

@@ -1,0 +1,416 @@
+package tdg
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"dyncomp/internal/maxplus"
+)
+
+// batchParallelMinWork is the node×lane product below which a batched
+// pass stays single-threaded: the per-wave goroutine fan-out only pays
+// for itself on large graphs. Tests lower it to force the parallel path
+// onto small graphs.
+var batchParallelMinWork = 1 << 14
+
+// BatchEvaluator evaluates N re-bound sibling programs of one structural
+// shape in lockstep: one pass over the shared packed arc table computes
+// iteration k for every lane at once.
+//
+// Memory is laid out lane-innermost (structure of arrays): the history
+// ring holds ring[(node*depth+slot)*L + lane], the varying-weight buffer
+// wbuf[widx*L + lane], and Step's inputs and outputs are lane-strided
+// the same way (u[i*L+lane] is input i of lane `lane`). One instruction
+// stream therefore amortizes the arc-table walk, the branch pattern and
+// the ring indexing over all lanes, while each lane keeps its own weight
+// closures — which is exactly the sweep access pattern: many parameter
+// points over one shared structure.
+//
+// Lanes must be structurally identical programs: Rebound siblings (which
+// alias one arc table, checked in O(1)) or independently compiled
+// programs whose packed tables match element-wise. Const and identity
+// weights are baked into the shared arc table and so must agree across
+// lanes; only side-table (varying) weights may differ per lane.
+//
+// A BatchEvaluator is bit-exact against running each lane through its
+// own scalar Evaluator: both apply the same (max,+) fold in the same
+// node and arc order.
+type BatchEvaluator struct {
+	proto *Program   // structure owner: nodes, arcs, waves
+	lanes []*Program // per-lane programs (weight side tables)
+
+	k     int
+	depth int
+	width int // number of lanes L
+
+	ring   []maxplus.T // [(node*depth + slot)*L + lane]
+	wbuf   []maxplus.T // [widx*L + lane], refilled each Step
+	outBuf []maxplus.T // [output*L + lane], reused by Step
+
+	active  []bool // lanes still stepping; disabled lanes keep stale values
+	nActive int
+}
+
+// NewBatchEvaluator builds a batch evaluator over the given lane
+// programs, recycling a previously Released one of matching geometry
+// from the programs' shared pool. All lanes must share one compiled
+// structure (see BatchEvaluator); a mismatch is an error — callers fall
+// back to per-lane scalar evaluation.
+func NewBatchEvaluator(lanes []*Program) (*BatchEvaluator, error) {
+	if len(lanes) == 0 {
+		return nil, fmt.Errorf("tdg: NewBatchEvaluator needs at least one lane")
+	}
+	proto := lanes[0]
+	for i, p := range lanes[1:] {
+		if err := batchCompatible(proto, p); err != nil {
+			return nil, fmt.Errorf("tdg: batch lane %d: %w", i+1, err)
+		}
+	}
+	L := len(lanes)
+	depth := int(proto.depth)
+	if b, ok := proto.bpool.Get().(*BatchEvaluator); ok {
+		if b.width == L &&
+			len(b.ring) == len(proto.g.nodes)*depth*L &&
+			len(b.wbuf) == len(proto.weights)*L &&
+			len(b.outBuf) == len(proto.g.outputs)*L {
+			b.proto = proto
+			copy(b.lanes, lanes)
+			b.reset()
+			return b, nil
+		}
+		// Geometry drifted (a reclassifying recompile resized the side
+		// table): drop the stale buffers for the collector.
+	}
+	b := &BatchEvaluator{
+		proto:  proto,
+		lanes:  append([]*Program(nil), lanes...),
+		depth:  depth,
+		width:  L,
+		ring:   make([]maxplus.T, len(proto.g.nodes)*depth*L),
+		wbuf:   make([]maxplus.T, len(proto.weights)*L),
+		outBuf: make([]maxplus.T, len(proto.g.outputs)*L),
+		active: make([]bool, L),
+	}
+	b.reset()
+	return b, nil
+}
+
+// batchCompatible reports whether q can share p's compiled structure.
+func batchCompatible(p, q *Program) error {
+	switch {
+	case q == nil:
+		return fmt.Errorf("nil program")
+	case p.depth != q.depth:
+		return fmt.Errorf("ring depth %d vs %d", p.depth, q.depth)
+	case len(p.g.nodes) != len(q.g.nodes):
+		return fmt.Errorf("%d vs %d graph nodes", len(p.g.nodes), len(q.g.nodes))
+	case len(p.arcs) != len(q.arcs), len(p.nodes) != len(q.nodes):
+		return fmt.Errorf("packed table sizes differ")
+	case len(p.weights) != len(q.weights):
+		return fmt.Errorf("%d vs %d varying weights", len(p.weights), len(q.weights))
+	case !equalIDs(p.g.inputs, q.g.inputs), !equalIDs(p.g.outputs, q.g.outputs):
+		return fmt.Errorf("input/output vectors differ")
+	}
+	// Rebound siblings alias one table: identical by construction.
+	if len(p.arcs) == 0 || &p.arcs[0] == &q.arcs[0] {
+		return nil
+	}
+	for i := range p.arcs {
+		if p.arcs[i] != q.arcs[i] {
+			return fmt.Errorf("packed arc %d differs (structure or inline weight)", i)
+		}
+	}
+	for i := range p.nodes {
+		if p.nodes[i] != q.nodes[i] {
+			return fmt.Errorf("packed node %d differs", i)
+		}
+	}
+	return nil
+}
+
+func equalIDs(a, b []NodeID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// reset rewinds to iteration zero: ε-cleared ring, every lane active.
+func (b *BatchEvaluator) reset() {
+	b.k = 0
+	for i := range b.ring {
+		b.ring[i] = maxplus.Epsilon
+	}
+	for i := range b.active {
+		b.active[i] = true
+	}
+	b.nActive = b.width
+}
+
+// Release returns the batch evaluator to its structure's pool for reuse
+// by a later NewBatchEvaluator of the same geometry. The evaluator must
+// not be used after Release.
+func (b *BatchEvaluator) Release() {
+	for i := range b.lanes {
+		b.lanes[i] = b.proto // drop sibling references; geometry stays valid
+	}
+	b.proto.bpool.Put(b)
+}
+
+// K returns the index of the next iteration to be computed. All active
+// lanes advance in lockstep.
+func (b *BatchEvaluator) K() int { return b.k }
+
+// Lanes returns the batch width L.
+func (b *BatchEvaluator) Lanes() int { return b.width }
+
+// Graph returns the structure lane 0 was compiled from. All lanes share
+// its node, input and output layout.
+func (b *BatchEvaluator) Graph() *Graph { return b.proto.g }
+
+// Disable marks a lane as finished: fillWeights skips its closures and
+// its ring values go stale. Disabling is how a caller retires lanes that
+// diverge (shorter runs, failed lanes) while the rest keep stepping; the
+// pass still computes the dead lane's slots, on garbage inputs, which is
+// harmless — saturating (max,+) arithmetic cannot trap and the values
+// are never read.
+func (b *BatchEvaluator) Disable(lane int) {
+	if b.active[lane] {
+		b.active[lane] = false
+		b.nActive--
+	}
+}
+
+// ActiveLanes returns how many lanes are still enabled.
+func (b *BatchEvaluator) ActiveLanes() int { return b.nActive }
+
+// Rebind swaps one lane's program mid-run: iterations from the current K
+// on use p's weight side table against the lane's accumulated history —
+// the batched form of re-binding one structural shape to a new parameter
+// point. p must share the batch's compiled structure.
+func (b *BatchEvaluator) Rebind(lane int, p *Program) error {
+	if lane < 0 || lane >= b.width {
+		return fmt.Errorf("tdg: Rebind lane %d of %d", lane, b.width)
+	}
+	if err := batchCompatible(b.proto, p); err != nil {
+		return fmt.Errorf("tdg: Rebind lane %d: %w", lane, err)
+	}
+	b.lanes[lane] = p
+	return nil
+}
+
+// Step computes all evolution instants of the next iteration k for every
+// lane. u holds the input instants lane-strided — u[i*L+lane] is input i
+// of lane `lane`, L = Lanes() — and the returned outputs are laid out the
+// same way. The returned slice is reused by the next Step.
+func (b *BatchEvaluator) Step(u []maxplus.T) ([]maxplus.T, error) {
+	L := b.width
+	g := b.proto.g
+	if len(u) != len(g.inputs)*L {
+		return nil, fmt.Errorf("tdg: %d batched inputs supplied, graph %q has %d inputs × %d lanes",
+			len(u), g.Name, len(g.inputs), L)
+	}
+	k := b.k
+	slot := k % b.depth
+	for i, id := range g.inputs {
+		base := (int(id)*b.depth + slot) * L
+		copy(b.ring[base:base+L], u[i*L:(i+1)*L])
+	}
+	b.fillWeights(k)
+	b.pass(k, slot)
+	for j, id := range g.outputs {
+		base := (int(id)*b.depth + slot) * L
+		copy(b.outBuf[j*L:(j+1)*L], b.ring[base:base+L])
+	}
+	b.k++
+	return b.outBuf, nil
+}
+
+// fillWeights resolves every lane's varying weights at iteration k into
+// the lane-strided weight buffer. It runs single-threaded before the
+// (possibly parallel) pass: weight closures — and the ExecInfo
+// memoization behind derived durations — are only ever called here and
+// from the lane's own PeekDelayed, never concurrently.
+func (b *BatchEvaluator) fillWeights(k int) {
+	L := b.width
+	for l, p := range b.lanes {
+		if !b.active[l] {
+			continue
+		}
+		w := p.weights
+		for v := range w {
+			b.wbuf[v*L+l] = w[v].At(k)
+		}
+	}
+}
+
+// pass computes slot `slot` of iteration k for every node and lane. Large
+// graphs fan the independent waves of the evaluation order out across
+// goroutines; below the work threshold one sequential sweep (which needs
+// no wave fences — the topological order respects all dependencies) is
+// faster.
+func (b *BatchEvaluator) pass(k, slot int) {
+	if len(b.proto.nodes)*b.width >= batchParallelMinWork &&
+		len(b.proto.waves) > 2 && runtime.GOMAXPROCS(0) > 1 {
+		b.parallelPass(k, slot)
+		return
+	}
+	b.runNodes(0, len(b.proto.nodes), k, slot)
+}
+
+// parallelPass evaluates wave by wave, splitting each large wave across
+// GOMAXPROCS goroutines. Within a wave no node depends on another
+// through a zero-delay arc (Program.computeWaves), and delayed arcs read
+// slots written in earlier iterations, so the chunks write disjoint ring
+// slots and read only settled ones.
+func (b *BatchEvaluator) parallelPass(k, slot int) {
+	waves := b.proto.waves
+	workers := runtime.GOMAXPROCS(0)
+	var wg sync.WaitGroup
+	for wi := 0; wi+1 < len(waves); wi++ {
+		lo, hi := int(waves[wi]), int(waves[wi+1])
+		if (hi-lo)*b.width < batchParallelMinWork {
+			b.runNodes(lo, hi, k, slot)
+			continue
+		}
+		chunk := (hi - lo + workers - 1) / workers
+		for s := lo; s < hi; s += chunk {
+			e := s + chunk
+			if e > hi {
+				e = hi
+			}
+			wg.Add(1)
+			go func(s, e int) {
+				defer wg.Done()
+				b.runNodes(s, e, k, slot)
+			}(s, e)
+		}
+		wg.Wait() // fence before the next wave reads this wave's slots
+	}
+}
+
+// runNodes is the lane-innermost kernel: for each node of
+// proto.nodes[nlo:nhi] it folds the packed arcs over all L lanes at
+// once. Slicing every ring window to exactly L lets the compiler drop
+// the per-lane bounds checks from the inner loops.
+func (b *BatchEvaluator) runNodes(nlo, nhi, k, slot int) {
+	p := b.proto
+	arcs := p.arcs
+	ring := b.ring
+	wbuf := b.wbuf
+	L := b.width
+	depth := int32(b.depth)
+	s := int32(slot)
+	k32 := int32(k)
+	warm := k < b.depth-1
+	for ni := nlo; ni < nhi; ni++ {
+		n := &p.nodes[ni]
+		db := int(n.slotBase+s) * L
+		dst := ring[db : db+L]
+		if cs := n.copySrc; cs >= 0 {
+			// Zero-delay identity arcs never reference a pre-origin
+			// iteration, so the copy fast path holds in the warm window too.
+			sb := int(cs+s) * L
+			copy(dst, ring[sb:sb+L])
+			continue
+		}
+		for l := range dst {
+			dst[l] = maxplus.Epsilon
+		}
+		for ai := n.lo; ai < n.hi; ai++ {
+			a := &arcs[ai]
+			if warm && a.delay > k32 {
+				continue // references an iteration before the origin: ε
+			}
+			ss := s - a.slotSub
+			if ss < 0 {
+				ss += depth
+			}
+			sb := int(a.srcBase+ss) * L
+			src := ring[sb : sb+L]
+			dst := dst[:len(src)]
+			if a.widx < 0 {
+				if a.w == maxplus.E {
+					for l, sv := range src {
+						if sv > dst[l] {
+							dst[l] = sv // identity: ε stays ε, finite stays put
+						}
+					}
+				} else {
+					w := a.w
+					for l, sv := range src {
+						if v := maxplus.Otimes(sv, w); v > dst[l] {
+							dst[l] = v
+						}
+					}
+				}
+				continue
+			}
+			wb := int(a.widx) * L
+			ws := wbuf[wb : wb+L]
+			ws = ws[:len(src)]
+			for l, sv := range src {
+				if sv == maxplus.Epsilon {
+					continue
+				}
+				if v := maxplus.Otimes(sv, ws[l]); v > dst[l] {
+					dst[l] = v
+				}
+			}
+		}
+	}
+}
+
+// LaneValuesInto copies one lane's instants at the most recently
+// computed iteration into dst (NodeCount entries, node ID order) — the
+// batched counterpart of Evaluator.ValuesInto.
+func (b *BatchEvaluator) LaneValuesInto(lane int, dst []maxplus.T) {
+	if b.k == 0 {
+		panic("tdg: LaneValuesInto before first Step")
+	}
+	if len(dst) != len(b.proto.g.nodes) {
+		panic(fmt.Sprintf("tdg: LaneValuesInto dst size %d, want %d", len(dst), len(b.proto.g.nodes)))
+	}
+	L := b.width
+	slot := (b.k - 1) % b.depth
+	for i := range dst {
+		dst[i] = b.ring[(i*b.depth+slot)*L+lane]
+	}
+}
+
+// LanePeekDelayed evaluates ⊕ over the given arcs for iteration k on one
+// lane's history, mirroring Evaluator.PeekDelayed: every arc must carry
+// a positive delay, and k may not be ahead of the batch iteration. The
+// arcs come from the lane's own graph, so their weight closures are the
+// lane's — safe to call from concurrent per-lane goroutines between
+// Steps.
+func (b *BatchEvaluator) LanePeekDelayed(lane int, arcs []Arc, k int) (maxplus.T, error) {
+	if k > b.k {
+		return maxplus.Epsilon, fmt.Errorf("tdg: LanePeekDelayed(%d) ahead of computed iteration %d", k, b.k)
+	}
+	L := b.width
+	acc := maxplus.Epsilon
+	for _, a := range arcs {
+		if a.Delay < 1 {
+			return maxplus.Epsilon, fmt.Errorf("tdg: LanePeekDelayed requires delayed arcs, got delay %d", a.Delay)
+		}
+		if a.Delay > k {
+			continue
+		}
+		src := b.ring[(int(a.From)*b.depth+((k-a.Delay)%b.depth))*L+lane]
+		if src == maxplus.Epsilon {
+			continue
+		}
+		v := a.Weight.Apply(src, k)
+		if v > acc {
+			acc = v
+		}
+	}
+	return acc, nil
+}

@@ -1,0 +1,565 @@
+package tdg
+
+import (
+	"testing"
+
+	"dyncomp/internal/maxplus"
+)
+
+// laneRW re-weights every varying arc by a lane-specific offset, keeping
+// the arc classification (varying stays varying, constants stay shared)
+// so Rebound produces a true weight-lane sibling.
+func laneRW(delta maxplus.T) func(to NodeID, a Arc) (Weight, error) {
+	return func(to NodeID, a Arc) (Weight, error) {
+		if _, ok := a.Weight.Const(); ok {
+			return a.Weight, nil
+		}
+		w := a.Weight
+		return VaryingWeight(func(k int) maxplus.T { return w.At(k) + delta }), nil
+	}
+}
+
+// laneProgs derives L weight-lane siblings of prog via CloneReweighted +
+// Rebound, each with a distinct offset on every varying weight.
+func laneProgs(t *testing.T, g *Graph, prog *Program, L int) ([]*Graph, []*Program) {
+	t.Helper()
+	graphs := make([]*Graph, L)
+	progs := make([]*Program, L)
+	for l := 0; l < L; l++ {
+		gl, err := g.CloneReweighted(laneRW(maxplus.T(1 + 13*l)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		pl, err := prog.Rebound(gl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		graphs[l], progs[l] = gl, pl
+	}
+	return graphs, progs
+}
+
+// laneInputs builds the lane-strided input vector of iteration k: each
+// lane sees the scalar inputs shifted by a lane-specific offset.
+func laneInputs(g *Graph, k, L int) []maxplus.T {
+	u := make([]maxplus.T, len(g.Inputs())*L)
+	for i := range g.Inputs() {
+		for l := 0; l < L; l++ {
+			u[i*L+l] = maxplus.T(int64(k)*50+int64(i)*7) + maxplus.T(3*l)
+		}
+	}
+	return u
+}
+
+// checkBatchAgainstScalar steps the batch and per-lane scalar evaluators
+// (compiled and interpreting) in lockstep for `steps` iterations and
+// compares every output and every node instant bit-exactly.
+func checkBatchAgainstScalar(t *testing.T, g *Graph, graphs []*Graph, be *BatchEvaluator, scalars []*Evaluator, steps int) {
+	t.Helper()
+	L := be.Lanes()
+	interp := make([]*Evaluator, L)
+	for l := range interp {
+		iv, err := NewEvaluator(graphs[l])
+		if err != nil {
+			t.Fatal(err)
+		}
+		interp[l] = iv
+	}
+	vb := make([]maxplus.T, g.NodeCount())
+	vs := make([]maxplus.T, g.NodeCount())
+	for k := 0; k < steps; k++ {
+		u := laneInputs(g, k, L)
+		yb, err := be.Step(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for l := 0; l < L; l++ {
+			su := make([]maxplus.T, len(g.Inputs()))
+			for i := range su {
+				su[i] = u[i*L+l]
+			}
+			ys, err := scalars[l].Step(su)
+			if err != nil {
+				t.Fatal(err)
+			}
+			yi, err := interp[l].Step(su)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for j := range ys {
+				if yb[j*L+l] != ys[j] {
+					t.Fatalf("L=%d lane %d k=%d output %d: batch %v, scalar %v", L, l, k, j, yb[j*L+l], ys[j])
+				}
+				if yb[j*L+l] != yi[j] {
+					t.Fatalf("L=%d lane %d k=%d output %d: batch %v, interpreted %v", L, l, k, j, yb[j*L+l], yi[j])
+				}
+			}
+			be.LaneValuesInto(l, vb)
+			scalars[l].ValuesInto(vs)
+			for n := range vb {
+				if vb[n] != vs[n] {
+					t.Fatalf("L=%d lane %d k=%d node %d: batch %v, scalar %v", L, l, k, n, vb[n], vs[n])
+				}
+			}
+		}
+	}
+}
+
+// TestBatchMatchesScalarOnRandomGraphs is the batch-level bit-exactness
+// property: every instant of every lane agrees with a per-lane scalar
+// run — compiled and interpreting — through the warm window and deep
+// into steady state, across batch widths.
+func TestBatchMatchesScalarOnRandomGraphs(t *testing.T) {
+	for _, L := range []int{1, 2, 7, 32} {
+		for seed := int64(0); seed < 8; seed++ {
+			g := randomGraph(t, seed)
+			prog, err := Compile(g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			graphs, progs := laneProgs(t, g, prog, L)
+			be, err := NewBatchEvaluator(progs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			scalars := make([]*Evaluator, L)
+			for l := range scalars {
+				scalars[l] = progs[l].NewEvaluator()
+			}
+			checkBatchAgainstScalar(t, g, graphs, be, scalars, 25)
+			for _, s := range scalars {
+				s.Release()
+			}
+			be.Release()
+		}
+	}
+}
+
+// TestBatchWaveParallelPath forces the goroutine wave fan-out onto small
+// graphs by dropping the work threshold and re-runs the bit-exactness
+// comparison through it.
+func TestBatchWaveParallelPath(t *testing.T) {
+	old := batchParallelMinWork
+	batchParallelMinWork = 1
+	defer func() { batchParallelMinWork = old }()
+	for seed := int64(0); seed < 6; seed++ {
+		g := randomGraph(t, 100+seed)
+		prog, err := Compile(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const L = 8
+		graphs, progs := laneProgs(t, g, prog, L)
+		be, err := NewBatchEvaluator(progs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scalars := make([]*Evaluator, L)
+		for l := range scalars {
+			scalars[l] = progs[l].NewEvaluator()
+		}
+		checkBatchAgainstScalar(t, g, graphs, be, scalars, 20)
+		be.Release()
+	}
+}
+
+// TestBatchMidRunRebind patches one lane's weights mid-batch and checks
+// the continued evolution is bit-exact against a scalar run whose
+// weights dispatch on the switch iteration — the same history, the same
+// weights at every k, so the same instants.
+func TestBatchMidRunRebind(t *testing.T) {
+	const (
+		L      = 4
+		swK    = 9
+		total  = 24
+		patchL = 2
+	)
+	g := randomGraph(t, 21)
+	prog, err := Compile(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	graphs, progs := laneProgs(t, g, prog, L)
+	be, err := NewBatchEvaluator(progs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The patch target: lane patchL switches to offset 999 at k = swK.
+	gPatch, err := g.CloneReweighted(laneRW(999))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pPatch, err := prog.Rebound(gPatch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Scalar reference: a weight that is the lane weight before swK and
+	// the patch weight after, over one uninterrupted run.
+	gRef, err := g.CloneReweighted(func(to NodeID, a Arc) (Weight, error) {
+		if _, ok := a.Weight.Const(); ok {
+			return a.Weight, nil
+		}
+		w := a.Weight
+		return VaryingWeight(func(k int) maxplus.T {
+			if k < swK {
+				return w.At(k) + maxplus.T(1+13*patchL)
+			}
+			return w.At(k) + 999
+		}), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pRef, err := prog.Rebound(gRef)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := pRef.NewEvaluator()
+	vb := make([]maxplus.T, g.NodeCount())
+	vr := make([]maxplus.T, g.NodeCount())
+	for k := 0; k < total; k++ {
+		if k == swK {
+			if err := be.Rebind(patchL, pPatch); err != nil {
+				t.Fatal(err)
+			}
+		}
+		u := laneInputs(g, k, L)
+		if _, err := be.Step(u); err != nil {
+			t.Fatal(err)
+		}
+		su := make([]maxplus.T, len(g.Inputs()))
+		for i := range su {
+			su[i] = u[i*L+patchL]
+		}
+		if _, err := ref.Step(su); err != nil {
+			t.Fatal(err)
+		}
+		be.LaneValuesInto(patchL, vb)
+		ref.ValuesInto(vr)
+		for n := range vb {
+			if vb[n] != vr[n] {
+				t.Fatalf("k=%d node %d: patched lane %v, reference %v", k, n, vb[n], vr[n])
+			}
+		}
+	}
+	_ = graphs
+}
+
+// TestBatchLanePeekDelayed compares the lane-wise delayed gate against
+// the scalar evaluator's on identical histories.
+func TestBatchLanePeekDelayed(t *testing.T) {
+	g := randomGraph(t, 11)
+	prog, err := Compile(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const L = 3
+	graphs, progs := laneProgs(t, g, prog, L)
+	be, err := NewBatchEvaluator(progs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scalars := make([]*Evaluator, L)
+	for l := range scalars {
+		scalars[l] = progs[l].NewEvaluator()
+	}
+	out := g.Outputs()[0]
+	for k := 0; k < 12; k++ {
+		u := laneInputs(g, k, L)
+		if _, err := be.Step(u); err != nil {
+			t.Fatal(err)
+		}
+		for l := 0; l < L; l++ {
+			su := make([]maxplus.T, len(g.Inputs()))
+			for i := range su {
+				su[i] = u[i*L+l]
+			}
+			if _, err := scalars[l].Step(su); err != nil {
+				t.Fatal(err)
+			}
+			arcs := []Arc{{From: out, Delay: 1}, {From: out, Delay: 2, Weight: ConstWeight(13)}}
+			gs, err := scalars[l].PeekDelayed(arcs, k+1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gb, err := be.LanePeekDelayed(l, arcs, k+1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gs != gb {
+				t.Fatalf("lane %d k=%d: scalar gate %v, batch gate %v", l, k, gs, gb)
+			}
+		}
+	}
+	if _, err := be.LanePeekDelayed(0, []Arc{{From: out, Delay: 0}}, 1); err == nil {
+		t.Fatal("LanePeekDelayed accepted a zero-delay arc")
+	}
+	_ = graphs
+}
+
+// TestBatchDisableKeepsOtherLanesExact retires one lane mid-run and
+// checks the surviving lanes stay bit-exact against their scalar runs.
+func TestBatchDisableKeepsOtherLanesExact(t *testing.T) {
+	g := randomGraph(t, 4)
+	prog, err := Compile(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const L = 4
+	_, progs := laneProgs(t, g, prog, L)
+	be, err := NewBatchEvaluator(progs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scalars := make([]*Evaluator, L)
+	for l := range scalars {
+		scalars[l] = progs[l].NewEvaluator()
+	}
+	vb := make([]maxplus.T, g.NodeCount())
+	vs := make([]maxplus.T, g.NodeCount())
+	for k := 0; k < 18; k++ {
+		if k == 6 {
+			be.Disable(1)
+			if be.ActiveLanes() != L-1 {
+				t.Fatalf("ActiveLanes = %d after Disable", be.ActiveLanes())
+			}
+		}
+		u := laneInputs(g, k, L)
+		if _, err := be.Step(u); err != nil {
+			t.Fatal(err)
+		}
+		for l := 0; l < L; l++ {
+			if l == 1 {
+				continue
+			}
+			su := make([]maxplus.T, len(g.Inputs()))
+			for i := range su {
+				su[i] = u[i*L+l]
+			}
+			if _, err := scalars[l].Step(su); err != nil {
+				t.Fatal(err)
+			}
+			be.LaneValuesInto(l, vb)
+			scalars[l].ValuesInto(vs)
+			for n := range vb {
+				if vb[n] != vs[n] {
+					t.Fatalf("lane %d k=%d node %d: batch %v, scalar %v", l, k, n, vb[n], vs[n])
+				}
+			}
+		}
+	}
+}
+
+// TestBatchPoolReuse proves Release/NewBatchEvaluator recycles the lane
+// buffers through the programs' shared pool and that a recycled batch
+// starts from a clean origin state.
+func TestBatchPoolReuse(t *testing.T) {
+	g := randomGraph(t, 3)
+	prog, err := Compile(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const L = 5
+	_, progs := laneProgs(t, g, prog, L)
+	first, err := NewBatchEvaluator(progs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []maxplus.T
+	for k := 0; k < 7; k++ {
+		y, err := first.Step(laneInputs(g, k, L))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if k == 0 {
+			want = append([]maxplus.T(nil), y...)
+		}
+	}
+	first.Release()
+
+	second, err := NewBatchEvaluator(progs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second != first && !raceEnabled {
+		t.Fatal("pool did not recycle the batch evaluator")
+	}
+	if second.K() != 0 || second.ActiveLanes() != L {
+		t.Fatalf("recycled batch at k=%d with %d active lanes", second.K(), second.ActiveLanes())
+	}
+	y, err := second.Step(laneInputs(g, 0, L))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range y {
+		if y[j] != want[j] {
+			t.Fatalf("recycled batch output %d: got %v, want %v (dirty ring?)", j, y[j], want[j])
+		}
+	}
+	second.Release()
+}
+
+// TestBatchRejectsIncompatibleLanes pins the scalar-fallback trigger: a
+// structurally different program cannot join a batch.
+func TestBatchRejectsIncompatibleLanes(t *testing.T) {
+	g1 := randomGraph(t, 1)
+	g2 := randomGraph(t, 2)
+	p1, err := Compile(g1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := Compile(g2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewBatchEvaluator([]*Program{p1, p2}); err == nil {
+		t.Fatal("NewBatchEvaluator accepted structurally different lanes")
+	}
+	if _, err := NewBatchEvaluator(nil); err == nil {
+		t.Fatal("NewBatchEvaluator accepted zero lanes")
+	}
+}
+
+// TestBatchStepDoesNotAllocate pins the zero-alloc property of the
+// sequential batched pass.
+func TestBatchStepDoesNotAllocate(t *testing.T) {
+	g := randomGraph(t, 5)
+	prog, err := Compile(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const L = 8
+	_, progs := laneProgs(t, g, prog, L)
+	be, err := NewBatchEvaluator(progs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := laneInputs(g, 0, L)
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := be.Step(u); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("batched Step allocates %.1f times per iteration", allocs)
+	}
+}
+
+// TestReboundSharesArcTable pins the copy-on-write arc table of Rebound:
+// a varying-weights-only sibling aliases the parent's packed arcs (no
+// per-point table allocation on the sweep rebind path), while a sibling
+// changing an inline constant gets a private copy.
+func TestReboundSharesArcTable(t *testing.T) {
+	g := New("cow")
+	u := g.AddInput("u")
+	x := g.AddNode("x", Intermediate)
+	y := g.AddNode("y", Output)
+	g.AddTaggedArc(u, x, 0, func(k int) maxplus.T { return maxplus.T(10 + k) }, 1)
+	g.AddConstArc(x, y, 0, 5)
+	g.AddArc(y, x, 1, nil)
+	if err := g.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	prog, err := Compile(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Varying-only rebind: the packed table is shared outright.
+	g2, err := g.CloneReweighted(laneRW(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := prog.Rebound(g2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &p2.arcs[0] != &prog.arcs[0] {
+		t.Fatal("varying-only rebind copied the packed arc table")
+	}
+	if &p2.waves[0] != &prog.waves[0] {
+		t.Fatal("rebind did not share the wave fences")
+	}
+
+	// Changing an inline constant forces a private copy, leaving the
+	// parent untouched.
+	g3, err := g.CloneReweighted(func(to NodeID, a Arc) (Weight, error) {
+		if c, ok := a.Weight.Const(); ok && c == 5 {
+			return ConstWeight(50), nil
+		}
+		return a.Weight, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p3, err := prog.Rebound(g3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &p3.arcs[0] == &prog.arcs[0] {
+		t.Fatal("const-changing rebind shared the packed arc table")
+	}
+	ev := prog.NewEvaluator()
+	y1, err := ev.Step([]maxplus.T{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y1[0] != 15 {
+		t.Fatalf("parent y(0) = %v after COW rebinds, want 15", y1[0])
+	}
+	ev3 := p3.NewEvaluator()
+	y3, err := ev3.Step([]maxplus.T{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y3[0] != 60 {
+		t.Fatalf("const-rebound y(0) = %v, want 60", y3[0])
+	}
+}
+
+// TestComputeWaves pins the wave fences on a known shape: a diamond
+// (two independent middles) shares a wave; a chain does not.
+func TestComputeWaves(t *testing.T) {
+	g := New("diamond")
+	u := g.AddInput("u")
+	a := g.AddNode("a", Intermediate)
+	b := g.AddNode("b", Intermediate)
+	y := g.AddNode("y", Output)
+	g.AddConstArc(u, a, 0, 1)
+	g.AddConstArc(u, b, 0, 2)
+	g.AddConstArc(a, y, 0, 3)
+	g.AddConstArc(b, y, 0, 4)
+	if err := g.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	p, err := Compile(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a and b are zero-delay-independent: one wave; y depends on both.
+	if len(p.waves) != 3 || p.waves[0] != 0 || p.waves[1] != 2 || p.waves[2] != 3 {
+		t.Fatalf("diamond waves = %v, want [0 2 3]", p.waves)
+	}
+
+	c := New("chain")
+	cu := c.AddInput("u")
+	prev := cu
+	for i := 0; i < 4; i++ {
+		n := c.AddNode(string(rune('a'+i)), Intermediate)
+		c.AddConstArc(prev, n, 0, 1)
+		prev = n
+	}
+	cy := c.AddNode("y", Output)
+	c.AddConstArc(prev, cy, 0, 1)
+	if err := c.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	pc, err := Compile(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every node depends on its predecessor: one wave per node.
+	if len(pc.waves) != len(pc.nodes)+1 {
+		t.Fatalf("chain waves = %v for %d nodes", pc.waves, len(pc.nodes))
+	}
+}

@@ -35,10 +35,20 @@ type Program struct {
 	// (EvalIncoming); input nodes have an empty range.
 	nodeRange [][2]int32
 
+	// waves partitions nodes into maximal contiguous runs free of
+	// intra-run zero-delay dependencies: nodes[waves[i]:waves[i+1]] may be
+	// evaluated in any order (or concurrently) once the preceding waves of
+	// the same iteration are done. Only zero-delay arcs constrain the
+	// order within one pass — a positive delay references an earlier
+	// iteration's ring slot. The batch evaluator parallelizes large waves.
+	waves []int32
+
 	// pool recycles evaluators (ring and output buffers) across runs.
 	// Rebound clones share it, so a design-space sweep reuses the same
-	// rings for every point of one structural shape.
-	pool *sync.Pool
+	// rings for every point of one structural shape. bpool does the same
+	// for batch evaluators.
+	pool  *sync.Pool
+	bpool *sync.Pool
 
 	constArcs int
 	varyArcs  int
@@ -87,6 +97,7 @@ func Compile(g *Graph) (*Program, error) {
 		nodes:     make([]progNode, 0, len(g.topo)-len(g.inputs)),
 		nodeRange: make([][2]int32, len(g.nodes)),
 		pool:      &sync.Pool{},
+		bpool:     &sync.Pool{},
 	}
 	arcCount := 0
 	for _, arcs := range g.in {
@@ -111,7 +122,33 @@ func Compile(g *Graph) (*Program, error) {
 		p.nodes = append(p.nodes, n)
 		p.nodeRange[id] = [2]int32{lo, hi}
 	}
+	p.computeWaves()
 	return p, nil
+}
+
+// computeWaves greedily splits the evaluation order into maximal
+// contiguous runs in which no node has a zero-delay arc from another
+// node of the same run. The boundaries are stored as a fence list:
+// waves[0] = 0, waves[len-1] = len(nodes).
+func (p *Program) computeWaves() {
+	// gen[src] == cur marks src as a member of the wave under construction.
+	gen := make([]int32, len(p.g.nodes))
+	cur := int32(1)
+	waves := make([]int32, 1, 8)
+	for ni := range p.nodes {
+		n := &p.nodes[ni]
+		for ai := n.lo; ai < n.hi; ai++ {
+			a := &p.arcs[ai]
+			if a.delay == 0 && gen[a.srcBase/p.depth] == cur {
+				waves = append(waves, int32(ni))
+				cur++
+				break
+			}
+		}
+		gen[n.slotBase/p.depth] = cur
+	}
+	waves = append(waves, int32(len(p.nodes)))
+	p.waves = waves
 }
 
 // packArc flattens one arc, inlining iteration-independent weights and
@@ -140,6 +177,14 @@ func (p *Program) packArc(a Arc) progArc {
 // program shares the original's evaluator pool, so one structural shape
 // re-bound across many sweep points recycles one set of rings. A graph
 // whose structure does not match falls back to a full Compile.
+//
+// The packed arc table is shared copy-on-write: when only varying
+// weights change (the common derive rebind — every duration stays a
+// side-table entry at the same index), no arc of the table differs and
+// the sibling aliases the parent's table outright; the first arc whose
+// packed form changes (e.g. a constant with a new inline value) triggers
+// one private copy. Only the weight side table is always rebuilt — its
+// closures bind the sibling's parameters.
 func (p *Program) Rebound(g *Graph) (*Program, error) {
 	if !g.frozen || len(g.nodes) != len(p.g.nodes) || g.maxDelay != p.g.maxDelay {
 		return Compile(g)
@@ -149,11 +194,13 @@ func (p *Program) Rebound(g *Graph) (*Program, error) {
 		depth:     p.depth,
 		nodes:     p.nodes,
 		nodeRange: p.nodeRange,
-		arcs:      make([]progArc, len(p.arcs)),
+		arcs:      p.arcs, // shared until an arc actually differs
 		weights:   make([]Weight, 0, len(p.weights)),
+		waves:     p.waves,
 		pool:      p.pool,
+		bpool:     p.bpool,
 	}
-	copy(np.arcs, p.arcs)
+	owned := false
 	ai := 0
 	reclassified := false
 	for _, id := range g.topo {
@@ -161,41 +208,52 @@ func (p *Program) Rebound(g *Graph) (*Program, error) {
 			continue
 		}
 		for _, a := range g.in[id] {
-			if ai >= len(np.arcs) {
+			if ai >= len(p.arcs) {
 				return Compile(g)
 			}
-			pa := &np.arcs[ai]
-			if pa.srcBase != int32(a.From)*p.depth || pa.delay != int32(a.Delay) {
+			old := p.arcs[ai]
+			if old.srcBase != int32(a.From)*p.depth || old.delay != int32(a.Delay) {
 				return Compile(g) // structure drifted: recompile
 			}
-			wasIdentity := pa.widx < 0 && pa.w == maxplus.E
+			na := old
 			if c, ok := a.Weight.Const(); ok {
-				pa.w, pa.widx = c, -1
+				na.w, na.widx = c, -1
 				np.constArcs++
 			} else {
-				pa.w = maxplus.E
-				pa.widx = int32(len(np.weights))
+				na.w = maxplus.E
+				na.widx = int32(len(np.weights))
 				np.weights = append(np.weights, a.Weight)
 				np.varyArcs++
 			}
-			if wasIdentity != (pa.widx < 0 && pa.w == maxplus.E) {
+			wasIdentity := old.widx < 0 && old.w == maxplus.E
+			if wasIdentity != (na.widx < 0 && na.w == maxplus.E) {
 				reclassified = true
+			}
+			if na != old && !owned {
+				arcs := make([]progArc, len(p.arcs))
+				copy(arcs, p.arcs)
+				np.arcs = arcs
+				owned = true
+			}
+			if owned {
+				np.arcs[ai] = na
 			}
 			ai++
 		}
 	}
-	if ai != len(np.arcs) {
+	if ai != len(p.arcs) {
 		return Compile(g)
 	}
 	if reclassified {
 		// The copy-node specialization baked into the shared node table
 		// no longer matches the new weights; recompile (still sharing the
-		// evaluator pool — the ring geometry is unchanged).
+		// evaluator pools — the ring geometry is unchanged).
 		fresh, err := Compile(g)
 		if err != nil {
 			return nil, err
 		}
 		fresh.pool = p.pool
+		fresh.bpool = p.bpool
 		return fresh, nil
 	}
 	return np, nil

@@ -1,0 +1,5 @@
+//go:build !race
+
+package tdg
+
+const raceEnabled = false

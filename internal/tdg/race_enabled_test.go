@@ -1,0 +1,7 @@
+//go:build race
+
+package tdg
+
+// The race detector makes sync.Pool drop a fraction of Puts on purpose,
+// so tests asserting pool reuse by pointer identity relax under -race.
+const raceEnabled = true

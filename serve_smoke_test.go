@@ -102,6 +102,58 @@ func TestServeSmoke(t *testing.T) {
 		t.Fatalf("second run was no derive-cache hit: %+v", second.Cache)
 	}
 
+	// A batched sweep job over one structural shape: four seeds at lane
+	// width 2 make two full batches. The /metrics scrape afterwards must
+	// render the batch-occupancy gauge and the per-shape hit gauges.
+	var bjob struct {
+		ID string `json:"id"`
+	}
+	postSmoke(t, base+"/v1/sweeps",
+		`{"scenario":"didactic","axes":[{"name":"seed","values":[1,2,3,4]}],"params":{"tokens":50},"options":{"workers":1,"batch_width":2}}`,
+		http.StatusAccepted, &bjob)
+	bdeadline := time.Now().Add(20 * time.Second)
+	for {
+		var jr struct {
+			State string `json:"state"`
+			Stats *struct {
+				Batches        int     `json:"batches"`
+				BatchedPoints  int     `json:"batched_points"`
+				BatchOccupancy float64 `json:"batch_occupancy"`
+			} `json:"stats"`
+		}
+		getSmoke(t, base+"/v1/sweeps/"+bjob.ID, &jr)
+		if jr.State == "done" {
+			if jr.Stats == nil || jr.Stats.Batches != 2 || jr.Stats.BatchedPoints != 4 || jr.Stats.BatchOccupancy != 1.0 {
+				t.Fatalf("batched job stats %+v", jr.Stats)
+			}
+			break
+		}
+		if jr.State == "failed" || jr.State == "cancelled" {
+			t.Fatalf("batched job settled as %q", jr.State)
+		}
+		if time.Now().After(bdeadline) {
+			t.Fatalf("batched job stuck in %q", jr.State)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	mresp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mraw, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	metricsBody := string(mraw)
+	for _, want := range []string{
+		"dyncomp_serve_sweep_batches_total 2",
+		"dyncomp_serve_sweep_batch_points_total 4",
+		"dyncomp_serve_sweep_batch_occupancy 1.0000",
+		"dyncomp_serve_derive_cache_shape_hits{",
+	} {
+		if !strings.Contains(metricsBody, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, metricsBody)
+		}
+	}
+
 	// A sweep job slow enough to still run when the DELETE lands.
 	var job struct {
 		ID string `json:"id"`

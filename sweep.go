@@ -97,8 +97,18 @@ type SweepOptions struct {
 	// Progress, when non-nil, receives (completed, total) after every
 	// point finishes. It is invoked from the finishing worker's
 	// goroutine, so it must be safe for concurrent calls and must not
-	// block.
+	// block. A batched sweep (BatchWidth > 0) coalesces the
+	// notifications to one per finished batch.
 	Progress func(done, total int)
+	// BatchWidth, when positive, evaluates structurally identical grid
+	// points in batched lane groups of up to this many points — one
+	// compiled structure, one lockstep evaluation pass per iteration
+	// for the whole group. Per-point results are bit-identical to the
+	// per-point sweep; Stats.Batches / BatchedPoints / BatchOccupancy
+	// report how much of the grid ran batched. Engines without the
+	// batch capability (reference, hybrid, adaptive) run per point
+	// regardless. 0 disables batching.
+	BatchWidth int
 }
 
 // SweepPointResult is the evaluation of one grid point: the equivalent
@@ -160,15 +170,16 @@ func SweepContext(ctx context.Context, axes []SweepAxis, gen SweepGenerator, opt
 		name = opts.Engine.name()
 	}
 	sopts := sweep.Options{
-		Workers:  opts.Workers,
-		Engine:   name,
-		Window:   opts.WindowK,
-		Group:    opts.Group,
-		Record:   opts.Record,
-		Limit:    sim.Time(opts.LimitNs),
-		Baseline: opts.Baseline,
-		Derive:   derive.Options{Reduce: opts.Reduce},
-		Progress: opts.Progress,
+		Workers:    opts.Workers,
+		Engine:     name,
+		Window:     opts.WindowK,
+		Group:      opts.Group,
+		Record:     opts.Record,
+		Limit:      sim.Time(opts.LimitNs),
+		Baseline:   opts.Baseline,
+		Derive:     derive.Options{Reduce: opts.Reduce},
+		Progress:   opts.Progress,
+		BatchWidth: opts.BatchWidth,
 	}
 	if opts.Cache != nil {
 		sopts.Cache = opts.Cache.c
