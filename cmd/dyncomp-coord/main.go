@@ -1,0 +1,121 @@
+// Command dyncomp-coord runs the distributed sweep coordinator: the
+// control plane of a dyncomp-serve fleet. It accepts the same POST
+// /v1/sweeps job API as a single server, partitions each grid by
+// structural shape via consistent hashing (same-shape cohorts land on
+// the same worker, keeping its derivation cache hot and its batched
+// lanes full), dispatches chunks to the workers' POST /v1/chunks
+// endpoint, and merges the results back bit-identical to a
+// single-process sweep. See docs/SERVING.md ("Distributed sweeps") for
+// the API and topology.
+//
+//	dyncomp-coord -addr :9090 -workers http://w1:8080,http://w2:8080 -store /var/lib/dyncomp/jobs.ndjson
+//
+//	curl -s -X POST localhost:9090/v1/sweeps -d '{"scenario":"didactic","axes":[{"name":"seed","values":[1,2,3]}]}'
+//	curl -s localhost:9090/v1/sweeps/job-000001/results   # NDJSON point stream
+//	curl -s localhost:9090/v1/sweeps/job-000001/events    # SSE progress
+//
+// Workers may also join later by POSTing their URL to /v1/workers (see
+// dyncomp-serve's -register flag). With -addr host:0 the kernel picks a
+// free port; the bound address is printed as "listening on <addr>".
+//
+// Job state persists in the -store file: a restarted coordinator
+// resumes in-flight jobs from their last completed chunk and still
+// answers GET /v1/sweeps/{id} for finished ones. Without -store the
+// coordinator is memory-only.
+//
+// The process shuts down gracefully on SIGINT/SIGTERM: in-flight chunk
+// dispatches are abandoned (their jobs resume after a restart), the
+// listener drains, and the store is closed.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"dyncomp/internal/serve"
+	"dyncomp/internal/shard"
+)
+
+func main() {
+	addr := flag.String("addr", ":9090", "listen address (host:0 picks a free port)")
+	workers := flag.String("workers", "", "comma-separated dyncomp-serve worker base URLs")
+	storePath := flag.String("store", "", "append-only job store file (empty: memory-only)")
+	chunkPoints := flag.Int("chunk-points", 16, "target grid points per dispatched chunk")
+	retries := flag.Int("retries", 3, "workers tried per chunk before its points fail")
+	chunkTimeout := flag.Duration("chunk-timeout", 0, "per-attempt chunk dispatch timeout (0: none)")
+	dispatch := flag.Int("dispatch", 4, "in-flight chunks per job")
+	batchWidth := flag.Int("batch-width", 0, "default batched-evaluation lane width pinned into jobs (0: per-point)")
+	maxPoints := flag.Int("max-grid-points", 100000, "largest accepted sweep grid")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown budget for in-flight requests")
+	flag.Parse()
+
+	var fleet []string
+	for _, w := range strings.Split(*workers, ",") {
+		if w = strings.TrimSpace(w); w != "" {
+			fleet = append(fleet, strings.TrimRight(w, "/"))
+		}
+	}
+
+	coord, err := shard.New(shard.Config{
+		Workers:      fleet,
+		StorePath:    *storePath,
+		ChunkPoints:  *chunkPoints,
+		Retries:      *retries,
+		ChunkTimeout: *chunkTimeout,
+		Dispatch:     *dispatch,
+		Defaults: serve.SweepDefaults{
+			BatchWidth:    *batchWidth,
+			MaxGridPoints: *maxPoints,
+		},
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dyncomp-coord: %v\n", err)
+		os.Exit(1)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dyncomp-coord: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("listening on %s\n", ln.Addr())
+
+	hs := &http.Server{
+		Handler:           coord.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		fmt.Fprintf(os.Stderr, "dyncomp-coord: %v\n", err)
+		coord.Close()
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+
+	fmt.Println("shutting down")
+	// Abandon in-flight dispatches first: running jobs stay unsettled in
+	// the store (a restart resumes them), and their SSE/NDJSON streams
+	// end, so the HTTP drain below empties fast.
+	coord.Close()
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := hs.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintf(os.Stderr, "dyncomp-coord: shutdown: %v\n", err)
+	}
+	fmt.Println("bye")
+}

@@ -24,6 +24,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"flag"
@@ -32,11 +33,32 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"dyncomp/internal/serve"
 )
+
+// registerWorker announces self to a coordinator's POST /v1/workers,
+// retrying while the coordinator boots.
+func registerWorker(coord, self string) {
+	body := fmt.Sprintf(`{"url":%q}`, self)
+	client := &http.Client{Timeout: 5 * time.Second}
+	for attempt := 0; attempt < 30; attempt++ {
+		resp, err := client.Post(coord+"/v1/workers", "application/json",
+			bytes.NewReader([]byte(body)))
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				fmt.Printf("registered with %s as %s\n", coord, self)
+				return
+			}
+		}
+		time.Sleep(500 * time.Millisecond)
+	}
+	fmt.Fprintf(os.Stderr, "dyncomp-serve: registration with %s never succeeded\n", coord)
+}
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address (host:0 picks a free port)")
@@ -47,6 +69,8 @@ func main() {
 	maxPoints := flag.Int("max-grid-points", 100000, "largest accepted sweep grid")
 	cacheEntries := flag.Int("cache-entries", 0, "derive-cache LRU bound in shapes (0: default, <0: unbounded)")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown budget for in-flight requests")
+	register := flag.String("register", "", "comma-separated dyncomp-coord base URLs to join as a fleet worker")
+	advertise := flag.String("advertise", "", "base URL coordinators reach this worker at (default http://<bound-addr>)")
 	flag.Parse()
 
 	srv := serve.New(serve.Config{
@@ -64,6 +88,25 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("listening on %s\n", ln.Addr())
+
+	// Fleet registration: announce this worker to every coordinator in
+	// -register so it joins the distributed sweep fabric (see
+	// docs/SERVING.md "Distributed sweeps"). Registration is
+	// best-effort with retries — a coordinator that is still booting
+	// picks the worker up on a later attempt; a worker that never
+	// registers still serves its local API.
+	if *register != "" {
+		self := *advertise
+		if self == "" {
+			self = "http://" + ln.Addr().String()
+		}
+		for _, coord := range strings.Split(*register, ",") {
+			if coord = strings.TrimSpace(coord); coord == "" {
+				continue
+			}
+			go registerWorker(strings.TrimRight(coord, "/"), self)
+		}
+	}
 
 	hs := &http.Server{
 		Handler:           srv.Handler(),

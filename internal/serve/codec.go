@@ -197,6 +197,7 @@ const (
 	CodeUnknownScenario = "unknown_scenario"
 	CodeUnknownParam    = "unknown_param"
 	CodeInvalidAxes     = "invalid_axes"
+	CodeInvalidIndices  = "invalid_indices"
 	CodeGridTooLarge    = "grid_too_large"
 	CodeMissingGroup    = "missing_group"
 	CodeRunFailed       = "run_failed"
@@ -311,19 +312,19 @@ func pointJSON(pr sweep.PointResult) SweepPoint {
 // fields and trailing garbage answer 400 bad_json, an oversized body
 // 413 body_too_large (so a client learns the size limit instead of
 // "malformed JSON").
-func decodeJSON(w http.ResponseWriter, r *http.Request, dst any) *apiError {
+func decodeJSON(w http.ResponseWriter, r *http.Request, dst any) *RequestError {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(dst); err != nil {
 		var tooLarge *http.MaxBytesError
 		if errors.As(err, &tooLarge) {
-			return apiErrorf(http.StatusRequestEntityTooLarge, CodeBodyTooLarge,
+			return requestErrorf(http.StatusRequestEntityTooLarge, CodeBodyTooLarge,
 				"request body exceeds %d bytes", tooLarge.Limit)
 		}
-		return apiErrorf(http.StatusBadRequest, CodeBadJSON, "decoding request: %v", err)
+		return requestErrorf(http.StatusBadRequest, CodeBadJSON, "decoding request: %v", err)
 	}
 	if dec.More() {
-		return apiErrorf(http.StatusBadRequest, CodeBadJSON, "trailing data after JSON body")
+		return requestErrorf(http.StatusBadRequest, CodeBadJSON, "trailing data after JSON body")
 	}
 	return nil
 }

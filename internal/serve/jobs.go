@@ -156,10 +156,10 @@ func (j *job) result() JobResult {
 }
 
 // progress records point completion and fans it out to subscribers.
-// Workers deliver counts without a common lock, so a smaller count may
-// arrive after a larger one; the guard keeps done monotonic (a settled
-// job must report done == total, and progress bars must not move
-// backwards).
+// The sweep engine serializes deliveries and keeps them strictly
+// monotonic; the guard is defense in depth for any other producer (a
+// settled job must report done == total, and progress bars must not
+// move backwards).
 func (j *job) progress(done, total int) {
 	j.mu.Lock()
 	defer j.mu.Unlock()

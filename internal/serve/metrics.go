@@ -61,6 +61,7 @@ const (
 	metricRequests = "dyncomp_serve_requests_total"
 	metricRuns     = "dyncomp_serve_runs_total"
 	metricJobs     = "dyncomp_serve_jobs_total"
+	metricChunks   = "dyncomp_serve_chunks_total"
 )
 
 // handleMetrics serves GET /metrics in the Prometheus text exposition
@@ -75,9 +76,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "# TYPE %s counter\n", metricRuns)
 	fmt.Fprintf(w, "# HELP %s Sweep jobs that reached a terminal state, by state.\n", metricJobs)
 	fmt.Fprintf(w, "# TYPE %s counter\n", metricJobs)
+	fmt.Fprintf(w, "# HELP %s Distributed sweep chunks evaluated for a coordinator, by engine.\n", metricChunks)
+	fmt.Fprintf(w, "# TYPE %s counter\n", metricChunks)
 	for _, line := range s.metrics.snapshot() {
 		fmt.Fprintln(w, line)
 	}
+	fmt.Fprintf(w, "# HELP dyncomp_serve_chunk_points_total Grid points evaluated through the chunk endpoint.\n")
+	fmt.Fprintf(w, "# TYPE dyncomp_serve_chunk_points_total counter\n")
+	fmt.Fprintf(w, "dyncomp_serve_chunk_points_total %d\n", s.chunkPoints.Load())
 
 	hits, misses := s.cache.Stats()
 	fmt.Fprintf(w, "# HELP dyncomp_serve_derive_cache_hits_total Derivation-cache requests served by rebinding.\n")

@@ -11,36 +11,40 @@ import (
 	"dyncomp/internal/zoo"
 )
 
-// apiError carries a validation failure to the HTTP layer.
-type apiError struct {
-	status int
-	code   string
-	msg    string
+// RequestError carries a validation failure to the HTTP layer: the
+// status to answer with, a stable machine-readable code and a
+// human-readable message. It is exported because the distributed
+// coordinator (internal/shard) compiles the same wire requests through
+// CompileSweep and relays these verbatim to its own callers.
+type RequestError struct {
+	Status int
+	Code   string
+	Msg    string
 }
 
-func (e *apiError) Error() string { return e.msg }
+func (e *RequestError) Error() string { return e.Msg }
 
-func apiErrorf(status int, code, format string, args ...any) *apiError {
-	return &apiError{status: status, code: code, msg: fmt.Sprintf(format, args...)}
+func requestErrorf(status int, code, format string, args ...any) *RequestError {
+	return &RequestError{Status: status, Code: code, Msg: fmt.Sprintf(format, args...)}
 }
 
 // resolve validates the engine name, scenario name and parameters shared
 // by /v1/run and /v1/sweeps, returning the resolved registry entries.
-func resolve(engineName, scenarioName string, params map[string]int64) (engine.Engine, zoo.Scenario, zoo.ParamMap, *apiError) {
+func resolve(engineName, scenarioName string, params map[string]int64) (engine.Engine, zoo.Scenario, zoo.ParamMap, *RequestError) {
 	if engineName == "" {
 		engineName = "equivalent"
 	}
 	eng, err := engine.Lookup(engineName)
 	if err != nil {
-		return nil, zoo.Scenario{}, nil, apiErrorf(http.StatusBadRequest, CodeUnknownEngine, "%v", err)
+		return nil, zoo.Scenario{}, nil, requestErrorf(http.StatusBadRequest, CodeUnknownEngine, "%v", err)
 	}
 	sc, err := zoo.LookupScenario(scenarioName)
 	if err != nil {
-		return nil, zoo.Scenario{}, nil, apiErrorf(http.StatusBadRequest, CodeUnknownScenario, "%v", err)
+		return nil, zoo.Scenario{}, nil, requestErrorf(http.StatusBadRequest, CodeUnknownScenario, "%v", err)
 	}
 	pm := zoo.ParamMap(params)
 	if err := sc.CheckParams(pm); err != nil {
-		return nil, zoo.Scenario{}, nil, apiErrorf(http.StatusBadRequest, CodeUnknownParam, "%v", err)
+		return nil, zoo.Scenario{}, nil, requestErrorf(http.StatusBadRequest, CodeUnknownParam, "%v", err)
 	}
 	return eng, sc, pm, nil
 }
@@ -49,7 +53,7 @@ func resolve(engineName, scenarioName string, params map[string]int64) (engine.E
 // request's explicit group wins, then the scenario's canonical group;
 // scenarios without one (e.g. randomized structures) require the
 // explicit group.
-func hybridGroup(eng engine.Engine, sc zoo.Scenario, requested []string, p zoo.Params) ([]string, *apiError) {
+func hybridGroup(eng engine.Engine, sc zoo.Scenario, requested []string, p zoo.Params) ([]string, *RequestError) {
 	if eng.Name() != "hybrid" {
 		return requested, nil
 	}
@@ -57,7 +61,7 @@ func hybridGroup(eng engine.Engine, sc zoo.Scenario, requested []string, p zoo.P
 		return requested, nil
 	}
 	if sc.HybridGroup == nil {
-		return nil, apiErrorf(http.StatusBadRequest, CodeMissingGroup,
+		return nil, requestErrorf(http.StatusBadRequest, CodeMissingGroup,
 			"scenario %q has no canonical hybrid group; set options.group", sc.Name)
 	}
 	return sc.HybridGroup(p), nil
@@ -97,17 +101,17 @@ func runEngine(ctx context.Context, eng engine.Engine, a *model.Architecture, op
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	var req RunRequest
 	if aerr := decodeJSON(w, r, &req); aerr != nil {
-		writeError(w, aerr.status, aerr.code, "%s", aerr.msg)
+		writeError(w, aerr.Status, aerr.Code, "%s", aerr.Msg)
 		return
 	}
 	eng, sc, pm, aerr := resolve(req.Engine, req.Scenario, req.Params)
 	if aerr != nil {
-		writeError(w, aerr.status, aerr.code, "%s", aerr.msg)
+		writeError(w, aerr.Status, aerr.Code, "%s", aerr.Msg)
 		return
 	}
 	group, aerr := hybridGroup(eng, sc, req.Options.Group, pm)
 	if aerr != nil {
-		writeError(w, aerr.status, aerr.code, "%s", aerr.msg)
+		writeError(w, aerr.Status, aerr.Code, "%s", aerr.Msg)
 		return
 	}
 	a, err := buildArchitecture(sc, pm)

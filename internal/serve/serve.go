@@ -22,6 +22,12 @@
 //     through the same context plumbing the sweep engine already honors.
 //     Jobs share the process-wide derivation cache too.
 //
+//   - Distributed chunks: POST /v1/chunks evaluates one
+//     coordinator-assigned set of grid indices synchronously — the
+//     worker side of the internal/shard sweep fabric, validated and
+//     evaluated exactly like a local job so a sharded sweep stays
+//     bit-identical to a single-process one.
+//
 //   - Introspection: GET /v1/engines and /v1/scenarios enumerate the two
 //     registries, /healthz reports liveness, /metrics exports request,
 //     cache and job counters in the Prometheus text format.
@@ -125,6 +131,9 @@ type Server struct {
 	sweepBatches     atomic.Int64
 	sweepBatchPoints atomic.Int64
 	sweepBatchLanes  atomic.Int64
+	// chunkPoints counts grid points evaluated for a distributed sweep
+	// coordinator through POST /v1/chunks.
+	chunkPoints atomic.Int64
 
 	baseCtx context.Context
 	stop    context.CancelFunc
@@ -189,6 +198,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/engines", s.countRequests("engines", s.handleEngines))
 	s.mux.HandleFunc("GET /v1/scenarios", s.countRequests("scenarios", s.handleScenarios))
 	s.mux.HandleFunc("POST /v1/run", s.countRequests("run", s.handleRun))
+	s.mux.HandleFunc("POST /v1/chunks", s.countRequests("chunk_run", s.handleChunkRun))
 	s.mux.HandleFunc("POST /v1/sweeps", s.countRequests("sweep_create", s.handleSweepCreate))
 	s.mux.HandleFunc("GET /v1/sweeps", s.countRequests("sweep_list", s.handleSweepList))
 	s.mux.HandleFunc("GET /v1/sweeps/{id}", s.countRequests("sweep_get", s.handleSweepGet))

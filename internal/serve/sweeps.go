@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"runtime"
 	"time"
 
 	"dyncomp/internal/model"
@@ -28,24 +29,55 @@ func (l layeredParams) Lookup(name string) (int64, bool) {
 	return l.fixed.Lookup(name)
 }
 
-// handleSweepCreate serves POST /v1/sweeps: validate everything that can
-// fail fast — registry names, parameters, axes, grid size — then queue
-// the job and answer 202 with its lifecycle snapshot.
-func (s *Server) handleSweepCreate(w http.ResponseWriter, r *http.Request) {
-	var req SweepRequest
-	if aerr := decodeJSON(w, r, &req); aerr != nil {
-		writeError(w, aerr.status, aerr.code, "%s", aerr.msg)
-		return
+// SweepPlan is a validated sweep request compiled into the sweep
+// engine's inputs, shared by the job path (POST /v1/sweeps), the
+// distributed chunk path (POST /v1/chunks) and the coordinator
+// (internal/shard) — every consumer applies exactly the validation and
+// option mapping a single-process job would, which is what keeps a
+// sharded sweep bit-identical to a local one.
+type SweepPlan struct {
+	Engine   string
+	Scenario string
+	Axes     []sweep.Axis
+	Opts     sweep.Options
+	Gen      sweep.Generator
+	Total    int
+}
+
+// SweepDefaults supplies the deployment-level defaults CompileSweep
+// applies to request fields left at zero. The zero value picks the same
+// production-lean defaults a zero serve.Config would.
+type SweepDefaults struct {
+	// Workers fills options.workers (default GOMAXPROCS).
+	Workers int
+	// BatchWidth fills options.batch_width (default 0: per-point).
+	BatchWidth int
+	// MaxGridPoints rejects grids beyond this many points (default
+	// 100000).
+	MaxGridPoints int
+}
+
+// CompileSweep validates everything about a sweep request that can fail
+// fast — registry names, parameters, axes, grid size, group, batch
+// width — and compiles it into a SweepPlan ready for sweep.Run,
+// sweep.RunIndices or distributed planning.
+func CompileSweep(req SweepRequest, d SweepDefaults) (*SweepPlan, *RequestError) {
+	if d.Workers <= 0 {
+		d.Workers = runtime.GOMAXPROCS(0)
+	}
+	if d.BatchWidth < 0 {
+		d.BatchWidth = 0
+	}
+	if d.MaxGridPoints <= 0 {
+		d.MaxGridPoints = 100000
 	}
 	eng, sc, fixed, aerr := resolve(req.Engine, req.Scenario, req.Params)
 	if aerr != nil {
-		writeError(w, aerr.status, aerr.code, "%s", aerr.msg)
-		return
+		return nil, aerr
 	}
 	axes, err := sweepAxes(req.Axes)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, CodeInvalidAxes, "%v", err)
-		return
+		return nil, requestErrorf(http.StatusBadRequest, CodeInvalidAxes, "%v", err)
 	}
 	// Axis names are scenario parameters too: a typoed axis would sweep
 	// a knob the builder never reads, silently evaluating one point N
@@ -55,35 +87,31 @@ func (s *Server) handleSweepCreate(w http.ResponseWriter, r *http.Request) {
 		axisParams[ax.Name] = ax.Values[0]
 	}
 	if err := sc.CheckParams(axisParams); err != nil {
-		writeError(w, http.StatusBadRequest, CodeInvalidAxes, "%v", err)
-		return
+		return nil, requestErrorf(http.StatusBadRequest, CodeInvalidAxes, "%v", err)
 	}
 	points := 1
 	for _, ax := range axes {
 		points *= len(ax.Values)
-		if points > s.cfg.MaxGridPoints {
-			writeError(w, http.StatusBadRequest, CodeGridTooLarge,
-				"grid exceeds %d points", s.cfg.MaxGridPoints)
-			return
+		if points > d.MaxGridPoints {
+			return nil, requestErrorf(http.StatusBadRequest, CodeGridTooLarge,
+				"grid exceeds %d points", d.MaxGridPoints)
 		}
 	}
 	if _, aerr := hybridGroup(eng, sc, req.Options.Group, fixed); aerr != nil {
-		writeError(w, aerr.status, aerr.code, "%s", aerr.msg)
-		return
+		return nil, aerr
 	}
 
 	if req.Options.BatchWidth < 0 {
-		writeError(w, http.StatusBadRequest, CodeBadJSON,
+		return nil, requestErrorf(http.StatusBadRequest, CodeBadJSON,
 			"options.batch_width must be non-negative, got %d", req.Options.BatchWidth)
-		return
 	}
 	workers := req.Options.Workers
 	if workers <= 0 {
-		workers = s.cfg.SweepWorkers
+		workers = d.Workers
 	}
 	batchWidth := req.Options.BatchWidth
 	if batchWidth == 0 {
-		batchWidth = s.cfg.SweepBatchWidth
+		batchWidth = d.BatchWidth
 	}
 	opts := sweep.Options{
 		Workers:    workers,
@@ -103,16 +131,48 @@ func (s *Server) handleSweepCreate(w http.ResponseWriter, r *http.Request) {
 			return sc.HybridGroup(layeredParams{p: p, fixed: fixed})
 		}
 	}
-	j := &job{
-		engine:   eng.Name(),
-		scenario: sc.Name,
-		axes:     axes,
-		opts:     opts,
-		total:    points,
-		created:  time.Now(),
-		gen: func(p sweep.Point) (*model.Architecture, error) {
+	return &SweepPlan{
+		Engine:   eng.Name(),
+		Scenario: sc.Name,
+		Axes:     axes,
+		Opts:     opts,
+		Total:    points,
+		Gen: func(p sweep.Point) (*model.Architecture, error) {
 			return sc.Build(layeredParams{p: p, fixed: fixed}), nil
 		},
+	}, nil
+}
+
+// prepareSweep is CompileSweep under this server's configured defaults.
+func (s *Server) prepareSweep(req SweepRequest) (*SweepPlan, *RequestError) {
+	return CompileSweep(req, SweepDefaults{
+		Workers:       s.cfg.SweepWorkers,
+		BatchWidth:    s.cfg.SweepBatchWidth,
+		MaxGridPoints: s.cfg.MaxGridPoints,
+	})
+}
+
+// handleSweepCreate serves POST /v1/sweeps: validate, then queue the
+// job and answer 202 with its lifecycle snapshot.
+func (s *Server) handleSweepCreate(w http.ResponseWriter, r *http.Request) {
+	var req SweepRequest
+	if aerr := decodeJSON(w, r, &req); aerr != nil {
+		writeError(w, aerr.Status, aerr.Code, "%s", aerr.Msg)
+		return
+	}
+	plan, aerr := s.prepareSweep(req)
+	if aerr != nil {
+		writeError(w, aerr.Status, aerr.Code, "%s", aerr.Msg)
+		return
+	}
+	j := &job{
+		engine:   plan.Engine,
+		scenario: plan.Scenario,
+		axes:     plan.Axes,
+		opts:     plan.Opts,
+		total:    plan.Total,
+		created:  time.Now(),
+		gen:      plan.Gen,
 		// Count every terminal state exactly once, wherever the job
 		// settles (worker, queued-cancel, shutdown drain).
 		onSettle: func(st jobState) {

@@ -1,0 +1,497 @@
+// Package shard is the distributed sweep fabric: a coordinator that
+// accepts the serving layer's sweep job API, partitions the grid by
+// structural shape via consistent hashing, dispatches chunks to a fleet
+// of dyncomp-serve workers over their POST /v1/chunks endpoint, and
+// merges the results back into grid order — bit-identical to a
+// single-process sweep.Run of the same request.
+//
+// The design follows three rules:
+//
+//   - Shape affinity. Chunks are routed on a consistent-hash ring keyed
+//     by derive.ShapeKey, so every chunk of a shape cohort lands on the
+//     same worker: its structure-keyed derivation cache derives once and
+//     rebinds for the rest, and its batched lanes fill exactly as a
+//     single-process sweep's would (chunk cuts are aligned to the batch
+//     width).
+//
+//   - Deterministic planning. The plan — grid expansion, cohort
+//     grouping, chunk cuts — is a pure function of the persisted sweep
+//     spec and the chunk-size target, so a restarted coordinator replans
+//     the identical chunk list and identifies recovered results by
+//     nothing more than their chunk position.
+//
+//   - Narrow durability. The append-only store remembers only what
+//     cannot be recomputed: submitted specs, completed chunk results and
+//     terminal states. Everything else is replay.
+//
+// Worker failure triggers bounded retry with re-hash to surviving
+// workers; a degraded single-worker fleet still completes every job. A
+// chunk no worker can evaluate settles its points with the fabric error
+// — done still reaches total, mirroring the sweep engine's per-point
+// failure semantics.
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+	"time"
+
+	"dyncomp/internal/serve"
+)
+
+// Config tunes the coordinator. The zero value is usable given at least
+// one worker (registered up front in Workers or later via POST
+// /v1/workers).
+type Config struct {
+	// Workers are the initial fleet members' base URLs.
+	Workers []string
+	// StorePath is the append-only job store file; empty runs the
+	// coordinator memory-only (jobs do not survive a restart).
+	StorePath string
+	// ChunkPoints is the target grid points per dispatched chunk
+	// (default 16). Larger chunks amortize HTTP overhead; smaller ones
+	// spread a cohort wider and shrink the retry unit.
+	ChunkPoints int
+	// Retries bounds how many workers one chunk is attempted on before
+	// its points fail with the fabric error (default 3).
+	Retries int
+	// ChunkTimeout bounds one dispatch attempt (0: no per-attempt
+	// timeout; the job context still applies).
+	ChunkTimeout time.Duration
+	// Dispatch bounds the in-flight chunks per job (default 4).
+	Dispatch int
+	// Transport carries chunks to workers; nil selects the real HTTP
+	// transport over Client. Tests inject faults here.
+	Transport Transport
+	// Client is the HTTP client of the default transport (nil:
+	// http.DefaultClient semantics with no overall timeout).
+	Client *http.Client
+	// Defaults are the sweep-compilation defaults applied to request
+	// fields left at zero, exactly as a worker's serve.Config would.
+	Defaults serve.SweepDefaults
+}
+
+func (c Config) withDefaults() Config {
+	if c.ChunkPoints <= 0 {
+		c.ChunkPoints = 16
+	}
+	if c.Retries <= 0 {
+		c.Retries = 3
+	}
+	if c.Dispatch <= 0 {
+		c.Dispatch = 4
+	}
+	if c.Transport == nil {
+		client := c.Client
+		if client == nil {
+			client = &http.Client{}
+		}
+		c.Transport = &httpTransport{client: client}
+	}
+	return c
+}
+
+// Coordinator is the fabric's control plane: the worker ring, the job
+// table and the durability store, exposed over the same /v1/sweeps API
+// vocabulary as a single dyncomp-serve process — plus the fleet
+// endpoints (/v1/workers) and an NDJSON result stream.
+type Coordinator struct {
+	cfg   Config
+	ring  *ring
+	store *Store
+	mux   *http.ServeMux
+
+	mu    sync.Mutex
+	jobs  map[string]*job
+	order []string
+	seq   int64
+
+	baseCtx context.Context
+	stop    context.CancelFunc
+	wg      sync.WaitGroup
+}
+
+// New creates a Coordinator: opens the store (when configured), replays
+// it — finished jobs become readable again, in-flight ones resume
+// dispatching — and wires the HTTP handlers.
+func New(cfg Config) (*Coordinator, error) {
+	cfg = cfg.withDefaults()
+	ctx, stop := context.WithCancel(context.Background())
+	c := &Coordinator{
+		cfg:     cfg,
+		ring:    newRing(cfg.Workers),
+		mux:     http.NewServeMux(),
+		jobs:    map[string]*job{},
+		baseCtx: ctx,
+		stop:    stop,
+	}
+	if cfg.StorePath != "" {
+		store, recovered, err := OpenStore(cfg.StorePath)
+		if err != nil {
+			stop()
+			return nil, fmt.Errorf("shard: opening store: %w", err)
+		}
+		c.store = store
+		for _, jr := range recovered {
+			c.recoverJob(jr)
+		}
+	}
+	c.routes()
+	return c, nil
+}
+
+// recoverJob rebuilds one persisted job: replan deterministically from
+// the pinned spec, replay the recorded chunk results, then either
+// settle the recorded terminal state or resume dispatching the chunks
+// that never came back.
+func (c *Coordinator) recoverJob(jr JobRecord) {
+	if n := idSeq(jr.ID); n > c.seq {
+		c.seq = n
+	}
+	// Replan under neutral defaults: the spec's pinned batch width and
+	// the recorded chunk size carry the plan-relevant knobs, so a
+	// restart with different flags still cuts identical chunks.
+	jp, rerr := planJob(jr.Spec, serve.SweepDefaults{Workers: c.cfg.Defaults.Workers}, jr.ChunkPoints)
+	if rerr != nil {
+		// The spec no longer compiles (e.g. a scenario was removed).
+		// Surface the job as failed instead of silently dropping it.
+		j := &job{
+			id: jr.ID, spec: jr.Spec, created: jr.Created,
+			state: jobFailed, errMsg: rerr.Msg, changed: make(chan struct{}),
+		}
+		c.register(j)
+		return
+	}
+	j := newJob(jr.ID, jr.Spec, jr.Created, jp)
+	j.applyRecords(jr.Chunks)
+	c.register(j)
+	if jr.State != "" {
+		st := stateFromWire(jr.State)
+		if st == jobDone {
+			// done promises done == total; a chunk whose record was
+			// torn off the tail settles with an explicit error.
+			for _, ci := range j.pendingChunks() {
+				j.failChunk(ci, errors.New("shard: chunk result lost before coordinator shutdown"))
+			}
+		}
+		j.settle(st, jr.Error, jr.Created)
+		return
+	}
+	c.wg.Add(1)
+	go c.runJob(j)
+}
+
+// register adds a job to the table in creation order.
+func (c *Coordinator) register(j *job) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.jobs[j.id] = j
+	c.order = append(c.order, j.id)
+}
+
+// idSeq parses the numeric suffix of a "job-%06d" id (0 when foreign).
+func idSeq(id string) int64 {
+	var n int64
+	if _, err := fmt.Sscanf(id, "job-%d", &n); err != nil {
+		return 0
+	}
+	return n
+}
+
+// Handler returns the root handler serving the coordinator API.
+func (c *Coordinator) Handler() http.Handler { return c.mux }
+
+// Close stops the coordinator: running jobs are interrupted mid-dispatch
+// WITHOUT settling a terminal state — their store records end at the
+// last completed chunk, which is exactly where a restarted coordinator
+// resumes them. Close blocks until every dispatcher returned, then
+// closes the store.
+func (c *Coordinator) Close() {
+	c.stop()
+	c.wg.Wait()
+	_ = c.store.Close()
+}
+
+func (c *Coordinator) routes() {
+	c.mux.HandleFunc("GET /healthz", c.handleHealthz)
+	c.mux.HandleFunc("GET /v1/workers", c.handleWorkersList)
+	c.mux.HandleFunc("POST /v1/workers", c.handleWorkersAdd)
+	c.mux.HandleFunc("POST /v1/sweeps", c.handleSweepCreate)
+	c.mux.HandleFunc("GET /v1/sweeps", c.handleSweepList)
+	c.mux.HandleFunc("GET /v1/sweeps/{id}", c.handleSweepGet)
+	c.mux.HandleFunc("DELETE /v1/sweeps/{id}", c.handleSweepCancel)
+	c.mux.HandleFunc("GET /v1/sweeps/{id}/events", c.handleSweepEvents)
+	c.mux.HandleFunc("GET /v1/sweeps/{id}/results", c.handleSweepResults)
+}
+
+// submit plans, persists and launches one job. Exported through the
+// HTTP handler only; tests drive the same path over httptest.
+func (c *Coordinator) submit(req serve.SweepRequest) (*job, *serve.RequestError) {
+	if c.baseCtx.Err() != nil {
+		return nil, &serve.RequestError{Status: http.StatusServiceUnavailable,
+			Code: serve.CodeUnavailable, Msg: "coordinator shutting down"}
+	}
+	jp, rerr := planJob(req, c.cfg.Defaults, c.cfg.ChunkPoints)
+	if rerr != nil {
+		return nil, rerr
+	}
+	// Pin the effective batch width into the persisted (and dispatched)
+	// spec: workers must not substitute their own default, and a
+	// restarted coordinator must replan the same cuts.
+	req.Options.BatchWidth = jp.effWidth
+
+	c.mu.Lock()
+	c.seq++
+	id := fmt.Sprintf("job-%06d", c.seq)
+	c.mu.Unlock()
+	j := newJob(id, req, time.Now(), jp)
+	c.register(j)
+	if err := c.store.AppendJob(id, j.created, req, c.cfg.ChunkPoints); err != nil {
+		j.settle(jobFailed, fmt.Sprintf("persisting job: %v", err), time.Now())
+		return j, nil
+	}
+	c.wg.Add(1)
+	go c.runJob(j)
+	return j, nil
+}
+
+// runJob dispatches every pending chunk of a job across the fleet, a
+// bounded number in flight at a time, then settles the terminal state.
+func (c *Coordinator) runJob(j *job) {
+	defer c.wg.Done()
+	ctx, cancel := context.WithCancel(c.baseCtx)
+	defer cancel()
+	if !j.start(cancel, time.Now()) {
+		if j.cancelled() {
+			// Cancelled while still queued: start settled the job;
+			// persist the state so a restart does not resurrect it.
+			_ = c.store.AppendState(j.id, "cancelled", context.Canceled.Error())
+		}
+		return
+	}
+
+	sem := make(chan struct{}, c.cfg.Dispatch)
+	var wg sync.WaitGroup
+	for _, ci := range j.pendingChunks() {
+		if ctx.Err() != nil {
+			break
+		}
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(ci int) {
+			defer func() { <-sem; wg.Done() }()
+			c.dispatchChunk(ctx, j, ci)
+		}(ci)
+	}
+	wg.Wait()
+
+	now := time.Now()
+	switch {
+	case j.complete():
+		// Every chunk merged — point-level failures (including fabric
+		// failures) travel in the results, exactly as in the sweep
+		// engine, so the job itself is done.
+		_ = c.store.AppendState(j.id, "done", "")
+		j.settle(jobDone, "", now)
+	case j.cancelled():
+		_ = c.store.AppendState(j.id, "cancelled", context.Canceled.Error())
+		j.settle(jobCancelled, context.Canceled.Error(), now)
+	default:
+		// Coordinator shutdown: leave the job unsettled in the store so
+		// a restart resumes it from the last completed chunk.
+	}
+}
+
+// dispatchChunk delivers one chunk: look the owning worker up on the
+// ring, post the chunk, and on failure re-hash to the next surviving
+// worker — transport-level failures additionally take the worker out of
+// rotation for the whole fleet. A 4xx answer is permanent (every worker
+// validates identically); retries are bounded by Config.Retries and by
+// fleet exhaustion, after which the chunk's points settle with the
+// fabric error.
+func (c *Coordinator) dispatchChunk(ctx context.Context, j *job, ci int) {
+	cp := j.chunks[ci]
+	req := serve.ChunkRequest{SweepRequest: j.spec, Indices: cp.indices}
+	exclude := map[string]bool{}
+	var lastErr error
+	for attempt := 0; attempt < c.cfg.Retries; attempt++ {
+		if ctx.Err() != nil {
+			return
+		}
+		worker, ok := c.ring.lookup(cp.shape, exclude)
+		if !ok {
+			if lastErr == nil {
+				lastErr = errors.New("no live worker")
+			}
+			break
+		}
+		actx := ctx
+		if c.cfg.ChunkTimeout > 0 {
+			var acancel context.CancelFunc
+			actx, acancel = context.WithTimeout(ctx, c.cfg.ChunkTimeout)
+			defer acancel()
+		}
+		resp, err := c.cfg.Transport.RunChunk(actx, worker, req)
+		if err == nil {
+			if j.applyChunk(ci, resp.Points, resp.Batches, resp.BatchedPoints) {
+				_ = c.store.AppendChunk(j.id, ci, worker, resp)
+			}
+			return
+		}
+		if ctx.Err() != nil {
+			return // job cancelled or coordinator shutting down
+		}
+		var we *WorkerError
+		switch {
+		case errors.As(err, &we) && we.Permanent():
+			j.failChunk(ci, err)
+			return
+		case errors.As(err, &we):
+			// 5xx: the worker answered, so it is alive but unhealthy —
+			// steer this chunk elsewhere without benching the worker.
+			exclude[worker] = true
+		default:
+			// Transport-level: connection refused, torn response,
+			// per-attempt timeout. Treat the worker as down for
+			// everyone until it re-registers.
+			c.ring.markDown(worker)
+			exclude[worker] = true
+		}
+		lastErr = err
+	}
+	j.failChunk(ci, fmt.Errorf("shard: chunk undeliverable: %w", lastErr))
+}
+
+// cancelled reports whether a cancel was requested.
+func (j *job) cancelled() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.cancelRequested
+}
+
+// get looks a job up by id.
+func (c *Coordinator) get(id string) (*job, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	j, ok := c.jobs[id]
+	return j, ok
+}
+
+// list returns every job in creation order.
+func (c *Coordinator) list() []*job {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]*job, 0, len(c.order))
+	for _, id := range c.order {
+		out = append(out, c.jobs[id])
+	}
+	return out
+}
+
+// Health is the body of GET /healthz.
+type Health struct {
+	Status       string `json:"status"`
+	Workers      int    `json:"workers"`
+	WorkersAlive int    `json:"workers_alive"`
+	Jobs         int    `json:"jobs"`
+}
+
+func (c *Coordinator) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	c.mu.Lock()
+	jobs := len(c.jobs)
+	c.mu.Unlock()
+	writeJSON(w, http.StatusOK, Health{
+		Status:       "ok",
+		Workers:      len(c.ring.workers()),
+		WorkersAlive: c.ring.alive(),
+		Jobs:         jobs,
+	})
+}
+
+func (c *Coordinator) handleWorkersList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Workers []WorkerStatus `json:"workers"`
+	}{Workers: c.ring.workers()})
+}
+
+// workerAddRequest is the body of POST /v1/workers: a dyncomp-serve
+// process announcing itself (see the -register flag). Re-registering a
+// benched worker puts it back in rotation under its original ring
+// positions.
+type workerAddRequest struct {
+	URL string `json:"url"`
+}
+
+func (c *Coordinator) handleWorkersAdd(w http.ResponseWriter, r *http.Request) {
+	var req workerAddRequest
+	if rerr := decodeJSON(w, r, &req); rerr != nil {
+		writeError(w, rerr)
+		return
+	}
+	u, err := url.Parse(req.URL)
+	if err != nil || (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+		writeError(w, &serve.RequestError{Status: http.StatusBadRequest,
+			Code: serve.CodeBadJSON, Msg: fmt.Sprintf("url %q is not an absolute http(s) URL", req.URL)})
+		return
+	}
+	c.ring.add(strings.TrimRight(req.URL, "/"))
+	writeJSON(w, http.StatusOK, struct {
+		Workers []WorkerStatus `json:"workers"`
+	}{Workers: c.ring.workers()})
+}
+
+func (c *Coordinator) handleSweepCreate(w http.ResponseWriter, r *http.Request) {
+	var req serve.SweepRequest
+	if rerr := decodeJSON(w, r, &req); rerr != nil {
+		writeError(w, rerr)
+		return
+	}
+	j, rerr := c.submit(req)
+	if rerr != nil {
+		writeError(w, rerr)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, j.snapshot())
+}
+
+func (c *Coordinator) handleSweepList(w http.ResponseWriter, r *http.Request) {
+	jobs := c.list()
+	out := struct {
+		Jobs []serve.Job `json:"jobs"`
+	}{Jobs: make([]serve.Job, 0, len(jobs))}
+	for _, j := range jobs {
+		out.Jobs = append(out.Jobs, j.snapshot())
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (c *Coordinator) handleSweepGet(w http.ResponseWriter, r *http.Request) {
+	j, ok := c.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, &serve.RequestError{Status: http.StatusNotFound,
+			Code: serve.CodeJobNotFound, Msg: fmt.Sprintf("no job %q", r.PathValue("id"))})
+		return
+	}
+	writeJSON(w, http.StatusOK, j.result())
+}
+
+func (c *Coordinator) handleSweepCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := c.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, &serve.RequestError{Status: http.StatusNotFound,
+			Code: serve.CodeJobNotFound, Msg: fmt.Sprintf("no job %q", r.PathValue("id"))})
+		return
+	}
+	st, ok := j.requestCancel()
+	if !ok {
+		writeError(w, &serve.RequestError{Status: http.StatusConflict,
+			Code: serve.CodeJobTerminal, Msg: fmt.Sprintf("job %s already settled as %q", j.id, st)})
+		return
+	}
+	writeJSON(w, http.StatusAccepted, j.snapshot())
+}

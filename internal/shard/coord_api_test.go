@@ -1,0 +1,307 @@
+package shard
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"dyncomp/internal/serve"
+)
+
+// cancelJob issues DELETE /v1/sweeps/{id} and expects 202.
+func cancelJob(t *testing.T, coordURL, id string) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodDelete, coordURL+"/v1/sweeps/"+id, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("cancel answered %d", resp.StatusCode)
+	}
+}
+
+// sseEvent is one parsed server-sent event.
+type sseEvent struct {
+	name string
+	data string
+}
+
+// parseSSE reads an SSE body to EOF — the coordinator closes the stream
+// after the terminal state event — and returns the events in order.
+func parseSSE(t *testing.T, resp *http.Response) []sseEvent {
+	t.Helper()
+	var events []sseEvent
+	var cur sseEvent
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			if cur.name != "" || cur.data != "" {
+				events = append(events, cur)
+			}
+			cur = sseEvent{}
+		case strings.HasPrefix(line, "event: "):
+			cur.name = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			cur.data = strings.TrimPrefix(line, "data: ")
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("reading SSE stream: %v", err)
+	}
+	return events
+}
+
+// The SSE progress stream of a fleet job reports strictly increasing
+// done counts and ends with the terminal state at done == total, even
+// with chunks finishing interleaved across workers and batched lanes in
+// play — the distributed face of the coalesced-progress ordering
+// guarantee.
+func TestFleetSSEProgressMonotonic(t *testing.T) {
+	workers := newFleet(t, 3)
+	_, ts := newCoord(t, Config{Workers: workers, ChunkPoints: 2})
+	job := submitSweep(t, ts.URL, faultReq)
+
+	resp, err := http.Get(ts.URL + "/v1/sweeps/" + job.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type %q", ct)
+	}
+	last := -1
+	sawTerminal := false
+	for _, ev := range parseSSE(t, resp) {
+		switch ev.name {
+		case "progress":
+			var p struct{ Done, Total int }
+			if err := json.Unmarshal([]byte(ev.data), &p); err != nil {
+				t.Fatalf("bad progress payload %q: %v", ev.data, err)
+			}
+			if p.Done <= last {
+				t.Fatalf("progress went backwards: %d after %d", p.Done, last)
+			}
+			last = p.Done
+		case "state":
+			var s serve.Job
+			if err := json.Unmarshal([]byte(ev.data), &s); err != nil {
+				t.Fatalf("bad state payload %q: %v", ev.data, err)
+			}
+			if terminalWire(s.State) {
+				sawTerminal = true
+				if s.State != "done" || s.Done != s.Total {
+					t.Fatalf("terminal state %q with done %d/%d", s.State, s.Done, s.Total)
+				}
+			}
+		}
+	}
+	if !sawTerminal {
+		t.Fatal("stream ended without a terminal state event")
+	}
+}
+
+// The NDJSON stream delivers every point exactly once in arrival order
+// and terminates with a trailer carrying the terminal state and the
+// statistics; connecting to a finished job replays everything.
+func TestFleetNDJSONStream(t *testing.T) {
+	workers := newFleet(t, 3)
+	_, ts := newCoord(t, Config{Workers: workers, ChunkPoints: 2})
+	job := submitSweep(t, ts.URL, faultReq)
+
+	// Once streamed live, once replayed after the job finished: the
+	// stream contract is identical.
+	for _, phase := range []string{"live", "replay"} {
+		t.Run(phase, func(t *testing.T) {
+			resp, err := http.Get(ts.URL + "/v1/sweeps/" + job.ID + "/results")
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+				t.Fatalf("content type %q", ct)
+			}
+			seen := map[int]bool{}
+			var trailer *ResultLine
+			dec := json.NewDecoder(resp.Body)
+			for {
+				var line ResultLine
+				if err := dec.Decode(&line); err != nil {
+					break
+				}
+				if trailer != nil {
+					t.Fatal("line after the trailer")
+				}
+				if line.Point != nil {
+					if seen[line.Point.Index] {
+						t.Fatalf("index %d streamed twice", line.Point.Index)
+					}
+					seen[line.Point.Index] = true
+					continue
+				}
+				l := line
+				trailer = &l
+			}
+			if trailer == nil || trailer.State != "done" || trailer.Stats == nil {
+				t.Fatalf("missing or bad trailer: %+v", trailer)
+			}
+			if len(seen) != 12 {
+				t.Fatalf("%d points streamed, want 12", len(seen))
+			}
+			if trailer.Stats.Points != 12 {
+				t.Fatalf("trailer stats points %d, want 12", trailer.Stats.Points)
+			}
+		})
+	}
+}
+
+// The coordinator relays the serving layer's validation vocabulary:
+// compile-time rejections answer with the same HTTP status and error
+// code a single dyncomp-serve process would use.
+func TestCoordValidationErrors(t *testing.T) {
+	workers := newFleet(t, 1)
+	_, ts := newCoord(t, Config{Workers: workers})
+
+	cases := []struct {
+		name   string
+		body   any
+		status int
+		code   string
+	}{
+		{"unknown scenario",
+			serve.SweepRequest{Scenario: "nope",
+				Axes: []serve.Axis{{Name: "seed", Values: []int64{1}}}},
+			http.StatusBadRequest, serve.CodeUnknownScenario},
+		{"unknown engine",
+			func() any { r := faultReq; r.Engine = "warp"; return r }(),
+			http.StatusBadRequest, serve.CodeUnknownEngine},
+		{"no axes",
+			serve.SweepRequest{Scenario: "didactic"},
+			http.StatusBadRequest, serve.CodeInvalidAxes},
+		{"unknown field",
+			map[string]any{"scenario": "didactic", "bogus": 1},
+			http.StatusBadRequest, serve.CodeBadJSON},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp := postJSON(t, ts.URL+"/v1/sweeps", tc.body)
+			if resp.StatusCode != tc.status {
+				t.Fatalf("status %d, want %d", resp.StatusCode, tc.status)
+			}
+			if code := errorCode(t, resp); code != tc.code {
+				t.Fatalf("code %q, want %q", code, tc.code)
+			}
+		})
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/sweeps/job-999999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown job answered %d", resp.StatusCode)
+	}
+	if code := errorCode(t, resp); code != serve.CodeJobNotFound {
+		t.Fatalf("code %q, want %q", code, serve.CodeJobNotFound)
+	}
+}
+
+// Worker registration: valid URLs join the ring (visible in the list
+// and in healthz), junk is rejected with the shared error envelope.
+func TestCoordWorkerRegistration(t *testing.T) {
+	workers := newFleet(t, 1)
+	_, ts := newCoord(t, Config{Workers: workers})
+
+	type workerList struct {
+		Workers []WorkerStatus `json:"workers"`
+	}
+	resp := postJSON(t, ts.URL+"/v1/workers", map[string]string{"url": "http://127.0.0.1:19999"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("register answered %d", resp.StatusCode)
+	}
+	if got := decodeBody[workerList](t, resp); len(got.Workers) != 2 {
+		t.Fatalf("%d workers after registration, want 2", len(got.Workers))
+	}
+
+	for _, bad := range []string{"", "not-a-url", "ftp://x", "/relative"} {
+		resp := postJSON(t, ts.URL+"/v1/workers", map[string]string{"url": bad})
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("url %q answered %d, want 400", bad, resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+
+	hresp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := decodeBody[Health](t, hresp)
+	if h.Status != "ok" || h.Workers != 2 || h.WorkersAlive != 2 {
+		t.Fatalf("healthz %+v, want ok with 2/2 workers", h)
+	}
+}
+
+// Cancelling a running job settles it as cancelled; cancelling a
+// settled job answers the terminal-state conflict, same as the serving
+// layer.
+func TestCoordCancelLifecycle(t *testing.T) {
+	workers := newFleet(t, 2)
+	gate := &gateTransport{inner: &httpTransport{client: &http.Client{}}, limit: 0}
+	_, ts := newCoord(t, Config{Workers: workers, ChunkPoints: 2, Transport: gate})
+
+	job := submitSweep(t, ts.URL, faultReq)
+	cancelJob(t, ts.URL, job.ID)
+	res := waitTerminal(t, ts.URL, job.ID)
+	if res.State != "cancelled" {
+		t.Fatalf("state %q, want cancelled", res.State)
+	}
+
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/sweeps/"+job.ID, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("second cancel answered %d, want 409", resp.StatusCode)
+	}
+	if code := errorCode(t, resp); code != serve.CodeJobTerminal {
+		t.Fatalf("code %q, want %q", code, serve.CodeJobTerminal)
+	}
+}
+
+// The job list renders every job in creation order with the shared wire
+// vocabulary.
+func TestCoordSweepList(t *testing.T) {
+	workers := newFleet(t, 2)
+	_, ts := newCoord(t, Config{Workers: workers, ChunkPoints: 4})
+
+	first := submitSweep(t, ts.URL, faultReq)
+	second := submitSweep(t, ts.URL, faultReq)
+	waitTerminal(t, ts.URL, first.ID)
+	waitTerminal(t, ts.URL, second.ID)
+
+	resp, err := http.Get(ts.URL + "/v1/sweeps")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := decodeBody[struct {
+		Jobs []serve.Job `json:"jobs"`
+	}](t, resp)
+	if len(out.Jobs) != 2 || out.Jobs[0].ID != first.ID || out.Jobs[1].ID != second.ID {
+		t.Fatalf("list %+v, want [%s %s] in order", out.Jobs, first.ID, second.ID)
+	}
+	for _, j := range out.Jobs {
+		if j.State != "done" || j.Done != 12 || j.Total != 12 {
+			t.Fatalf("job %s listed as %q %d/%d", j.ID, j.State, j.Done, j.Total)
+		}
+	}
+}

@@ -1,0 +1,136 @@
+package shard
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+)
+
+// ring is a consistent-hash ring over the worker fleet, keyed by the
+// structural shape of the points a chunk carries. Same shape, same
+// worker: the worker's structure-keyed derivation cache stays hot and
+// its batched lanes stay full across every chunk of a cohort. Virtual
+// nodes smooth the assignment so a small fleet still splits a diverse
+// shape population roughly evenly, and removing one worker only moves
+// the shapes that hashed to it.
+type ring struct {
+	mu      sync.RWMutex
+	members map[string]*member
+	vnodes  []vnode // sorted by hash
+}
+
+// member is one registered worker. A down member stays on the ring —
+// its vnodes are skipped by lookup — so re-registering it restores the
+// original shape assignment instead of reshuffling the fleet.
+type member struct {
+	url  string
+	down bool
+}
+
+type vnode struct {
+	hash uint64
+	url  string
+}
+
+// vnodesPerMember trades lookup-table size against assignment
+// smoothness; 64 keeps the skew of a 3-worker fleet under a few
+// percent.
+const vnodesPerMember = 64
+
+func newRing(workers []string) *ring {
+	r := &ring{members: map[string]*member{}}
+	for _, w := range workers {
+		r.add(w)
+	}
+	return r
+}
+
+// add registers a worker (idempotent) or revives a down one.
+func (r *ring) add(url string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.members[url]; ok {
+		m.down = false
+		return
+	}
+	r.members[url] = &member{url: url}
+	for i := 0; i < vnodesPerMember; i++ {
+		r.vnodes = append(r.vnodes, vnode{hash: fnv64(fmt.Sprintf("%s#%d", url, i)), url: url})
+	}
+	sort.Slice(r.vnodes, func(i, j int) bool { return r.vnodes[i].hash < r.vnodes[j].hash })
+}
+
+// markDown takes a worker out of rotation without forgetting it.
+func (r *ring) markDown(url string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.members[url]; ok {
+		m.down = true
+	}
+}
+
+// lookup returns the worker owning key: the first alive member at or
+// clockwise after the key's hash, skipping down members and everything
+// in exclude (the workers a chunk already failed on). ok is false when
+// the fleet is exhausted.
+func (r *ring) lookup(key string, exclude map[string]bool) (string, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.vnodes) == 0 {
+		return "", false
+	}
+	h := fnv64(key)
+	start := sort.Search(len(r.vnodes), func(i int) bool { return r.vnodes[i].hash >= h })
+	seen := map[string]bool{}
+	for i := 0; i < len(r.vnodes); i++ {
+		vn := r.vnodes[(start+i)%len(r.vnodes)]
+		if seen[vn.url] {
+			continue
+		}
+		seen[vn.url] = true
+		if exclude[vn.url] || r.members[vn.url].down {
+			continue
+		}
+		return vn.url, true
+	}
+	return "", false
+}
+
+// WorkerStatus is the wire form of one fleet member, served by
+// GET /v1/workers.
+type WorkerStatus struct {
+	URL  string `json:"url"`
+	Down bool   `json:"down,omitempty"`
+}
+
+// workers lists the fleet, sorted by URL for stable output.
+func (r *ring) workers() []WorkerStatus {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]WorkerStatus, 0, len(r.members))
+	for _, m := range r.members {
+		out = append(out, WorkerStatus{URL: m.url, Down: m.down})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].URL < out[j].URL })
+	return out
+}
+
+// alive counts members in rotation.
+func (r *ring) alive() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	n := 0
+	for _, m := range r.members {
+		if !m.down {
+			n++
+		}
+	}
+	return n
+}
+
+func fnv64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}

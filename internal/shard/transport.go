@@ -1,0 +1,80 @@
+package shard
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"dyncomp/internal/serve"
+)
+
+// Transport carries one chunk evaluation to one worker. It is an
+// interface so the fault-injection tests can wrap the real HTTP
+// transport with dropped connections, delays, 5xx answers and
+// kills-mid-chunk without running a broken fleet.
+type Transport interface {
+	// RunChunk posts the chunk to the worker's POST /v1/chunks and
+	// returns its response. Errors other than *WorkerError are
+	// transport-level (connection refused, torn response) and always
+	// retryable.
+	RunChunk(ctx context.Context, workerURL string, req serve.ChunkRequest) (*serve.ChunkResponse, error)
+}
+
+// WorkerError is a worker's non-2xx answer, carrying the API error
+// envelope through to the coordinator.
+type WorkerError struct {
+	Status int
+	Code   string
+	Msg    string
+}
+
+func (e *WorkerError) Error() string {
+	return fmt.Sprintf("worker answered %d (%s): %s", e.Status, e.Code, e.Msg)
+}
+
+// Permanent reports whether retrying the same request elsewhere is
+// pointless: a 4xx is the request's fault and every worker validates
+// identically, so the first rejection settles the chunk.
+func (e *WorkerError) Permanent() bool { return e.Status >= 400 && e.Status < 500 }
+
+// httpTransport is the production transport: plain JSON over the
+// injected client (which sets the per-attempt timeout policy; the
+// default client has none and relies on context cancellation).
+type httpTransport struct {
+	client *http.Client
+}
+
+func (t *httpTransport) RunChunk(ctx context.Context, workerURL string, req serve.ChunkRequest) (*serve.ChunkResponse, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	url := strings.TrimRight(workerURL, "/") + "/v1/chunks"
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := t.client.Do(hreq)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		var envelope serve.ErrorResponse
+		if json.Unmarshal(raw, &envelope) == nil && envelope.Err.Code != "" {
+			return nil, &WorkerError{Status: resp.StatusCode, Code: envelope.Err.Code, Msg: envelope.Err.Message}
+		}
+		return nil, &WorkerError{Status: resp.StatusCode, Code: "unknown", Msg: strings.TrimSpace(string(raw))}
+	}
+	var out serve.ChunkResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("decoding chunk response: %w", err)
+	}
+	return &out, nil
+}

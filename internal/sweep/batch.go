@@ -26,11 +26,15 @@ type genPoint struct {
 	group []string
 }
 
-// cohortKey names the equivalence class of points a single batched run
+// CohortKey names the equivalence class of points a single batched run
 // can carry: one structural shape evaluated under one set of per-point
 // options. Points whose generation or shape derivation fails are
-// finished immediately and never join a cohort.
-func cohortKey(shape string, dopts derive.Options, group []string) string {
+// finished immediately and never join a cohort. Exported so the
+// distributed coordinator (internal/shard) cuts its chunks along
+// exactly the cohort boundaries the worker-side sweep will use — that
+// alignment is what keeps the fleet's batch accounting bit-identical to
+// a single-process sweep.
+func CohortKey(shape string, dopts derive.Options, group []string) string {
 	return fmt.Sprintf("%s\x00pad=%d reduce=%t nocompile=%t\x00%s",
 		shape, dopts.PadNodes, dopts.Reduce, dopts.NoCompile, strings.Join(group, ","))
 }
@@ -190,7 +194,7 @@ func prepPoint(ctx context.Context, p Point, gen Generator, opts Options, gp *ge
 	if opts.GroupFor != nil {
 		gp.group = opts.GroupFor(p)
 	}
-	*key = cohortKey(shape, gp.dopts, gp.group)
+	*key = CohortKey(shape, gp.dopts, gp.group)
 }
 
 // evalChunk evaluates one shape cohort chunk through the batched engine

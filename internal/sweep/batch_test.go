@@ -225,3 +225,104 @@ func TestPooledBatchEvaluatorsUnderParallelBatchedSweep(t *testing.T) {
 		}
 	}
 }
+
+// Progress deliveries are strictly monotonic even when cohort chunks
+// finish interleaved across many workers: the counter advance and the
+// callback are serialized under one lock. The callback appends without
+// its own synchronization on purpose — if the sweep ever stops
+// serializing deliveries, the race detector flags this test before the
+// monotonicity assertion even runs.
+func TestBatchedSweepProgressMonotonic(t *testing.T) {
+	axes := []Axis{
+		{Name: "stages", Values: []int64{1, 2, 3}},
+		{Name: "period", Values: []int64{500, 700, 900, 1100}},
+		{Name: "seed", Values: []int64{1, 2, 3}},
+	}
+	var dones []int
+	res, err := Run(axes, didacticGen, Options{
+		Workers:    8,
+		BatchWidth: 2,
+		Progress:   func(done, total int) { dones = append(dones, done) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Failed != 0 {
+		t.Fatalf("%d points failed", res.Stats.Failed)
+	}
+	if len(dones) == 0 {
+		t.Fatal("progress never fired")
+	}
+	for i := 1; i < len(dones); i++ {
+		if dones[i] <= dones[i-1] {
+			t.Fatalf("progress went backwards at delivery %d: %v", i, dones)
+		}
+	}
+	if last := dones[len(dones)-1]; last != 36 {
+		t.Fatalf("progress peaked at %d, want 36", last)
+	}
+}
+
+// RunIndices evaluates a subset of the grid bit-exactly against the
+// same points of the full sweep, preserving global indices — and when
+// the subset is one whole shape cohort cut at a BatchWidth boundary,
+// the batch accounting matches what the full sweep spent on it.
+func TestRunIndicesMatchesFullSweep(t *testing.T) {
+	axes := []Axis{
+		{Name: "stages", Values: []int64{1, 2}},
+		{Name: "seed", Values: []int64{1, 2, 3, 4, 5}},
+	}
+	full, err := Run(axes, didacticGen, Options{Workers: 2, BatchWidth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Indices 5..9 are the whole stages=2 cohort, in grid order.
+	indices := []int{5, 6, 7, 8, 9}
+	part, err := RunIndices(axes, indices, didacticGen, Options{Workers: 2, BatchWidth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(part.Points) != len(indices) {
+		t.Fatalf("got %d points, want %d", len(part.Points), len(indices))
+	}
+	for k, idx := range indices {
+		p, f := part.Points[k], full.Points[idx]
+		if p.Point.Index != idx {
+			t.Fatalf("point %d has grid index %d, want %d", k, p.Point.Index, idx)
+		}
+		if p.Err != nil {
+			t.Fatalf("point %d: %v", idx, p.Err)
+		}
+		if p.Run.FinalTimeNs != f.Run.FinalTimeNs || p.Run.Iterations != f.Run.Iterations ||
+			p.Run.Activations != f.Run.Activations || p.Run.Events != f.Run.Events {
+			t.Fatalf("point %d: subset %+v != full %+v", idx, p.Run, f.Run)
+		}
+	}
+	// The cohort of 5 at width 2 cuts into 2+2+1 both ways.
+	if part.Stats.Batches != 3 || part.Stats.BatchedPoints != 5 {
+		t.Fatalf("batches=%d batched_points=%d, want 3/5",
+			part.Stats.Batches, part.Stats.BatchedPoints)
+	}
+}
+
+// GridSelect rejects out-of-range and duplicate indices — a chunk must
+// never evaluate a point twice or a point of another grid.
+func TestGridSelectValidation(t *testing.T) {
+	axes := []Axis{{Name: "seed", Values: []int64{1, 2, 3}}}
+	if _, err := GridSelect(axes, []int{0, 3}); err == nil {
+		t.Fatal("out-of-range index accepted")
+	}
+	if _, err := GridSelect(axes, []int{1, 1}); err == nil {
+		t.Fatal("duplicate index accepted")
+	}
+	if _, err := GridSelect(axes, nil); err == nil {
+		t.Fatal("empty selection accepted")
+	}
+	pts, err := GridSelect(axes, []int{2, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pts[0].Index != 2 || pts[1].Index != 0 {
+		t.Fatalf("indices not preserved in order: %v", pts)
+	}
+}

@@ -29,7 +29,6 @@ import (
 	"math"
 	"runtime"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"dyncomp/internal/derive"
@@ -91,39 +90,82 @@ func (p Point) String() string {
 	return s
 }
 
-// Grid expands axes into their cartesian product in row-major order: the
-// last axis varies fastest.
-func Grid(axes []Axis) ([]Point, error) {
+// gridShape validates axes and returns the shared name slice and the
+// grid's total point count.
+func gridShape(axes []Axis) ([]string, int, error) {
 	if len(axes) == 0 {
-		return nil, fmt.Errorf("sweep: no axes")
+		return nil, 0, fmt.Errorf("sweep: no axes")
 	}
 	names := make([]string, len(axes))
 	total := 1
 	for i, ax := range axes {
 		if ax.Name == "" {
-			return nil, fmt.Errorf("sweep: axis %d has no name", i)
+			return nil, 0, fmt.Errorf("sweep: axis %d has no name", i)
 		}
 		if len(ax.Values) == 0 {
-			return nil, fmt.Errorf("sweep: axis %q has no values", ax.Name)
+			return nil, 0, fmt.Errorf("sweep: axis %q has no values", ax.Name)
 		}
 		for _, prev := range names[:i] {
 			if prev == ax.Name {
-				return nil, fmt.Errorf("sweep: duplicate axis %q", ax.Name)
+				return nil, 0, fmt.Errorf("sweep: duplicate axis %q", ax.Name)
 			}
 		}
 		names[i] = ax.Name
 		total *= len(ax.Values)
 	}
+	return names, total, nil
+}
+
+// pointAt synthesizes the grid point at row-major index i.
+func pointAt(axes []Axis, names []string, i int) Point {
+	vals := make([]int64, len(axes))
+	rem := i
+	for d := len(axes) - 1; d >= 0; d-- {
+		n := len(axes[d].Values)
+		vals[d] = axes[d].Values[rem%n]
+		rem /= n
+	}
+	return Point{Index: i, Names: names, Values: vals}
+}
+
+// Grid expands axes into their cartesian product in row-major order: the
+// last axis varies fastest.
+func Grid(axes []Axis) ([]Point, error) {
+	names, total, err := gridShape(axes)
+	if err != nil {
+		return nil, err
+	}
 	pts := make([]Point, total)
 	for i := range pts {
-		vals := make([]int64, len(axes))
-		rem := i
-		for d := len(axes) - 1; d >= 0; d-- {
-			n := len(axes[d].Values)
-			vals[d] = axes[d].Values[rem%n]
-			rem /= n
+		pts[i] = pointAt(axes, names, i)
+	}
+	return pts, nil
+}
+
+// GridSelect expands only the given row-major grid indices, in the given
+// order. Each point keeps its global grid index, so a subset evaluation
+// (a distributed shard's chunk) reports results a coordinator can merge
+// back into full-grid order. Out-of-range and duplicate indices are
+// rejected: a chunk must never evaluate a point twice.
+func GridSelect(axes []Axis, indices []int) ([]Point, error) {
+	names, total, err := gridShape(axes)
+	if err != nil {
+		return nil, err
+	}
+	if len(indices) == 0 {
+		return nil, fmt.Errorf("sweep: no indices selected")
+	}
+	seen := make(map[int]bool, len(indices))
+	pts := make([]Point, len(indices))
+	for k, idx := range indices {
+		if idx < 0 || idx >= total {
+			return nil, fmt.Errorf("sweep: index %d outside grid of %d points", idx, total)
 		}
-		pts[i] = Point{Index: i, Names: names, Values: vals}
+		if seen[idx] {
+			return nil, fmt.Errorf("sweep: duplicate index %d", idx)
+		}
+		seen[idx] = true
+		pts[k] = pointAt(axes, names, idx)
 	}
 	return pts, nil
 }
@@ -174,17 +216,15 @@ type Options struct {
 	// statistics over.
 	Cache *derive.Cache
 	// Progress, when non-nil, receives (completed, total) after every
-	// point finishes — successful or failed. It is invoked from the
-	// worker goroutine that finished the point, so it must be safe for
-	// concurrent calls, and concurrent deliveries may be observed out
-	// of order (a later call can carry a smaller count): consumers
-	// wanting a monotonic counter keep the max. In a per-point sweep
-	// every count 1..total is delivered exactly once, also under
-	// cancellation; a batched sweep (BatchWidth > 0) coalesces the
-	// notifications — one per finished chunk, advancing by the chunk
-	// size — but still sums to total, also under cancellation.
-	// Long-running consumers (e.g. a serving layer streaming job
-	// progress) should only forward, never block.
+	// point finishes — successful or failed. Deliveries are serialized
+	// and strictly monotonic: the counter advance and the callback run
+	// under one lock, so a later call always carries a larger count. In
+	// a per-point sweep every count 1..total is delivered exactly once,
+	// also under cancellation; a batched sweep (BatchWidth > 0)
+	// coalesces the notifications — one per finished chunk, advancing
+	// by the chunk size — but still reaches total, also under
+	// cancellation. Because the lock spans the callback, a blocking
+	// consumer stalls every worker: forward, never block.
 	Progress func(done, total int)
 	// Interpreted forces every point through the tree-walking graph
 	// interpreter instead of the compiled evaluation program; for
@@ -291,6 +331,39 @@ func Run(axes []Axis, gen Generator, opts Options) (*Result, error) {
 // the aggregate statistics cover them). In-flight points stop at their
 // engine's cancellation granularity.
 func RunContext(ctx context.Context, axes []Axis, gen Generator, opts Options) (*Result, error) {
+	pts, err := Grid(axes)
+	if err != nil {
+		return nil, err
+	}
+	return runPoints(ctx, pts, gen, opts)
+}
+
+// RunIndices evaluates only the given row-major grid indices — one
+// shard's chunk of a distributed sweep. Results come back in indices
+// order with each point's global grid Index preserved, and Progress
+// counts against len(indices). Because every point is evaluated
+// independently and batched cohorts are cut in the order given, a
+// coordinator that routes whole shape cohorts (aligned to BatchWidth)
+// reproduces the single-process sweep bit for bit, batch counts
+// included. It is RunIndicesContext with a background context.
+func RunIndices(axes []Axis, indices []int, gen Generator, opts Options) (*Result, error) {
+	return RunIndicesContext(context.Background(), axes, indices, gen, opts)
+}
+
+// RunIndicesContext is RunIndices with cancellation, under the same
+// contract as RunContext.
+func RunIndicesContext(ctx context.Context, axes []Axis, indices []int, gen Generator, opts Options) (*Result, error) {
+	pts, err := GridSelect(axes, indices)
+	if err != nil {
+		return nil, err
+	}
+	return runPoints(ctx, pts, gen, opts)
+}
+
+// runPoints is the shared evaluation core behind RunContext and
+// RunIndicesContext: resolve the engine, spin the worker pool and
+// evaluate every given point (per point or in shape-cohort batches).
+func runPoints(ctx context.Context, pts []Point, gen Generator, opts Options) (*Result, error) {
 	if gen == nil {
 		return nil, fmt.Errorf("sweep: nil generator")
 	}
@@ -311,10 +384,6 @@ func RunContext(ctx context.Context, axes []Axis, gen Generator, opts Options) (
 			return nil, fmt.Errorf("sweep: %w", err)
 		}
 	}
-	pts, err := Grid(axes)
-	if err != nil {
-		return nil, err
-	}
 	workers := opts.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -329,14 +398,27 @@ func RunContext(ctx context.Context, axes []Axis, gen Generator, opts Options) (
 
 	start := time.Now()
 	results := make([]PointResult, len(pts))
-	var completed atomic.Int64
 	// report advances the coalesced progress counter by n finished
 	// points; the per-point path always advances by one, the batched
-	// path by whole chunks.
+	// path by whole chunks. The counter and the callback are serialized
+	// under one mutex: with an atomic counter alone, two workers
+	// finishing interleaved cohort chunks could deliver their counts out
+	// of order (a later call carrying a smaller count), so the lock is
+	// what makes the delivered sequence strictly increasing.
+	var (
+		progressMu sync.Mutex
+		completed  int
+	)
 	report := func(n int) {
-		if opts.Progress != nil && n > 0 {
-			opts.Progress(int(completed.Add(int64(n))), len(pts))
+		if n <= 0 {
+			return
 		}
+		progressMu.Lock()
+		completed += n
+		if opts.Progress != nil {
+			opts.Progress(completed, len(pts))
+		}
+		progressMu.Unlock()
 	}
 	finish := func(i int, pr PointResult) {
 		results[i] = pr
@@ -517,12 +599,16 @@ func summarize(results []PointResult, cache *derive.Cache, wall time.Duration) S
 			ratios = append(ratios, pr.EventRatio)
 		}
 	}
-	st.SpeedUp = aggregate(speedups)
-	st.EventRatio = aggregate(ratios)
+	st.SpeedUp = AggregateOf(speedups)
+	st.EventRatio = AggregateOf(ratios)
 	return st
 }
 
-func aggregate(xs []float64) Aggregate {
+// AggregateOf summarizes one metric across a value sequence. Exported so
+// layers that merge partial sweeps (a distributed coordinator stitching
+// shard results back together) reproduce the sweep's exact float math —
+// the same values in the same order aggregate bit-identically.
+func AggregateOf(xs []float64) Aggregate {
 	if len(xs) == 0 {
 		return Aggregate{}
 	}
