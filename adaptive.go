@@ -20,9 +20,15 @@ type AdaptiveOptions struct {
 	Reduce bool
 	// WindowK is the number of consecutive iterations with an unchanged
 	// parameter signature required before hot-switching to the equivalent
-	// model (0: the engine default of 8). It is also the event-driven
-	// chunk length between steady-state checks.
+	// model; it is also the event-driven chunk length between steady-state
+	// checks. Zero selects the confidence-driven detector (see
+	// Confidence), which switches as early as the evidence allows.
 	WindowK int
+	// Confidence is the confidence-driven detector's steadiness
+	// threshold in (0, 1), read when WindowK is zero (0: the engine
+	// default of 0.9). The detector is policy either way — the recorded
+	// evolution is bit-exact at any setting.
+	Confidence float64
 }
 
 // AdaptivePhase is one maximal span of iterations executed in a single
@@ -71,10 +77,11 @@ func RunAdaptive(a *Architecture, opts AdaptiveOptions) (*AdaptiveResult, error)
 		trace = observe.NewTrace(a.Name + "/adaptive")
 	}
 	res, err := adaptive.Run(a, adaptive.Options{
-		Trace:  trace,
-		Limit:  sim.Time(opts.LimitNs),
-		Window: opts.WindowK,
-		Derive: derive.Options{Reduce: opts.Reduce},
+		Trace:      trace,
+		Limit:      sim.Time(opts.LimitNs),
+		Window:     opts.WindowK,
+		Confidence: opts.Confidence,
+		Derive:     derive.Options{Reduce: opts.Reduce},
 	})
 	if err != nil {
 		return nil, err

@@ -163,6 +163,14 @@ func BenchmarkHybrid(b *testing.B) {
 // The adaptive ns/op sits between them: transients are simulated
 // event-by-event, the steady plateaus (the bulk of the run) are
 // computed; the "events" metric shows the kernel work each engine pays.
+//
+// The detector sub-benchmarks compare the two steady-state policies on
+// identical streams: the historical fixed confirmation window versus
+// the confidence-driven detector, which fires as early as the evidence
+// allows. "events-to-switch" is the kernel work paid before the first
+// detailed→abstract switch — the cost of detection latency — and the
+// confidence detector's reduction of it is the point of the policy
+// (the recorded evolution is bit-exact under both).
 func BenchmarkAdaptive(b *testing.B) {
 	spec := zoo.PhasedSpec{Tokens: benchTokens, Period: 1100, Seed: 7}
 	build := func() *model.Architecture { return zoo.Phased(spec) }
@@ -172,19 +180,42 @@ func BenchmarkAdaptive(b *testing.B) {
 	b.Run("equivalent", func(b *testing.B) {
 		benchEquivalent(b, build, derive.Options{})
 	})
-	b.Run("adaptive", func(b *testing.B) {
-		b.ReportAllocs()
-		for i := 0; i < b.N; i++ {
-			res, err := adaptive.Run(build(), adaptive.Options{})
-			if err != nil {
-				b.Fatal(err)
+	for _, det := range []struct {
+		name string
+		opts adaptive.Options
+	}{
+		{"adaptive/fixed-window", adaptive.Options{Window: adaptive.DefaultWindow}},
+		{"adaptive/confidence", adaptive.Options{}},
+	} {
+		b.Run(det.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := adaptive.Run(build(), det.opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					b.ReportMetric(float64(res.Stats.Events()), "events")
+					b.ReportMetric(float64(res.Switches), "switches")
+					b.ReportMetric(eventsToFirstSwitch(res), "events-to-switch")
+				}
 			}
-			if i == 0 {
-				b.ReportMetric(float64(res.Stats.Events()), "events")
-				b.ReportMetric(float64(res.Switches), "switches")
-			}
+		})
+	}
+}
+
+// eventsToFirstSwitch sums the kernel events of the detailed phases
+// before the first abstract phase: the price of not having switched
+// yet. Runs that never switch pay for the whole stream.
+func eventsToFirstSwitch(res *adaptive.Result) float64 {
+	var events int64
+	for _, ph := range res.Phases {
+		if ph.Mode == adaptive.Abstract {
+			break
 		}
-	})
+		events += ph.Events
+	}
+	return float64(events)
 }
 
 // BenchmarkQuantum measures the loosely-timed comparator the paper's

@@ -10,7 +10,17 @@
 // full equivalent-model run — into BENCH_compute.json, tracking the
 // compiled evaluator's speed-up and the zero-alloc run path.
 //
+// A third report, BENCH_sweep.json, measures surrogate-guided sweep
+// sampling on the Table-I chain grids: how many points the sampler
+// simulates exactly, how many it predicts, and the verified maximum
+// prediction error — per chain depth at the default tolerance, and
+// per simulation budget on one grid (the accuracy-vs-budget curve).
+// Unlike wall times these numbers are deterministic, so -sweep-compare
+// guards them tightly: a build that simulates more points or predicts
+// worse than the committed baseline fails.
+//
 //	dyncomp-bench -tokens 2000 -reps 3 -o BENCH_engines.json -compute-o BENCH_compute.json
+//	dyncomp-bench -sweep-o BENCH_sweep.json -sweep-compare BENCH_sweep.json
 package main
 
 import (
@@ -29,13 +39,16 @@ import (
 	"dyncomp/internal/engine"
 	"dyncomp/internal/maxplus"
 	"dyncomp/internal/model"
+	"dyncomp/internal/sweep"
 	"dyncomp/internal/tdg"
 	"dyncomp/internal/zoo"
 
-	// Link the four executors into the registry.
+	// Link the four executors and the sweep-sampling driver into the
+	// registries.
 	_ "dyncomp/internal/adaptive"
 	_ "dyncomp/internal/baseline"
 	_ "dyncomp/internal/hybrid"
+	_ "dyncomp/internal/surrogate"
 )
 
 type engineBench struct {
@@ -90,13 +103,39 @@ type computeReport struct {
 	ModelRun runBench       `json:"model_run"`
 }
 
+// sweepBench is one sampled sweep of the accuracy-vs-budget report:
+// a Table-I chain grid evaluated with surrogate-guided sampling, with
+// every predicted point re-simulated (Verify) so max_pred_error is the
+// measured error, not the model's own bound.
+type sweepBench struct {
+	Scenario      string  `json:"scenario"`
+	Stages        int64   `json:"stages"`
+	Points        int     `json:"points"`
+	Tolerance     float64 `json:"tolerance"`
+	Budget        int     `json:"budget,omitempty"` // 0: tolerance-driven
+	Simulated     int     `json:"simulated"`
+	Predicted     int     `json:"predicted"`
+	SimulatedFrac float64 `json:"simulated_frac"`
+	MaxPredError  float64 `json:"max_pred_error"`
+	WallNs        int64   `json:"wall_ns"`
+}
+
+type sweepReport struct {
+	Axes        string       `json:"axes"` // human-readable grid description
+	Tolerance   float64      `json:"tolerance"`
+	TableI      []sweepBench `json:"table1"`       // per chain depth, tolerance-driven
+	BudgetCurve []sweepBench `json:"budget_curve"` // stages=2 grid per budget cap
+}
+
 func main() {
 	tokens := flag.Int("tokens", 2000, "didactic workload size in tokens")
 	reps := flag.Int("reps", 3, "repetitions per engine (best wall time wins)")
 	out := flag.String("o", "BENCH_engines.json", "output file (- for stdout)")
 	computeOut := flag.String("compute-o", "BENCH_compute.json", "ComputeInstant benchmark output file (- for stdout, empty to skip)")
 	steps := flag.Int("steps", 20000, "Step calls per ComputeInstant measurement")
-	compare := flag.String("compare", "", "baseline BENCH_compute.json to guard against; exits 1 if compiled ns/step regresses >10% at any size")
+	compare := flag.String("compare", "", "baseline BENCH_compute.json to guard against; exits 1 if compiled or batched ns/step regresses >10% at any size")
+	sweepOut := flag.String("sweep-o", "BENCH_sweep.json", "sampled-sweep benchmark output file (- for stdout, empty to skip)")
+	sweepCompare := flag.String("sweep-compare", "", "baseline BENCH_sweep.json to guard against; exits 1 if the sampler simulates more points or predicts worse")
 	flag.Parse()
 
 	if *reps < 1 {
@@ -150,6 +189,149 @@ func main() {
 		}
 		writeJSON(*computeOut, crep)
 	}
+	if *sweepOut != "" {
+		srep := sweepSamplingReport()
+		if *sweepCompare != "" {
+			if err := compareSweep(*sweepCompare, srep); err != nil {
+				writeJSON(*sweepOut, srep)
+				fatal(err)
+			}
+		}
+		writeJSON(*sweepOut, srep)
+	}
+}
+
+// sweepSamplingReport measures surrogate-guided sampling on the Table-I
+// chain grids: a 16-point period axis in the source-dominated regime
+// (the period exceeds every chain's aggregate compute time, so the
+// metric surface is smooth — the regime the surrogate is for; kinked
+// grids fall back to exhaustive simulation and are covered by the
+// surrogate package's tests). Verify is on everywhere: max_pred_error
+// is measured against exact re-simulation, never self-reported.
+func sweepSamplingReport() sweepReport {
+	const (
+		tolerance   = 0.01
+		sweepTokens = 250
+		gridPoints  = 16
+	)
+	axes := []sweep.Axis{
+		{Name: "period", Values: periodAxis(gridPoints)},
+		{Name: "tokens", Values: []int64{sweepTokens}},
+		{Name: "seed", Values: []int64{7}},
+	}
+	rep := sweepReport{
+		Axes:      fmt.Sprintf("period=%d:%d:40; tokens=%d; seed=7", 1100, 1100+40*(gridPoints-1), sweepTokens),
+		Tolerance: tolerance,
+	}
+	row := func(stages int64, budget int) sweepBench {
+		gen := func(p sweep.Point) (*model.Architecture, error) {
+			return zoo.DidacticChain(int(stages), zoo.DidacticSpec{
+				Tokens: int(p.Get("tokens", sweepTokens)),
+				Period: maxplus.T(p.Get("period", 1100)),
+				Seed:   p.Get("seed", 7),
+			}), nil
+		}
+		res, err := sweep.Run(axes, gen, sweep.Options{
+			Sample: sweep.SampleOptions{Tolerance: tolerance, Budget: budget, Verify: true},
+		})
+		if err != nil {
+			fatal(fmt.Errorf("sampled sweep (stages %d, budget %d): %w", stages, budget, err))
+		}
+		if res.Stats.Failed > 0 {
+			fatal(fmt.Errorf("sampled sweep (stages %d, budget %d): %d points failed", stages, budget, res.Stats.Failed))
+		}
+		st := res.Stats
+		return sweepBench{
+			Scenario:      "chain",
+			Stages:        stages,
+			Points:        st.Points,
+			Tolerance:     tolerance,
+			Budget:        budget,
+			Simulated:     st.SimulatedPoints,
+			Predicted:     st.PredictedPoints,
+			SimulatedFrac: float64(st.SimulatedPoints) / float64(st.Points),
+			MaxPredError:  st.MaxPredError,
+			WallNs:        st.Wall.Nanoseconds(),
+		}
+	}
+	for stages := int64(1); stages <= 4; stages++ {
+		rep.TableI = append(rep.TableI, row(stages, 0))
+	}
+	for _, budget := range []int{4, 6, 8, 10} {
+		rep.BudgetCurve = append(rep.BudgetCurve, row(2, budget))
+	}
+	return rep
+}
+
+// periodAxis spans the source-dominated regime of the didactic chain;
+// see sweepSamplingReport.
+func periodAxis(n int) []int64 {
+	vals := make([]int64, n)
+	for i := range vals {
+		vals[i] = int64(1100 + 40*i)
+	}
+	return vals
+}
+
+// compareSweep guards the sampler against a committed baseline. The
+// sampled-sweep numbers are deterministic (the grids are seeded and the
+// surrogate has no randomness), so the guard is tight: every
+// tolerance-driven row must keep its verified error within the
+// tolerance while simulating at most 40% of the grid, and no row may
+// simulate more points than the baseline plus one or predict worse than
+// twice the baseline error.
+func compareSweep(path string, fresh sweepReport) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("-sweep-compare: %w", err)
+	}
+	var base sweepReport
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("-sweep-compare %s: %w", path, err)
+	}
+	type key struct {
+		stages int64
+		budget int
+	}
+	baseRows := map[key]sweepBench{}
+	for _, rows := range [][]sweepBench{base.TableI, base.BudgetCurve} {
+		for _, r := range rows {
+			baseRows[key{r.Stages, r.Budget}] = r
+		}
+	}
+	var bad []string
+	check := func(r sweepBench, toleranceDriven bool) {
+		name := fmt.Sprintf("stages %d budget %d", r.Stages, r.Budget)
+		if toleranceDriven {
+			if r.MaxPredError > r.Tolerance {
+				bad = append(bad, fmt.Sprintf("%s: verified error %.4f above tolerance %.4f", name, r.MaxPredError, r.Tolerance))
+			}
+			if r.SimulatedFrac > 0.40 {
+				bad = append(bad, fmt.Sprintf("%s: simulated %.0f%% of the grid (want <= 40%%)", name, 100*r.SimulatedFrac))
+			}
+		}
+		b, ok := baseRows[key{r.Stages, r.Budget}]
+		if !ok {
+			return
+		}
+		if r.Simulated > b.Simulated+1 {
+			bad = append(bad, fmt.Sprintf("%s: simulated %d points vs baseline %d", name, r.Simulated, b.Simulated))
+		}
+		if limit := 2 * b.MaxPredError; r.MaxPredError > limit && r.MaxPredError > r.Tolerance {
+			bad = append(bad, fmt.Sprintf("%s: verified error %.4f vs baseline %.4f", name, r.MaxPredError, b.MaxPredError))
+		}
+	}
+	for _, r := range fresh.TableI {
+		check(r, true)
+	}
+	for _, r := range fresh.BudgetCurve {
+		check(r, false)
+	}
+	if len(bad) > 0 {
+		return fmt.Errorf("sampled sweep regressed against %s:\n  %s", path, strings.Join(bad, "\n  "))
+	}
+	fmt.Fprintf(os.Stderr, "dyncomp-bench: sampled sweep within bounds of %s\n", path)
+	return nil
 }
 
 // compareCompute guards the compiled ComputeInstant hot path against a
@@ -157,7 +339,8 @@ func main() {
 // the fresh numbers are first normalized by the median interpreted-step
 // ratio (fresh/baseline across sizes) — the interpreter is the
 // machine-speed yardstick — and only then compared: a normalized
-// compiled regression beyond 10% at any size fails the build.
+// compiled regression beyond 10% at any size, or a batched lane
+// regression beyond 10% at any (size, width) cell, fails the build.
 func compareCompute(path string, fresh computeReport) error {
 	raw, err := os.ReadFile(path)
 	if err != nil {
@@ -195,11 +378,31 @@ func compareCompute(path string, fresh computeReport) error {
 				cb.Nodes, cb.CompiledNs, norm, bb.CompiledNs, 100*(norm/bb.CompiledNs-1)))
 		}
 	}
+	// The batched lane table shares the same yardstick: a regression in
+	// any (size, width) cell means the amortized batched step got slower
+	// relative to the machine, not that the machine got slower.
+	type cell struct{ nodes, width int }
+	baseBatched := make(map[cell]batchBench, len(base.Batched))
+	for _, bb := range base.Batched {
+		baseBatched[cell{bb.Nodes, bb.Width}] = bb
+	}
+	for _, fb := range fresh.Batched {
+		bb, ok := baseBatched[cell{fb.Nodes, fb.Width}]
+		if !ok || bb.NsPerStepPoint <= 0 {
+			continue
+		}
+		norm := fb.NsPerStepPoint / hostScale
+		if norm > bb.NsPerStepPoint*1.10 {
+			bad = append(bad, fmt.Sprintf(
+				"%d nodes x%d lanes: batched %.1f ns/step-point (%.1f host-normalized) vs baseline %.1f (+%.0f%%)",
+				fb.Nodes, fb.Width, fb.NsPerStepPoint, norm, bb.NsPerStepPoint, 100*(norm/bb.NsPerStepPoint-1)))
+		}
+	}
 	if len(bad) > 0 {
-		return fmt.Errorf("compiled ComputeInstant regressed beyond 10%% (host scale %.2f):\n  %s",
+		return fmt.Errorf("ComputeInstant regressed beyond 10%% (host scale %.2f):\n  %s",
 			hostScale, strings.Join(bad, "\n  "))
 	}
-	fmt.Fprintf(os.Stderr, "dyncomp-bench: compiled path within 10%% of %s (host scale %.2f)\n", path, hostScale)
+	fmt.Fprintf(os.Stderr, "dyncomp-bench: compiled and batched paths within 10%% of %s (host scale %.2f)\n", path, hostScale)
 	return nil
 }
 

@@ -8,6 +8,7 @@
 //	dyncomp-sweep -scenario didactic -axes "stages=1:4:1;period=800,1200" -baseline
 //	dyncomp-sweep -scenario forkjoin -engine hybrid -axes "workers=2:6:1;tokens=1000"
 //	dyncomp-sweep -scenario lte -axes "symbols=1000,2000" -format json
+//	dyncomp-sweep -scenario chain -axes "period=1100:1700:40;tokens=250" -tolerance 0.01 -verify
 //	dyncomp-sweep -list
 //
 // -list prints the full engine × scenario matrix: every engine
@@ -20,9 +21,19 @@
 // -engine selects the per-point executor by registered name (default
 // equivalent). The hybrid engine abstracts the scenario's canonical
 // function group, or the -group override ("F3,F4"); -window tunes the
-// adaptive engine's steady-state confirmation window. -format selects
-// table (default), csv or json; -baseline pairs every point with an
-// event-driven reference run and reports event ratios and speed-ups.
+// adaptive engine's steady-state confirmation window and -confidence
+// its confidence-driven detector (used when -window is 0). -format
+// selects table (default), csv or json; -baseline pairs every point
+// with an event-driven reference run and reports event ratios and
+// speed-ups.
+//
+// -tolerance enables surrogate-guided sampling: the sweep simulates a
+// seed subset of the grid exactly, fits an analytical model per metric,
+// and predicts the remaining points once the model's cross-validated
+// error is within the tolerance. Predicted rows are flagged in every
+// output format. -sample caps the number of exact simulations; -verify
+// re-simulates every predicted point afterwards and reports the maximum
+// observed prediction error.
 package main
 
 import (
@@ -39,8 +50,10 @@ import (
 	"dyncomp/internal/sweep"
 	"dyncomp/internal/zoo"
 
-	// The LTE case study registers its scenario in init.
+	// The LTE case study registers its scenario in init; the surrogate
+	// package registers the sampling driver behind -tolerance.
 	_ "dyncomp/internal/lte"
+	_ "dyncomp/internal/surrogate"
 )
 
 func main() {
@@ -50,7 +63,11 @@ func main() {
 	batch := flag.Int("batch", 0, "batched-evaluation lane width for same-shape points (0: per-point)")
 	engName := flag.String("engine", sweep.DefaultEngine, "per-point executor: "+strings.Join(engine.Names(), "|"))
 	group := flag.String("group", "", `functions the hybrid engine abstracts, comma-separated (default: the scenario's canonical group)`)
-	window := flag.Int("window", 0, "adaptive steady-state window in iterations (0: engine default)")
+	window := flag.Int("window", 0, "adaptive steady-state window in iterations (0: confidence-driven detector)")
+	confidence := flag.Float64("confidence", 0, "adaptive detector confidence threshold in (0,1) (0: engine default)")
+	tolerance := flag.Float64("tolerance", 0, "relative prediction tolerance enabling surrogate-guided sampling (0: simulate every point)")
+	sample := flag.Int("sample", 0, "cap on exact simulations when sampling (0: no cap)")
+	verify := flag.Bool("verify", false, "re-simulate predicted points and report the observed error")
 	baseline := flag.Bool("baseline", false, "pair every point with a reference-executor run")
 	reduce := flag.Bool("reduce", false, "prune value-redundant arcs from derived graphs")
 	limit := flag.Int64("limit", 0, "simulated-time bound per point in ns (0: to completion)")
@@ -80,12 +97,25 @@ func main() {
 		fatal(err)
 	}
 
+	if *tolerance < 0 {
+		fatal(fmt.Errorf("-tolerance must be >= 0, got %g", *tolerance))
+	}
+	if (*sample > 0 || *verify) && *tolerance == 0 {
+		fatal(fmt.Errorf("-sample and -verify require -tolerance > 0"))
+	}
+
 	opts := sweep.Options{
 		Workers:    *workers,
 		Engine:     *engName,
 		Baseline:   *baseline,
 		Window:     *window,
+		Confidence: *confidence,
 		BatchWidth: *batch,
+		Sample: sweep.SampleOptions{
+			Tolerance: *tolerance,
+			Budget:    *sample,
+			Verify:    *verify,
+		},
 	}
 	if *engName == "hybrid" {
 		if *group != "" {
@@ -108,11 +138,12 @@ func main() {
 	}
 
 	adaptiveEngine := *engName == "adaptive"
+	sampled := opts.Sample.Enabled()
 	switch *format {
 	case "table":
-		err = writeTable(os.Stdout, res, *baseline, adaptiveEngine)
+		err = writeTable(os.Stdout, res, *baseline, adaptiveEngine, sampled)
 	case "csv":
-		err = writeCSV(os.Stdout, res, *baseline, adaptiveEngine)
+		err = writeCSV(os.Stdout, res, *baseline, adaptiveEngine, sampled)
 	case "json":
 		err = writeJSON(os.Stdout, res)
 	default:
@@ -229,7 +260,7 @@ func parseItem(item string) ([]int64, error) {
 	return vals, nil
 }
 
-func writeTable(w *os.File, res *sweep.Result, baseline, adaptive bool) error {
+func writeTable(w *os.File, res *sweep.Result, baseline, adaptive, sampled bool) error {
 	if len(res.Points) == 0 {
 		return nil
 	}
@@ -242,6 +273,9 @@ func writeTable(w *os.File, res *sweep.Result, baseline, adaptive bool) error {
 	}
 	if baseline {
 		fmt.Fprintf(w, " %12s %10s", "event ratio", "speed-up")
+	}
+	if sampled {
+		fmt.Fprintf(w, " %-9s %10s", "source", "pred err")
 	}
 	fmt.Fprintln(w)
 	for _, pr := range res.Points {
@@ -260,11 +294,29 @@ func writeTable(w *os.File, res *sweep.Result, baseline, adaptive bool) error {
 		if baseline {
 			fmt.Fprintf(w, " %12.2f %10.2f", pr.EventRatio, pr.SpeedUp)
 		}
+		if sampled {
+			// Observed error when -verify measured one, declared bound
+			// otherwise; simulated rows carry no error at all.
+			switch pr.Source {
+			case sweep.SourcePredicted:
+				e := pr.PredBound
+				if pr.PredObserved > 0 {
+					e = pr.PredObserved
+				}
+				fmt.Fprintf(w, " %-9s %10.4f", pr.Source, e)
+			default:
+				fmt.Fprintf(w, " %-9s %10s", pr.Source, "-")
+			}
+		}
 		fmt.Fprintln(w)
 	}
 	st := res.Stats
 	fmt.Fprintf(w, "\n%d points, %d shapes, %d derivations, %d cache hits, %s total\n",
 		st.Points, st.Shapes, st.DeriveCalls, st.CacheHits, st.Wall)
+	if sampled {
+		fmt.Fprintf(w, "sampled     %d simulated, %d predicted, max prediction error %.4f\n",
+			st.SimulatedPoints, st.PredictedPoints, st.MaxPredError)
+	}
 	if baseline && st.SpeedUp.N > 0 {
 		fmt.Fprintf(w, "speed-up    min %.2f  max %.2f  mean %.2f  geomean %.2f\n",
 			st.SpeedUp.Min, st.SpeedUp.Max, st.SpeedUp.Mean, st.SpeedUp.Geomean)
@@ -274,7 +326,7 @@ func writeTable(w *os.File, res *sweep.Result, baseline, adaptive bool) error {
 	return nil
 }
 
-func writeCSV(w *os.File, res *sweep.Result, baseline, adaptive bool) error {
+func writeCSV(w *os.File, res *sweep.Result, baseline, adaptive, sampled bool) error {
 	if len(res.Points) == 0 {
 		return nil
 	}
@@ -285,6 +337,9 @@ func writeCSV(w *os.File, res *sweep.Result, baseline, adaptive bool) error {
 	}
 	if baseline {
 		cols = append(cols, "baseline_activations", "baseline_wall_ns", "event_ratio", "speed_up")
+	}
+	if sampled {
+		cols = append(cols, "source", "pred_bound", "pred_observed")
 	}
 	fmt.Fprintln(w, strings.Join(cols, ","))
 	for _, pr := range res.Points {
@@ -311,23 +366,31 @@ func writeCSV(w *os.File, res *sweep.Result, baseline, adaptive bool) error {
 				fmt.Sprintf("%.4f", pr.EventRatio),
 				fmt.Sprintf("%.4f", pr.SpeedUp))
 		}
+		if sampled {
+			row = append(row, pr.Source,
+				fmt.Sprintf("%.6f", pr.PredBound),
+				fmt.Sprintf("%.6f", pr.PredObserved))
+		}
 		fmt.Fprintln(w, strings.Join(row, ","))
 	}
 	return nil
 }
 
 type jsonPoint struct {
-	Params      map[string]int64 `json:"params"`
-	Activations int64            `json:"activations"`
-	Events      int64            `json:"events"`
-	FinalTimeNs int64            `json:"final_time_ns"`
-	GraphNodes  int              `json:"graph_nodes"`
-	WallNs      int64            `json:"wall_ns"`
-	Switches    int              `json:"switches,omitempty"`
-	Fallbacks   int              `json:"fallbacks,omitempty"`
-	EventRatio  float64          `json:"event_ratio,omitempty"`
-	SpeedUp     float64          `json:"speed_up,omitempty"`
-	Error       string           `json:"error,omitempty"`
+	Params       map[string]int64 `json:"params"`
+	Activations  int64            `json:"activations"`
+	Events       int64            `json:"events"`
+	FinalTimeNs  int64            `json:"final_time_ns"`
+	GraphNodes   int              `json:"graph_nodes"`
+	WallNs       int64            `json:"wall_ns"`
+	Switches     int              `json:"switches,omitempty"`
+	Fallbacks    int              `json:"fallbacks,omitempty"`
+	EventRatio   float64          `json:"event_ratio,omitempty"`
+	SpeedUp      float64          `json:"speed_up,omitempty"`
+	Source       string           `json:"source,omitempty"`
+	PredBound    float64          `json:"pred_bound,omitempty"`
+	PredObserved float64          `json:"pred_observed,omitempty"`
+	Error        string           `json:"error,omitempty"`
 }
 
 func writeJSON(w *os.File, res *sweep.Result) error {
@@ -352,6 +415,9 @@ func writeJSON(w *os.File, res *sweep.Result) error {
 			jp.Fallbacks = pr.Run.Fallbacks
 			jp.EventRatio = pr.EventRatio
 			jp.SpeedUp = pr.SpeedUp
+			jp.Source = pr.Source
+			jp.PredBound = pr.PredBound
+			jp.PredObserved = pr.PredObserved
 		}
 		out.Points = append(out.Points, jp)
 	}

@@ -5,8 +5,11 @@
 // A run starts event-by-event on the discrete-event kernel (the detailed
 // mode) and watches the evolution for a confirmed steady state: an
 // unchanged parameter signature — every data-dependent execution duration
-// and every source-schedule increment — over a configurable window of
-// iterations. Once confirmed, the steady region is hot-switched to the
+// and every source-schedule increment — confirmed by an online detector,
+// either a fixed window of iterations (Options.Window) or, by default,
+// a confidence-driven estimator that fires as early as the evidence
+// allows (see detector.go). Once confirmed, the steady region is
+// hot-switched to the
 // equivalent (max,+) model: a temporal-dependency-graph evaluator is
 // seeded with the live simulation state (the recorded instant history
 // supplies the graph's initial conditions) and computes all further
@@ -48,8 +51,10 @@ import (
 	"dyncomp/internal/tdg"
 )
 
-// DefaultWindow is the steady-state confirmation window (and detailed
-// chunk length) used when Options.Window is zero.
+// DefaultWindow is the historical fixed-window width: the confirmation
+// window (and detailed chunk length) of the original detector. Pass it
+// as Options.Window to reproduce the pre-confidence behavior exactly;
+// a zero Window now selects the confidence-driven detector.
 const DefaultWindow = 8
 
 // Mode identifies the engine executing a span of iterations.
@@ -85,11 +90,19 @@ type Options struct {
 	// engine truncates at iteration granularity: the run stops after the
 	// first iteration whose instants exceed the limit.
 	Limit sim.Time
-	// Window is the number of consecutive iterations with an identical
-	// parameter signature required before switching to the abstract
-	// engine; it is also the detailed chunk length between steady-state
-	// checks. Zero means DefaultWindow.
+	// Window, when positive, selects the fixed-window detector: the
+	// number of consecutive iterations with an identical parameter
+	// signature required before switching to the abstract engine, which
+	// is also the detailed chunk length between steady-state checks.
+	// Zero selects the confidence-driven detector (see Confidence),
+	// which fires as early as the evidence allows.
 	Window int
+	// Confidence is the confidence-driven detector's posterior
+	// steadiness threshold in (0, 1), read when Window is zero. Zero
+	// means DefaultConfidence. Higher thresholds demand more evidence
+	// before switching; the detector is a policy either way — the
+	// recorded evolution is bit-exact at any setting.
+	Confidence float64
 	// Derive sets the derivation options (arc reduction, pad nodes) for
 	// every graph the run obtains through the cache.
 	Derive derive.Options
@@ -145,6 +158,9 @@ type Result struct {
 	// DetailedIters and AbstractIters count iterations per mode.
 	DetailedIters int
 	AbstractIters int
+	// Detector describes the steady-state detection policy that drove
+	// the run ("fixed:8", "confidence:0.90").
+	Detector string
 	// Phases lists the mode spans in execution order.
 	Phases []Phase
 }
@@ -156,10 +172,7 @@ func Run(a *model.Architecture, opts Options) (*Result, error) {
 	if err := a.Validate(); err != nil {
 		return nil, err
 	}
-	w := opts.Window
-	if w <= 0 {
-		w = DefaultWindow
-	}
+	det := newDetector(opts.Window, opts.Confidence)
 	cache := opts.Cache
 	if cache == nil {
 		cache = derive.NewCache()
@@ -186,21 +199,21 @@ func Run(a *model.Architecture, opts Options) (*Result, error) {
 	}
 
 	r := &runner{
-		arch:   a,
-		opts:   opts,
-		window: w,
-		cache:  cache,
-		dopts:  dopts,
-		dres:   dres,
-		rec:    rec,
-		n:      n,
-		execs:  execs,
+		arch:  a,
+		opts:  opts,
+		det:   det,
+		cache: cache,
+		dopts: dopts,
+		dres:  dres,
+		rec:   rec,
+		n:     n,
+		execs: execs,
 	}
 	if err := r.buildFloorPoints(); err != nil {
 		return nil, err
 	}
 
-	res := &Result{Trace: opts.Trace, GraphNodes: dres.Graph.NodeCountWithDelays()}
+	res := &Result{Trace: opts.Trace, GraphNodes: dres.Graph.NodeCountWithDelays(), Detector: det.String()}
 	// phaseDone runs at every phase boundary: report progress, honor
 	// cancellation. The kernel itself is uninterruptible, so a cancelled
 	// context aborts between phases, never inside one.
@@ -215,15 +228,17 @@ func Run(a *model.Architecture, opts Options) (*Result, error) {
 	}
 	k := 0
 	for k < n && !r.truncated {
-		// Detailed: event-by-event chunks until a steady state is
-		// confirmed over the trailing window and still holds for the
-		// next iteration (the same signature check the abstract engine
-		// performs before every computed iteration).
+		// Detailed: event-by-event chunks until the detector confirms a
+		// steady state that still holds for the next iteration (the same
+		// signature check the abstract engine performs before every
+		// computed iteration). The chunk length between checks is the
+		// detector's own estimate of the earliest possible confirmation.
 		ph := Phase{Mode: Detailed, StartK: k}
 		start := time.Now()
 		before := r.total
 		for k < n && !r.truncated {
-			k1 := k + w
+			r.advanceDetector(k)
+			k1 := k + r.det.nextCheck()
 			if k1 > n {
 				k1 = n
 			}
@@ -295,17 +310,18 @@ func iterations(a *model.Architecture) (int, error) {
 
 // runner is the state of one adaptive run.
 type runner struct {
-	arch   *model.Architecture
-	opts   Options
-	window int
-	cache  *derive.Cache
-	dopts  derive.Options
-	dres   *derive.Result
-	rec    *observe.Trace
-	n      int
+	arch  *model.Architecture
+	opts  Options
+	det   detector
+	cache *derive.Cache
+	dopts derive.Options
+	dres  *derive.Result
+	rec   *observe.Trace
+	n     int
 
 	execs    []*model.ExecInfo // controller-owned, for parameter signatures
 	sigs     [][]maxplus.T     // memoized signatures by iteration
+	sigIdx   int               // last signature index fed to the detector
 	floorPts []floorPoint
 
 	total     sim.Stats
@@ -351,20 +367,32 @@ func sigsEqual(a, b []maxplus.T) bool {
 	return true
 }
 
+// advanceDetector feeds the detector every signature transition up to
+// and including (k-1, k), exactly once each: sigIdx tracks the last
+// signature incorporated, so interleaved detailed chunks, steady-state
+// checks and abstract fallbacks all observe one contiguous stream.
+// Signatures are analytic (pure functions of the model), so the stream
+// can run ahead of the simulated iterations — that final transition is
+// the one-step lookahead keeping a switch from falling straight back.
+func (r *runner) advanceDetector(k int) {
+	for r.sigIdx < k {
+		r.sigIdx++
+		r.det.observe(sigsEqual(r.sigAt(r.sigIdx-1), r.sigAt(r.sigIdx)))
+	}
+}
+
 // switchable reports whether the run may switch to the abstract engine
-// at iteration k: the trailing window is steady and iteration k itself
-// still matches (otherwise the switch would fall straight back).
+// at iteration k: the detector confirms steadiness over the transition
+// stream ending at sig(k) — which includes the lookahead match of
+// iteration k itself (otherwise the switch would fall straight back).
+// With the fixed-window detector this is bit-identical to the original
+// trailing-window check.
 func (r *runner) switchable(k int) bool {
-	if k < r.window || k >= r.n {
+	if k < 1 || k >= r.n {
 		return false
 	}
-	ref := r.sigAt(k - 1)
-	for j := k - r.window; j < k-1; j++ {
-		if !sigsEqual(r.sigAt(j), ref) {
-			return false
-		}
-	}
-	return sigsEqual(r.sigAt(k), ref)
+	r.advanceDetector(k)
+	return r.det.confirmed()
 }
 
 // hist returns the recorded instant of a graph node at iteration k, or ε

@@ -31,6 +31,7 @@ func (adEngine) Run(ctx context.Context, a *model.Architecture, opts engine.Opti
 		Trace:       trace,
 		Limit:       sim.Time(opts.LimitNs),
 		Window:      opts.WindowK,
+		Confidence:  opts.Confidence,
 		Derive:      opts.Derive,
 		Cache:       opts.Cache,
 		IterLimit:   opts.IterLimit,

@@ -47,8 +47,13 @@ type Options struct {
 	// [0, IterLimit): every source stops after token IterLimit-1.
 	IterLimit int
 	// WindowK is the adaptive engine's steady-state confirmation window
-	// (0: the engine default); ignored by the other engines.
+	// (0: the engine default, the confidence-driven detector); ignored
+	// by the other engines.
 	WindowK int
+	// Confidence is the adaptive engine's confidence-driven detector
+	// threshold, read when WindowK is zero (0: the engine default);
+	// ignored by the other engines.
+	Confidence float64
 	// AbstractGroup names the functions the hybrid engine abstracts into
 	// an equivalent model; the hybrid engine fails without it, the other
 	// engines ignore it.

@@ -65,6 +65,14 @@ func (s *Server) handleChunkRun(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, CodeInvalidIndices, "no indices")
 		return
 	}
+	if plan.Opts.Sample.Enabled() {
+		// A chunk sees only its shard of the grid; the surrogate needs the
+		// whole grid to choose what to simulate. Sampled sweeps stay
+		// single-process.
+		writeError(w, http.StatusBadRequest, CodeInvalidSample,
+			"options.sample_tolerance is not supported on chunk evaluation")
+		return
+	}
 
 	opts := plan.Opts
 	opts.Cache = s.cache

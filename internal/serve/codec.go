@@ -31,8 +31,12 @@ type RunOptions struct {
 	LimitNs int64 `json:"limit_ns,omitempty"`
 	// IterLimit bounds the evolution to iterations [0, IterLimit).
 	IterLimit int `json:"iter_limit,omitempty"`
-	// WindowK is the adaptive engine's steady-state confirmation window.
+	// WindowK is the adaptive engine's fixed steady-state confirmation
+	// window; 0 selects its confidence-driven detector.
 	WindowK int `json:"window_k,omitempty"`
+	// Confidence is the adaptive engine's confidence-detector threshold,
+	// read when WindowK is 0 (0: the engine default).
+	Confidence float64 `json:"confidence,omitempty"`
 	// Group names the functions the hybrid engine abstracts; empty
 	// selects the scenario's canonical group.
 	Group []string `json:"group,omitempty"`
@@ -92,12 +96,13 @@ type Axis struct {
 type SweepOptions struct {
 	// Workers is the per-job worker-pool size (0: the server default).
 	Workers int `json:"workers,omitempty"`
-	// WindowK, Group, Reduce and LimitNs are the per-point engine
-	// options, as in RunOptions.
-	WindowK int      `json:"window_k,omitempty"`
-	Group   []string `json:"group,omitempty"`
-	Reduce  bool     `json:"reduce,omitempty"`
-	LimitNs int64    `json:"limit_ns,omitempty"`
+	// WindowK, Confidence, Group, Reduce and LimitNs are the per-point
+	// engine options, as in RunOptions.
+	WindowK    int      `json:"window_k,omitempty"`
+	Confidence float64  `json:"confidence,omitempty"`
+	Group      []string `json:"group,omitempty"`
+	Reduce     bool     `json:"reduce,omitempty"`
+	LimitNs    int64    `json:"limit_ns,omitempty"`
 	// Baseline pairs every point with a reference-executor run and
 	// fills the per-point event ratio and speed-up.
 	Baseline bool `json:"baseline,omitempty"`
@@ -106,6 +111,19 @@ type SweepOptions struct {
 	// capability fall back per point). 0 selects the server default;
 	// negative is rejected.
 	BatchWidth int `json:"batch_width,omitempty"`
+	// SampleTolerance, when positive, enables surrogate-guided sampling:
+	// only an actively chosen subset of the grid is simulated exactly
+	// and the rest is predicted within this relative tolerance, flagged
+	// per point. Negative is rejected; distributed chunk evaluation
+	// (POST /v1/chunks) rejects sampling outright.
+	SampleTolerance float64 `json:"sample_tolerance,omitempty"`
+	// SampleBudget caps the exactly simulated points of a sampled sweep
+	// (0: no cap; negative rejected).
+	SampleBudget int `json:"sample_budget,omitempty"`
+	// SampleVerify re-simulates every predicted point after convergence,
+	// replaces the predictions with the exact metrics and reports the
+	// observed error per point and in the stats.
+	SampleVerify bool `json:"sample_verify,omitempty"`
 }
 
 // SweepRequest is the body of POST /v1/sweeps: an asynchronous grid
@@ -147,17 +165,23 @@ type Aggregate struct {
 
 // SweepStats is the wire form of sweep.Stats.
 type SweepStats struct {
-	Points         int        `json:"points"`
-	Failed         int        `json:"failed"`
-	Shapes         int        `json:"shapes"`
-	DeriveCalls    int64      `json:"derive_calls"`
-	CacheHits      int64      `json:"cache_hits"`
-	WallNs         int64      `json:"wall_ns"`
-	Batches        int        `json:"batches,omitempty"`
-	BatchedPoints  int        `json:"batched_points,omitempty"`
-	BatchOccupancy float64    `json:"batch_occupancy,omitempty"`
-	SpeedUp        *Aggregate `json:"speed_up,omitempty"`
-	EventRatio     *Aggregate `json:"event_ratio,omitempty"`
+	Points         int     `json:"points"`
+	Failed         int     `json:"failed"`
+	Shapes         int     `json:"shapes"`
+	DeriveCalls    int64   `json:"derive_calls"`
+	CacheHits      int64   `json:"cache_hits"`
+	WallNs         int64   `json:"wall_ns"`
+	Batches        int     `json:"batches,omitempty"`
+	BatchedPoints  int     `json:"batched_points,omitempty"`
+	BatchOccupancy float64 `json:"batch_occupancy,omitempty"`
+	// SimulatedPoints / PredictedPoints split a sampled sweep's grid;
+	// MaxPredError is the worst prediction error bound — or, under
+	// sample_verify, the worst observed error.
+	SimulatedPoints int        `json:"simulated_points,omitempty"`
+	PredictedPoints int        `json:"predicted_points,omitempty"`
+	MaxPredError    float64    `json:"max_pred_error,omitempty"`
+	SpeedUp         *Aggregate `json:"speed_up,omitempty"`
+	EventRatio      *Aggregate `json:"event_ratio,omitempty"`
 }
 
 // SweepPoint is the wire form of one evaluated grid point.
@@ -166,7 +190,14 @@ type SweepPoint struct {
 	Result     *EngineResult    `json:"result,omitempty"`
 	EventRatio float64          `json:"event_ratio,omitempty"`
 	SpeedUp    float64          `json:"speed_up,omitempty"`
-	Error      string           `json:"error,omitempty"`
+	// Source flags how a sampled sweep obtained this point ("simulated"
+	// or "predicted"); empty in exhaustive sweeps. PredBound is the
+	// surrogate's relative error bound on a predicted point,
+	// PredObserved the observed error under sample_verify.
+	Source       string  `json:"source,omitempty"`
+	PredBound    float64 `json:"pred_bound,omitempty"`
+	PredObserved float64 `json:"pred_observed,omitempty"`
+	Error        string  `json:"error,omitempty"`
 }
 
 // JobResult is the body of GET /v1/sweeps/{id}: the job plus — once the
@@ -197,6 +228,7 @@ const (
 	CodeUnknownScenario = "unknown_scenario"
 	CodeUnknownParam    = "unknown_param"
 	CodeInvalidAxes     = "invalid_axes"
+	CodeInvalidSample   = "invalid_sample"
 	CodeInvalidIndices  = "invalid_indices"
 	CodeGridTooLarge    = "grid_too_large"
 	CodeMissingGroup    = "missing_group"
@@ -214,6 +246,7 @@ func (o RunOptions) engineOptions(group []string) engine.Options {
 		LimitNs:       o.LimitNs,
 		IterLimit:     o.IterLimit,
 		WindowK:       o.WindowK,
+		Confidence:    o.Confidence,
 		AbstractGroup: group,
 	}
 	opts.Derive.Reduce = o.Reduce
@@ -269,6 +302,10 @@ func statsJSON(st sweep.Stats) *SweepStats {
 		Batches:        st.Batches,
 		BatchedPoints:  st.BatchedPoints,
 		BatchOccupancy: st.BatchOccupancy,
+
+		SimulatedPoints: st.SimulatedPoints,
+		PredictedPoints: st.PredictedPoints,
+		MaxPredError:    st.MaxPredError,
 	}
 	if st.SpeedUp.N > 0 {
 		out.SpeedUp = aggregateJSON(st.SpeedUp)
@@ -305,6 +342,9 @@ func pointJSON(pr sweep.PointResult) SweepPoint {
 	}
 	sp.EventRatio = pr.EventRatio
 	sp.SpeedUp = pr.SpeedUp
+	sp.Source = pr.Source
+	sp.PredBound = pr.PredBound
+	sp.PredObserved = pr.PredObserved
 	return sp
 }
 

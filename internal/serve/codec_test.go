@@ -50,8 +50,8 @@ func TestWireTypesRoundTrip(t *testing.T) {
 			},
 			Params: map[string]int64{"period": 600},
 			Options: SweepOptions{
-				Workers: 4, WindowK: 16, Reduce: true, LimitNs: 7, Baseline: true,
-				BatchWidth: 8,
+				Workers: 4, WindowK: 16, Confidence: 0.95, Reduce: true, LimitNs: 7, Baseline: true,
+				BatchWidth: 8, SampleTolerance: 0.01, SampleBudget: 40, SampleVerify: true,
 			},
 		}},
 		{"job", &Job{
@@ -66,10 +66,13 @@ func TestWireTypesRoundTrip(t *testing.T) {
 			Stats: &SweepStats{
 				Points: 2, Shapes: 1, DeriveCalls: 1, CacheHits: 1, WallNs: 9,
 				Batches: 1, BatchedPoints: 2, BatchOccupancy: 0.5,
+				SimulatedPoints: 1, PredictedPoints: 1, MaxPredError: 0.004,
 				SpeedUp: &Aggregate{N: 2, Min: 1, Max: 3, Mean: 2, Geomean: 1.7},
 			},
 			Points: []SweepPoint{
-				{Params: map[string]int64{"symbols": 1000}, Result: &EngineResult{FinalTimeNs: 5}, SpeedUp: 2.5},
+				{Params: map[string]int64{"symbols": 1000}, Result: &EngineResult{FinalTimeNs: 5}, SpeedUp: 2.5, Source: "simulated"},
+				{Params: map[string]int64{"symbols": 1500}, Result: &EngineResult{FinalTimeNs: 6},
+					Source: "predicted", PredBound: 0.008, PredObserved: 0.004},
 				{Params: map[string]int64{"symbols": 2000}, Error: "boom"},
 			},
 		}},
@@ -129,6 +132,34 @@ func TestWireFieldNames(t *testing.T) {
 	}
 }
 
+// The sampling knobs and result flags are part of the published schema
+// too; pin their exact field names.
+func TestSampleWireFieldNames(t *testing.T) {
+	checkKeys := func(v any, keys ...string) {
+		t.Helper()
+		b, err := json.Marshal(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var m map[string]any
+		if err := json.Unmarshal(b, &m); err != nil {
+			t.Fatal(err)
+		}
+		for _, key := range keys {
+			if _, ok := m[key]; !ok {
+				t.Errorf("field %q missing in %s", key, b)
+			}
+		}
+	}
+	checkKeys(SweepOptions{Confidence: 0.9, SampleTolerance: 0.01, SampleBudget: 4, SampleVerify: true},
+		"confidence", "sample_tolerance", "sample_budget", "sample_verify")
+	checkKeys(SweepStats{SimulatedPoints: 1, PredictedPoints: 2, MaxPredError: 0.5},
+		"simulated_points", "predicted_points", "max_pred_error")
+	checkKeys(SweepPoint{Source: "predicted", PredBound: 0.1, PredObserved: 0.05},
+		"source", "pred_bound", "pred_observed")
+	checkKeys(RunOptions{Confidence: 0.9}, "confidence")
+}
+
 // resultJSON and pointJSON must carry every engine-result field onto
 // the wire.
 func TestResultConversions(t *testing.T) {
@@ -170,6 +201,14 @@ func TestResultConversions(t *testing.T) {
 	if sp.EventRatio != 1.5 || sp.SpeedUp != 2.5 {
 		t.Fatalf("ratios %+v", sp)
 	}
+
+	pr.Source = sweep.SourcePredicted
+	pr.PredBound = 0.01
+	pr.PredObserved = 0.002
+	sp = pointJSON(pr)
+	if sp.Source != "predicted" || sp.PredBound != 0.01 || sp.PredObserved != 0.002 {
+		t.Fatalf("sampling fields lost: %+v", sp)
+	}
 }
 
 // statsJSON maps sweep statistics onto the wire, omitting aggregates of
@@ -179,6 +218,7 @@ func TestStatsConversion(t *testing.T) {
 		Points: 6, Failed: 1, Shapes: 2, DeriveCalls: 2, CacheHits: 4,
 		Wall:    42 * time.Nanosecond,
 		Batches: 2, BatchedPoints: 5, BatchOccupancy: 0.625,
+		SimulatedPoints: 4, PredictedPoints: 2, MaxPredError: 0.003,
 	}
 	got := statsJSON(st)
 	if got.Points != 6 || got.Failed != 1 || got.Shapes != 2 ||
@@ -187,6 +227,9 @@ func TestStatsConversion(t *testing.T) {
 	}
 	if got.Batches != 2 || got.BatchedPoints != 5 || got.BatchOccupancy != 0.625 {
 		t.Fatalf("batch stats lost: %+v", got)
+	}
+	if got.SimulatedPoints != 4 || got.PredictedPoints != 2 || got.MaxPredError != 0.003 {
+		t.Fatalf("sampling stats lost: %+v", got)
 	}
 	if got.SpeedUp != nil || got.EventRatio != nil {
 		t.Fatal("aggregates present without baseline")

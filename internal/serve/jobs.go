@@ -382,6 +382,22 @@ func (s *Server) runJob(j *job) {
 		s.sweepBatchPoints.Add(int64(res.Stats.BatchedPoints))
 		s.sweepBatchLanes.Add(int64(res.Stats.Batches * opts.BatchWidth))
 	}
+	if res != nil && res.Stats.SimulatedPoints+res.Stats.PredictedPoints > 0 {
+		s.sweepSimulated.Add(int64(res.Stats.SimulatedPoints))
+		s.sweepPredicted.Add(int64(res.Stats.PredictedPoints))
+		for _, pr := range res.Points {
+			if pr.Source != sweep.SourcePredicted {
+				continue
+			}
+			// The observed error when sample_verify measured one, the
+			// declared bound otherwise.
+			e := pr.PredBound
+			if opts.Sample.Verify {
+				e = pr.PredObserved
+			}
+			s.predErrors.observe(e)
+		}
+	}
 
 	j.mu.Lock()
 	j.res = res

@@ -2,8 +2,10 @@ package serve
 
 import (
 	"fmt"
+	"io"
 	"net/http"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -63,6 +65,54 @@ const (
 	metricJobs     = "dyncomp_serve_jobs_total"
 	metricChunks   = "dyncomp_serve_chunks_total"
 )
+
+// predErrBuckets are the upper bounds of the prediction-error histogram
+// (relative error; +Inf is implicit). The grid is log-spaced around the
+// tolerances users actually request (0.1%–10%).
+var predErrBuckets = []float64{0.0001, 0.0005, 0.001, 0.005, 0.01, 0.05, 0.1}
+
+// errHist is a minimal fixed-bucket Prometheus histogram for the
+// per-point prediction errors of sampled sweeps.
+type errHist struct {
+	mu     sync.Mutex
+	counts []int64 // per bucket; last is +Inf
+	sum    float64
+	n      int64
+}
+
+func (h *errHist) observe(v float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.counts == nil {
+		h.counts = make([]int64, len(predErrBuckets)+1)
+	}
+	i := 0
+	for i < len(predErrBuckets) && v > predErrBuckets[i] {
+		i++
+	}
+	h.counts[i]++
+	h.sum += v
+	h.n++
+}
+
+// write renders the histogram in the Prometheus text format with
+// cumulative bucket counts.
+func (h *errHist) write(w io.Writer, name string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.counts == nil {
+		h.counts = make([]int64, len(predErrBuckets)+1)
+	}
+	cum := int64(0)
+	for i, ub := range predErrBuckets {
+		cum += h.counts[i]
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, strconv.FormatFloat(ub, 'g', -1, 64), cum)
+	}
+	cum += h.counts[len(predErrBuckets)]
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+	fmt.Fprintf(w, "%s_sum %g\n", name, h.sum)
+	fmt.Fprintf(w, "%s_count %d\n", name, h.n)
+}
 
 // handleMetrics serves GET /metrics in the Prometheus text exposition
 // format: the accumulated counters plus scrape-time gauges for the
@@ -129,6 +179,16 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "# HELP dyncomp_serve_sweep_batch_occupancy Mean lane utilization of batched sweep evaluations (points / capacity).\n")
 	fmt.Fprintf(w, "# TYPE dyncomp_serve_sweep_batch_occupancy gauge\n")
 	fmt.Fprintf(w, "dyncomp_serve_sweep_batch_occupancy %.4f\n", occupancy)
+
+	fmt.Fprintf(w, "# HELP dyncomp_serve_sweep_simulated_points_total Sampled-sweep grid points evaluated exactly.\n")
+	fmt.Fprintf(w, "# TYPE dyncomp_serve_sweep_simulated_points_total counter\n")
+	fmt.Fprintf(w, "dyncomp_serve_sweep_simulated_points_total %d\n", s.sweepSimulated.Load())
+	fmt.Fprintf(w, "# HELP dyncomp_serve_sweep_predicted_points_total Sampled-sweep grid points filled in by the surrogate model.\n")
+	fmt.Fprintf(w, "# TYPE dyncomp_serve_sweep_predicted_points_total counter\n")
+	fmt.Fprintf(w, "dyncomp_serve_sweep_predicted_points_total %d\n", s.sweepPredicted.Load())
+	fmt.Fprintf(w, "# HELP dyncomp_serve_sweep_pred_error Relative prediction error per predicted point (observed under sample_verify, declared bound otherwise).\n")
+	fmt.Fprintf(w, "# TYPE dyncomp_serve_sweep_pred_error histogram\n")
+	s.predErrors.write(w, "dyncomp_serve_sweep_pred_error")
 
 	queued, running := s.jobs.active()
 	fmt.Fprintf(w, "# HELP dyncomp_serve_jobs_queued Sweep jobs waiting for a worker.\n")

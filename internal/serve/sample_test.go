@@ -1,0 +1,132 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// sampleAxes spans the source-dominated regime of the didactic chain —
+// a surface the surrogate can learn (see internal/surrogate's tests).
+func sampleAxes(n int) []Axis {
+	vals := make([]int64, n)
+	for i := range vals {
+		vals[i] = int64(1100 + 40*i)
+	}
+	return []Axis{
+		{Name: "period", Values: vals},
+		{Name: "tokens", Values: []int64{250}},
+		{Name: "seed", Values: []int64{7}},
+	}
+}
+
+// A sampled sweep job end to end: options.sample_* reach the driver,
+// the terminal stats report the simulated/predicted split, every wire
+// point carries its source flag, and /metrics accumulates the predicted
+// points and the prediction-error histogram.
+func TestSweepJobSampled(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp := postJSON(t, ts.URL+"/v1/sweeps", SweepRequest{
+		Scenario: "chain",
+		Axes:     sampleAxes(24),
+		Params:   map[string]int64{"stages": 2},
+		Options:  SweepOptions{Workers: 2, SampleTolerance: 0.02, SampleVerify: true},
+	})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("create: status %d", resp.StatusCode)
+	}
+	j := decodeBody[Job](t, resp)
+	jr := waitJob(t, ts.URL, j.ID, terminal)
+	if jr.State != "done" {
+		t.Fatalf("job settled as %q (err %q)", jr.State, jr.Error)
+	}
+	st := jr.Stats
+	if st == nil || st.SimulatedPoints+st.PredictedPoints != st.Points {
+		t.Fatalf("stats %+v", st)
+	}
+	if st.PredictedPoints == 0 {
+		t.Fatalf("no predictions on a smooth grid: %+v", st)
+	}
+	if st.MaxPredError <= 0 || st.MaxPredError > 0.02 {
+		t.Fatalf("max_pred_error %g outside (0, tolerance]", st.MaxPredError)
+	}
+	predicted := 0
+	for _, p := range jr.Points {
+		switch p.Source {
+		case "simulated":
+			if p.Result == nil || p.Result.FinalTimeNs == 0 {
+				t.Fatalf("bad simulated point %+v", p)
+			}
+		case "predicted":
+			predicted++
+			if p.Result == nil || p.Result.FinalTimeNs == 0 || p.PredBound <= 0 {
+				t.Fatalf("bad predicted point %+v", p)
+			}
+		default:
+			t.Fatalf("point without source: %+v", p)
+		}
+	}
+	if predicted != st.PredictedPoints {
+		t.Fatalf("flagged %d predicted points, stats say %d", predicted, st.PredictedPoints)
+	}
+
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	body := string(raw)
+	for _, want := range []string{
+		fmt.Sprintf("dyncomp_serve_sweep_predicted_points_total %d\n", st.PredictedPoints),
+		fmt.Sprintf("dyncomp_serve_sweep_simulated_points_total %d\n", st.SimulatedPoints),
+		fmt.Sprintf("dyncomp_serve_sweep_pred_error_count %d\n", st.PredictedPoints),
+		`dyncomp_serve_sweep_pred_error_bucket{le="+Inf"}`,
+		"dyncomp_serve_sweep_pred_error_sum ",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q", strings.TrimSpace(want))
+		}
+	}
+}
+
+// Negative sampling knobs are client errors with a stable code.
+func TestSampleOptionValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	req := SweepRequest{
+		Scenario: "didactic",
+		Axes:     []Axis{{Name: "seed", Values: []int64{1, 2}}},
+		Params:   map[string]int64{"tokens": 20},
+	}
+	req.Options.SampleTolerance = -0.5
+	resp := postJSON(t, ts.URL+"/v1/sweeps", req)
+	if resp.StatusCode != http.StatusBadRequest || errorCode(t, resp) != CodeInvalidSample {
+		t.Fatalf("negative tolerance: status %d", resp.StatusCode)
+	}
+	req.Options.SampleTolerance = 0.01
+	req.Options.SampleBudget = -1
+	resp = postJSON(t, ts.URL+"/v1/sweeps", req)
+	if resp.StatusCode != http.StatusBadRequest || errorCode(t, resp) != CodeInvalidSample {
+		t.Fatalf("negative budget: status %d", resp.StatusCode)
+	}
+}
+
+// The distributed chunk endpoint rejects sampling: a shard cannot fit a
+// grid-global surrogate.
+func TestChunkRejectsSampling(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp := postJSON(t, ts.URL+"/v1/chunks", ChunkRequest{
+		SweepRequest: SweepRequest{
+			Scenario: "didactic",
+			Axes:     []Axis{{Name: "seed", Values: []int64{1, 2, 3}}},
+			Params:   map[string]int64{"tokens": 20},
+			Options:  SweepOptions{SampleTolerance: 0.01},
+		},
+		Indices: []int{0, 1},
+	})
+	if resp.StatusCode != http.StatusBadRequest || errorCode(t, resp) != CodeInvalidSample {
+		t.Fatalf("chunk with sampling: status %d", resp.StatusCode)
+	}
+}

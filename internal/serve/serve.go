@@ -50,13 +50,15 @@ import (
 	"dyncomp/internal/engine"
 	"dyncomp/internal/zoo"
 
-	// Register the built-in executors and the LTE case-study scenario,
-	// so the served registries match the CLIs'.
+	// Register the built-in executors, the LTE case-study scenario and
+	// the surrogate sweep-sampling driver, so the served registries and
+	// sweep capabilities match the CLIs'.
 	_ "dyncomp/internal/adaptive"
 	_ "dyncomp/internal/baseline"
 	_ "dyncomp/internal/core"
 	_ "dyncomp/internal/hybrid"
 	_ "dyncomp/internal/lte"
+	_ "dyncomp/internal/surrogate"
 )
 
 // Config tunes the server. The zero value is usable: every field has a
@@ -134,6 +136,13 @@ type Server struct {
 	// chunkPoints counts grid points evaluated for a distributed sweep
 	// coordinator through POST /v1/chunks.
 	chunkPoints atomic.Int64
+	// Sampled-sweep accounting across every finished job: exactly
+	// simulated vs surrogate-predicted points, plus a histogram of the
+	// per-point prediction errors (observed under sample_verify, the
+	// declared bound otherwise).
+	sweepSimulated atomic.Int64
+	sweepPredicted atomic.Int64
+	predErrors     errHist
 
 	baseCtx context.Context
 	stop    context.CancelFunc

@@ -105,6 +105,14 @@ func CompileSweep(req SweepRequest, d SweepDefaults) (*SweepPlan, *RequestError)
 		return nil, requestErrorf(http.StatusBadRequest, CodeBadJSON,
 			"options.batch_width must be non-negative, got %d", req.Options.BatchWidth)
 	}
+	if req.Options.SampleTolerance < 0 {
+		return nil, requestErrorf(http.StatusBadRequest, CodeInvalidSample,
+			"options.sample_tolerance must be non-negative, got %g", req.Options.SampleTolerance)
+	}
+	if req.Options.SampleBudget < 0 {
+		return nil, requestErrorf(http.StatusBadRequest, CodeInvalidSample,
+			"options.sample_budget must be non-negative, got %d", req.Options.SampleBudget)
+	}
 	workers := req.Options.Workers
 	if workers <= 0 {
 		workers = d.Workers
@@ -117,9 +125,15 @@ func CompileSweep(req SweepRequest, d SweepDefaults) (*SweepPlan, *RequestError)
 		Workers:    workers,
 		Engine:     eng.Name(),
 		Window:     req.Options.WindowK,
+		Confidence: req.Options.Confidence,
 		Baseline:   req.Options.Baseline,
 		Limit:      sim.Time(req.Options.LimitNs),
 		BatchWidth: batchWidth,
+		Sample: sweep.SampleOptions{
+			Tolerance: req.Options.SampleTolerance,
+			Budget:    req.Options.SampleBudget,
+			Verify:    req.Options.SampleVerify,
+		},
 	}
 	opts.Derive.Reduce = req.Options.Reduce
 	if len(req.Options.Group) > 0 {

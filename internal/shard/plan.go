@@ -45,6 +45,12 @@ func planJob(spec serve.SweepRequest, d serve.SweepDefaults, chunkPoints int) (*
 	if rerr != nil {
 		return nil, rerr
 	}
+	if plan.Opts.Sample.Enabled() {
+		// The surrogate needs the whole grid to choose what to simulate;
+		// a shard sees only its chunk. Sampled sweeps stay single-process.
+		return nil, &serve.RequestError{Status: 400, Code: serve.CodeInvalidSample,
+			Msg: "options.sample_tolerance is not supported on distributed sweeps"}
+	}
 	pts, err := sweep.Grid(plan.Axes)
 	if err != nil {
 		// CompileSweep already validated the axes; this is unreachable

@@ -1,0 +1,29 @@
+package shard
+
+import (
+	"net/http"
+	"testing"
+
+	"dyncomp/internal/serve"
+)
+
+// The coordinator rejects sampled sweeps up front: the surrogate needs
+// the whole grid to choose what to simulate, and a shard sees only its
+// chunk. The client gets the same stable error code the worker-side
+// chunk endpoint answers.
+func TestCoordinatorRejectsSampling(t *testing.T) {
+	workers := newFleet(t, 1)
+	_, ts := newCoord(t, Config{Workers: workers})
+	resp := postJSON(t, ts.URL+"/v1/sweeps", serve.SweepRequest{
+		Scenario: "didactic",
+		Axes:     []serve.Axis{{Name: "seed", Values: []int64{1, 2, 3}}},
+		Params:   map[string]int64{"tokens": 20},
+		Options:  serve.SweepOptions{SampleTolerance: 0.01},
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("sampled sweep accepted: status %d", resp.StatusCode)
+	}
+	if code := errorCode(t, resp); code != serve.CodeInvalidSample {
+		t.Fatalf("code %q, want %q", code, serve.CodeInvalidSample)
+	}
+}

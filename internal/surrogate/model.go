@@ -1,0 +1,287 @@
+package surrogate
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file is the analytical surrogate itself: a ridge-regularized
+// polynomial regression over the normalized parameter axes, with
+// leave-one-out (LOO) cross-validation error computed in closed form
+// from the hat-matrix diagonal. The model is deliberately small and
+// fully deterministic — no stochastic optimizer, no random restarts —
+// so a sampled sweep is exactly reproducible: same grid, same
+// tolerance, same budget ⇒ same simulated subset, same predictions.
+//
+// The basis adapts to how much data the sampling loop has collected so
+// far: constant → linear (1, zᵢ) → quadratic with interactions
+// (1, zᵢ, zᵢzⱼ, zᵢ²), where zᵢ is the axis value min-max normalized to
+// [-1, 1]. Quadratic-with-interactions captures the metric surfaces the
+// (max,+) evolution produces over smooth parameter axes (latency is
+// piecewise near-linear in periods and token counts, with curvature at
+// regime boundaries) while keeping the design matrix tiny.
+
+// ridge is the Tikhonov regularization added to the normal equations'
+// diagonal. Axes are normalized to [-1, 1], so a single scale fits all
+// grids; the value is small enough not to bias well-conditioned fits
+// and large enough to keep near-singular seed sets solvable.
+const ridge = 1e-6
+
+// basisKind enumerates the model complexities the fit can fall back
+// through when the simulated sample is still small.
+type basisKind int
+
+const (
+	basisConstant basisKind = iota
+	basisLinear
+	basisQuadratic
+)
+
+// normalizer maps raw axis values into [-1, 1] per dimension.
+// Degenerate axes (a single distinct value) are dropped from the
+// feature space entirely — they carry no information.
+type normalizer struct {
+	lo, span []float64 // per kept dimension
+	keep     []int     // indices of non-degenerate axes
+}
+
+func newNormalizer(axes [][]int64) *normalizer {
+	nz := &normalizer{}
+	for d, vals := range axes {
+		lo, hi := vals[0], vals[0]
+		for _, v := range vals {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		if hi == lo {
+			continue
+		}
+		nz.keep = append(nz.keep, d)
+		nz.lo = append(nz.lo, float64(lo))
+		nz.span = append(nz.span, float64(hi-lo))
+	}
+	return nz
+}
+
+// dims is the number of informative axes.
+func (nz *normalizer) dims() int { return len(nz.keep) }
+
+// z normalizes one grid point's axis values into [-1, 1] per kept
+// dimension.
+func (nz *normalizer) z(values []int64) []float64 {
+	out := make([]float64, len(nz.keep))
+	for i, d := range nz.keep {
+		out[i] = 2*(float64(values[d])-nz.lo[i])/nz.span[i] - 1
+	}
+	return out
+}
+
+// features builds the basis expansion of a normalized point.
+func features(z []float64, kind basisKind) []float64 {
+	d := len(z)
+	switch kind {
+	case basisConstant:
+		return []float64{1}
+	case basisLinear:
+		f := make([]float64, 1+d)
+		f[0] = 1
+		copy(f[1:], z)
+		return f
+	default:
+		f := make([]float64, 0, 1+d+d*(d+1)/2)
+		f = append(f, 1)
+		f = append(f, z...)
+		for i := 0; i < d; i++ {
+			for j := i; j < d; j++ {
+				f = append(f, z[i]*z[j])
+			}
+		}
+		return f
+	}
+}
+
+// basisTerms is the feature count of a basis over d dimensions.
+func basisTerms(d int, kind basisKind) int {
+	switch kind {
+	case basisConstant:
+		return 1
+	case basisLinear:
+		return 1 + d
+	default:
+		return 1 + d + d*(d+1)/2
+	}
+}
+
+// basisFor picks the richest basis the sample size supports: at least
+// two observations per coefficient, so the LOO estimate has slack to
+// mean something.
+func basisFor(d, n int) basisKind {
+	if n >= 2*basisTerms(d, basisQuadratic) {
+		return basisQuadratic
+	}
+	if n >= 2*basisTerms(d, basisLinear) {
+		return basisLinear
+	}
+	return basisConstant
+}
+
+// fit is one metric's trained surrogate.
+type fit struct {
+	kind  basisKind
+	coef  []float64 // ridge least-squares coefficients
+	inv   [][]float64
+	sigma float64 // RMS of the LOO residuals
+	loo   float64 // max |LOO residual| / scale over the training set
+	scale float64 // relative-error denominator: max(|y|) over training, floored at 1
+}
+
+// fitMetric trains one metric's surrogate on the simulated points:
+// rows of normalized features X and observations y. It solves the
+// ridge normal equations A = XᵀX + λI, keeps A⁻¹ for prediction
+// variance, and derives the leave-one-out residuals in closed form:
+// e⁽ⁱ⁾ = rᵢ / (1 - hᵢᵢ) with hᵢᵢ = xᵢᵀ A⁻¹ xᵢ — the exact LOO error of
+// the ridge fit without refitting n times.
+func fitMetric(X [][]float64, y []float64) (*fit, error) {
+	n := len(X)
+	if n == 0 {
+		return nil, fmt.Errorf("surrogate: no observations")
+	}
+	m := len(X[0])
+	// Normal equations.
+	A := make([][]float64, m)
+	b := make([]float64, m)
+	for i := range A {
+		A[i] = make([]float64, m)
+		A[i][i] = ridge
+	}
+	for r := 0; r < n; r++ {
+		x := X[r]
+		for i := 0; i < m; i++ {
+			b[i] += x[i] * y[r]
+			for j := 0; j < m; j++ {
+				A[i][j] += x[i] * x[j]
+			}
+		}
+	}
+	inv, err := invert(A)
+	if err != nil {
+		return nil, err
+	}
+	coef := matVec(inv, b)
+
+	f := &fit{coef: coef, inv: inv, scale: 1}
+	for _, v := range y {
+		if a := math.Abs(v); a > f.scale {
+			f.scale = a
+		}
+	}
+	// Closed-form LOO residuals via the hat diagonal.
+	var sse float64
+	for r := 0; r < n; r++ {
+		x := X[r]
+		pred := dot(coef, x)
+		h := quadForm(inv, x)
+		if h > 1-1e-9 {
+			h = 1 - 1e-9
+		}
+		e := (y[r] - pred) / (1 - h)
+		sse += e * e
+		if rel := math.Abs(e) / f.scale; rel > f.loo {
+			f.loo = rel
+		}
+	}
+	f.sigma = math.Sqrt(sse / float64(n))
+	return f, nil
+}
+
+// predBoundFactor widens the per-point uncertainty into the reported
+// bound. The LOO sigma estimates the typical held-out error; the factor
+// covers its tail so the declared bound holds across the grid, not just
+// on average.
+const predBoundFactor = 3
+
+// predict returns the metric prediction at features x and the relative
+// error bound: the LOO noise scaled by the ridge prediction variance
+// factor sqrt(1 + xᵀA⁻¹x), widened by predBoundFactor, and never
+// tighter than the worst LOO residual itself.
+func (f *fit) predict(x []float64) (value, bound float64) {
+	value = dot(f.coef, x)
+	s := f.sigma * math.Sqrt(1+quadForm(f.inv, x)) * predBoundFactor / f.scale
+	if s < f.loo {
+		s = f.loo
+	}
+	return value, s
+}
+
+// invert computes the inverse of a small symmetric positive-definite
+// matrix by Gauss-Jordan elimination with partial pivoting.
+func invert(A [][]float64) ([][]float64, error) {
+	m := len(A)
+	// Augment [A | I] in a working copy.
+	w := make([][]float64, m)
+	for i := range w {
+		w[i] = make([]float64, 2*m)
+		copy(w[i], A[i])
+		w[i][m+i] = 1
+	}
+	for col := 0; col < m; col++ {
+		// Pivot.
+		p := col
+		for r := col + 1; r < m; r++ {
+			if math.Abs(w[r][col]) > math.Abs(w[p][col]) {
+				p = r
+			}
+		}
+		if math.Abs(w[p][col]) < 1e-12 {
+			return nil, fmt.Errorf("surrogate: singular normal equations (column %d)", col)
+		}
+		w[col], w[p] = w[p], w[col]
+		piv := w[col][col]
+		for j := 0; j < 2*m; j++ {
+			w[col][j] /= piv
+		}
+		for r := 0; r < m; r++ {
+			if r == col || w[r][col] == 0 {
+				continue
+			}
+			f := w[r][col]
+			for j := 0; j < 2*m; j++ {
+				w[r][j] -= f * w[col][j]
+			}
+		}
+	}
+	inv := make([][]float64, m)
+	for i := range inv {
+		inv[i] = w[i][m:]
+	}
+	return inv, nil
+}
+
+func dot(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+func matVec(A [][]float64, v []float64) []float64 {
+	out := make([]float64, len(A))
+	for i := range A {
+		out[i] = dot(A[i], v)
+	}
+	return out
+}
+
+// quadForm computes xᵀAx for symmetric A.
+func quadForm(A [][]float64, x []float64) float64 {
+	s := 0.0
+	for i := range A {
+		s += x[i] * dot(A[i], x)
+	}
+	return s
+}

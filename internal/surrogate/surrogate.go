@@ -1,0 +1,566 @@
+// Package surrogate is the active-sampling sweep driver: instead of
+// simulating every point of a design-space grid, it evaluates a seed
+// subset exactly (through the ordinary sweep engine, batched shape
+// cohorts included), fits an incrementally updated analytical surrogate
+// per metric over the parameter axes (model.go), and keeps simulating
+// the highest-uncertainty points until the cross-validated error bound
+// drops below the user's tolerance — every remaining point is then
+// *predicted* by the surrogate and flagged as such, with a per-point
+// error bound. The paper's accuracy-per-CPU-second argument, lifted one
+// level: the (max,+) model already replaces event-by-event simulation
+// inside a run; the surrogate replaces whole runs across the grid
+// wherever the model already knows the answer.
+//
+// The driver registers itself with the sweep engine in init()
+// (sweep.RegisterSampler), following the executor-registry idiom:
+// importing this package (directly or blank) makes
+// sweep.Options.Sample work.
+//
+// Gated metrics and error semantics: the surrogate fits and gates the
+// end-to-end latency (FinalTimeNs) and the cycle mean (FinalTimeNs per
+// iteration); a third, ungated fit predicts the iteration count to fill
+// the result struct. All errors — the LOO cross-validation error, the
+// per-point bound (PointResult.PredBound) and the verified observed
+// error (PredObserved, Stats.MaxPredError) — are relative to the
+// metric's observed magnitude over the simulated training set (floored
+// at 1), so one tolerance spans metrics of different units. Predicted
+// points report zero Activations/Events/Wall: those describe
+// simulation work, and no simulation happened — that is the point.
+//
+// Everything is deterministic: the seed set, the uncertainty argmax
+// (ties break on grid index) and the regression itself involve no
+// randomness, so a sampled sweep is exactly reproducible and
+// Sample.Tolerance = 0 degenerates to the exhaustive sweep bit-exactly
+// (the sweep engine never calls this driver then).
+package surrogate
+
+import (
+	"context"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"dyncomp/internal/derive"
+	"dyncomp/internal/sweep"
+)
+
+func init() { sweep.RegisterSampler(Run) }
+
+// refineBatch is how many highest-uncertainty points one refinement
+// round simulates: enough to amortize the batched cohort path, small
+// enough not to overshoot the tolerance by much.
+const refineBatch = 8
+
+// metricFinal and metricCycle index the gated fits; metricIters is the
+// ungated iteration-count fit.
+const (
+	metricFinal = iota
+	metricCycle
+	metricIters
+	numMetrics
+)
+
+// Run is the sampling driver behind sweep.Options.Sample; the sweep
+// engine calls it via the registered hook, so its contract mirrors
+// sweep.RunContext: a full grid result in row-major order, ctx.Err()
+// alongside the partial result on cancellation, with Progress counting
+// every grid point exactly once (simulated points as their rounds
+// finish, predicted points coalesced; Verify re-simulations never
+// count).
+func Run(ctx context.Context, axes []sweep.Axis, gen sweep.Generator, opts sweep.Options) (*sweep.Result, error) {
+	pts, err := sweep.Grid(axes)
+	if err != nil {
+		return nil, err
+	}
+	total := len(pts)
+	start := time.Now()
+
+	cache := opts.Cache
+	if cache == nil {
+		cache = derive.NewCache()
+	}
+	tap := &progressTap{total: total, fn: opts.Progress}
+
+	inner := opts
+	inner.Sample = sweep.SampleOptions{}
+	inner.Cache = cache
+	inner.Progress = nil // each simulate round installs a fresh delta tracker
+
+	s := &sampler{
+		ctx:     ctx,
+		axes:    axes,
+		gen:     gen,
+		opts:    opts,
+		inner:   inner,
+		pts:     pts,
+		nz:      newNormalizer(axisValues(axes)),
+		results: make([]sweep.PointResult, total),
+		state:   make([]byte, total),
+		tap:     tap,
+	}
+	s.feats = make([][]float64, total)
+
+	res := s.run()
+	res.Stats = sweep.Summarize(res.Points, cache, time.Since(start))
+	res.Stats.Batches = s.batches
+	res.Stats.BatchedPoints = s.batchedPoints
+	if s.batches > 0 && opts.BatchWidth > 0 {
+		res.Stats.BatchOccupancy = float64(s.batchedPoints) / float64(s.batches*opts.BatchWidth)
+	}
+	res.Stats.SimulatedPoints = s.simulated
+	res.Stats.PredictedPoints = s.predicted
+	res.Stats.MaxPredError = s.maxPredError
+	if err := ctx.Err(); err != nil {
+		return res, err
+	}
+	return res, nil
+}
+
+// point states.
+const (
+	stateNone      = byte(iota) // not yet resolved
+	stateSimulated              // evaluated exactly (possibly failed)
+	statePredicted              // filled in by the surrogate
+)
+
+type sampler struct {
+	ctx   context.Context
+	axes  []sweep.Axis
+	gen   sweep.Generator
+	opts  sweep.Options
+	inner sweep.Options
+	pts   []sweep.Point
+	nz    *normalizer
+	tap   *progressTap
+
+	results []sweep.PointResult
+	state   []byte
+	feats   [][]float64 // memoized quadratic features per point
+
+	// predVals keeps each predicted point's raw fit predictions per
+	// metric, for the Verify comparison.
+	predVals map[int][]float64
+
+	simulated, predicted   int
+	batches, batchedPoints int
+	maxPredError           float64
+}
+
+func (s *sampler) run() *sweep.Result {
+	res := &sweep.Result{Points: s.results}
+
+	// Seed: grid corners, the center, and an even stride across the
+	// row-major order — exact evaluations the first fit trains on.
+	budget := s.opts.Sample.Budget
+	seed := seedIndices(len(s.pts), s.nz.dims(), budget)
+	s.simulate(seed)
+
+	// Refine: keep simulating the highest-uncertainty points until the
+	// cross-validated error and every remaining point's bound clear the
+	// tolerance, the budget runs out, or the grid is exhausted.
+	tol := s.opts.Sample.Tolerance
+	for s.ctx.Err() == nil {
+		fits := s.fit()
+		if fits == nil {
+			// Not enough successful simulations to train on: evaluate
+			// the rest exactly — never hand out unfounded predictions.
+			s.simulate(s.unresolved())
+			break
+		}
+		worst, converged := s.assess(fits, tol)
+		if converged {
+			s.predict(fits)
+			break
+		}
+		if len(worst) == 0 {
+			break // everything simulated exactly
+		}
+		if budget > 0 && s.simulated >= budget {
+			// Budget exhausted before tolerance: predict the rest with
+			// the honest (too-large) bounds the model reports.
+			s.predict(fits)
+			break
+		}
+		n := refineBatch
+		if budget > 0 && budget-s.simulated < n {
+			n = budget - s.simulated
+		}
+		if n > len(worst) {
+			n = len(worst)
+		}
+		s.simulate(worst[:n])
+	}
+
+	// A cancelled run still resolves — and counts — every grid point.
+	if err := s.ctx.Err(); err != nil {
+		left := s.unresolved()
+		for _, i := range left {
+			s.results[i] = sweep.PointResult{Point: s.pts[i], Err: err}
+		}
+		s.tap.add(len(left))
+		return res
+	}
+
+	if s.opts.Sample.Verify {
+		s.verify()
+	}
+	return res
+}
+
+// simulate evaluates the given grid indices exactly through the inner
+// sweep engine (worker pool, shape cohorts, batching — all of it) and
+// folds the results into the grid.
+func (s *sampler) simulate(indices []int) {
+	if len(indices) == 0 {
+		return
+	}
+	round := s.inner
+	round.Progress = s.tap.inner()
+	r, err := sweep.RunIndicesContext(s.ctx, s.axes, indices, s.gen, round)
+	if err != nil && r == nil {
+		// Grid/selection errors cannot happen for indices we generated;
+		// treat a wholesale failure like a cancelled round.
+		for _, i := range indices {
+			s.results[i] = sweep.PointResult{Point: s.pts[i], Err: err}
+			s.state[i] = stateSimulated
+			s.simulated++
+		}
+		s.tap.add(len(indices))
+		return
+	}
+	for _, pr := range r.Points {
+		pr.Source = sweep.SourceSimulated
+		s.results[pr.Point.Index] = pr
+		s.state[pr.Point.Index] = stateSimulated
+		s.simulated++
+	}
+	s.batches += r.Stats.Batches
+	s.batchedPoints += r.Stats.BatchedPoints
+}
+
+// fit trains the per-metric surrogates on every successful simulated
+// point. It returns nil while the sample is too small (or too failed)
+// for the leave-one-out estimate to mean anything.
+func (s *sampler) fit() []*fit {
+	var X [][]float64
+	var ys [numMetrics][]float64
+	cycleOK := true
+	for i, st := range s.state {
+		if st != stateSimulated || s.results[i].Err != nil {
+			continue
+		}
+		run := s.results[i].Run
+		if run.Iterations <= 0 {
+			cycleOK = false
+		}
+	}
+	for i, st := range s.state {
+		if st != stateSimulated || s.results[i].Err != nil {
+			continue
+		}
+		run := s.results[i].Run
+		X = append(X, s.featuresOf(i, basisQuadratic))
+		ys[metricFinal] = append(ys[metricFinal], float64(run.FinalTimeNs))
+		if cycleOK {
+			ys[metricCycle] = append(ys[metricCycle], float64(run.FinalTimeNs)/float64(run.Iterations))
+		}
+		ys[metricIters] = append(ys[metricIters], float64(run.Iterations))
+	}
+	kind := basisFor(s.nz.dims(), len(X))
+	terms := basisTerms(s.nz.dims(), kind)
+	if len(X) < terms+2 || len(X) < 4 {
+		return nil
+	}
+	if kind != basisQuadratic {
+		for r := range X {
+			X[r] = X[r][:terms] // quadratic features prefix-contain the simpler bases
+		}
+	}
+	fits := make([]*fit, numMetrics)
+	for m := range fits {
+		if m == metricCycle && !cycleOK {
+			continue
+		}
+		f, err := fitMetric(X, ys[m])
+		if err != nil {
+			return nil
+		}
+		f.kind = kind
+		fits[m] = f
+	}
+	return fits
+}
+
+// featuresOf memoizes the full quadratic feature vector of a point;
+// simpler bases slice its prefix (constant, then linear terms, then
+// the quadratic tail — features() lays them out in exactly that order).
+func (s *sampler) featuresOf(i int, kind basisKind) []float64 {
+	if s.feats[i] == nil {
+		s.feats[i] = features(s.nz.z(s.pts[i].Values), basisQuadratic)
+	}
+	return s.feats[i][:basisTerms(s.nz.dims(), kind)]
+}
+
+// assess computes every unresolved point's error bound under the
+// current fits and reports whether the sweep has converged: the gated
+// fits' cross-validated error and every remaining bound within
+// tolerance. The returned indices are the unresolved points sorted by
+// descending bound (ties on ascending index) — the refinement order.
+func (s *sampler) assess(fits []*fit, tol float64) (worst []int, converged bool) {
+	type scored struct {
+		idx   int
+		bound float64
+	}
+	var un []scored
+	maxBound := 0.0
+	for i, st := range s.state {
+		if st != stateNone {
+			continue
+		}
+		b := 0.0
+		for m, f := range fits {
+			if f == nil || m == metricIters {
+				continue
+			}
+			x := s.featuresOf(i, f.kind)
+			if _, fb := f.predict(x); fb > b {
+				b = fb
+			}
+		}
+		if b > maxBound {
+			maxBound = b
+		}
+		un = append(un, scored{i, b})
+	}
+	sort.Slice(un, func(a, b int) bool {
+		if un[a].bound != un[b].bound {
+			return un[a].bound > un[b].bound
+		}
+		return un[a].idx < un[b].idx
+	})
+	worst = make([]int, len(un))
+	for i, sc := range un {
+		worst[i] = sc.idx
+	}
+	cv := 0.0
+	for m, f := range fits {
+		if f == nil || m == metricIters {
+			continue
+		}
+		if f.loo > cv {
+			cv = f.loo
+		}
+	}
+	return worst, cv <= tol && maxBound <= tol
+}
+
+// predict fills every unresolved point from the fits, flags it, and
+// counts the whole batch as one coalesced progress advance.
+func (s *sampler) predict(fits []*fit) {
+	s.predVals = map[int][]float64{}
+	n := 0
+	for i, st := range s.state {
+		if st != stateNone {
+			continue
+		}
+		vals := make([]float64, numMetrics)
+		bound := 0.0
+		for m, f := range fits {
+			if f == nil {
+				continue
+			}
+			x := s.featuresOf(i, f.kind)
+			v, b := f.predict(x)
+			vals[m] = v
+			if m != metricIters && b > bound {
+				bound = b
+			}
+		}
+		iters := int(math.Round(vals[metricIters]))
+		if iters < 0 {
+			iters = 0
+		}
+		ft := int64(math.Round(vals[metricFinal]))
+		if ft < 0 {
+			ft = 0
+		}
+		s.results[i] = sweep.PointResult{
+			Point:     s.pts[i],
+			Run:       sweep.PointStats{FinalTimeNs: ft, Iterations: iters},
+			Source:    sweep.SourcePredicted,
+			PredBound: bound,
+		}
+		s.state[i] = statePredicted
+		s.predVals[i] = vals
+		if bound > s.maxPredError {
+			s.maxPredError = bound
+		}
+		s.predicted++
+		n++
+	}
+	s.tap.add(n)
+}
+
+// verify re-simulates every predicted point exactly, replaces the
+// predicted metrics with the exact results (keeping the predicted
+// flag and bound) and reports the maximum observed relative error.
+// Verify runs never count toward progress — the grid was already fully
+// accounted — and a cancellation mid-verify leaves the remaining
+// points with their predictions intact.
+func (s *sampler) verify() {
+	var indices []int
+	for i, st := range s.state {
+		if st == statePredicted {
+			indices = append(indices, i)
+		}
+	}
+	if len(indices) == 0 {
+		s.maxPredError = 0
+		return
+	}
+	vopts := s.inner
+	vopts.Progress = nil
+	r, err := sweep.RunIndicesContext(s.ctx, s.axes, indices, s.gen, vopts)
+	if err != nil && r == nil {
+		return
+	}
+	s.maxPredError = 0
+	for _, pr := range r.Points {
+		i := pr.Point.Index
+		if pr.Err != nil {
+			continue // keep the prediction; nothing exact to report
+		}
+		obs := observedError(s.predVals[i], pr.Run)
+		pred := s.results[i]
+		pr.Source = sweep.SourcePredicted
+		pr.PredBound = pred.PredBound
+		pr.PredObserved = obs
+		s.results[i] = pr
+		if obs > s.maxPredError {
+			s.maxPredError = obs
+		}
+	}
+	s.batches += r.Stats.Batches
+	s.batchedPoints += r.Stats.BatchedPoints
+}
+
+// observedError is the maximum relative error of the gated predictions
+// against an exact run, with the same relative-to-magnitude semantics
+// as the fit bounds (denominator floored at 1).
+func observedError(vals []float64, exact sweep.PointStats) float64 {
+	rel := func(pred, got float64) float64 {
+		den := math.Abs(got)
+		if den < 1 {
+			den = 1
+		}
+		return math.Abs(pred-got) / den
+	}
+	e := rel(vals[metricFinal], float64(exact.FinalTimeNs))
+	if exact.Iterations > 0 && vals[metricCycle] != 0 {
+		if c := rel(vals[metricCycle], float64(exact.FinalTimeNs)/float64(exact.Iterations)); c > e {
+			e = c
+		}
+	}
+	return e
+}
+
+// unresolved lists the grid indices not yet simulated or predicted.
+func (s *sampler) unresolved() []int {
+	var out []int
+	for i, st := range s.state {
+		if st == stateNone {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// seedIndices picks the deterministic seed set: every grid corner (all
+// combinations of each axis's first and last value, up to 5 axes), the
+// center point, and an even stride over the row-major order until the
+// set is large enough to train the quadratic basis with headroom.
+func seedIndices(total, dims, budget int) []int {
+	target := 2 * basisTerms(dims, basisQuadratic)
+	if target < 4 {
+		target = 4
+	}
+	if target > total {
+		target = total
+	}
+	if budget > 0 && target > budget {
+		target = budget
+	}
+	seen := make(map[int]bool, target)
+	var out []int
+	add := func(i int) {
+		if i >= 0 && i < total && !seen[i] {
+			seen[i] = true
+			out = append(out, i)
+		}
+	}
+	add(0)
+	add(total - 1)
+	add(total / 2)
+	for stride := 2; len(out) < target; stride *= 2 {
+		for j := 1; j < stride && len(out) < target; j += 2 {
+			add(j * (total - 1) / stride)
+		}
+		if stride > 2*total {
+			break
+		}
+	}
+	sort.Ints(out)
+	if len(out) > target {
+		out = out[:target]
+	}
+	return out
+}
+
+// axisValues projects the axes' value lists for the normalizer.
+func axisValues(axes []sweep.Axis) [][]int64 {
+	out := make([][]int64, len(axes))
+	for i, ax := range axes {
+		out[i] = ax.Values
+	}
+	return out
+}
+
+// progressTap serializes and re-bases progress across the driver's
+// inner sweep rounds: each round reports its own (done, total); the tap
+// translates those into deltas against the full grid and keeps the
+// delivered sequence strictly monotonic under one lock, exactly like
+// the sweep engine's own coalesced reporting.
+type progressTap struct {
+	mu    sync.Mutex
+	done  int
+	total int
+	fn    func(done, total int)
+}
+
+func (p *progressTap) add(n int) {
+	if n <= 0 || p.fn == nil {
+		return
+	}
+	p.mu.Lock()
+	p.done += n
+	p.fn(p.done, p.total)
+	p.mu.Unlock()
+}
+
+// inner returns the Progress callback for one inner sweep round (a
+// fresh delta tracker per call), or nil when nobody is listening.
+func (p *progressTap) inner() func(done, total int) {
+	if p.fn == nil {
+		return nil
+	}
+	last := 0
+	var mu sync.Mutex
+	return func(done, total int) {
+		mu.Lock()
+		d := done - last
+		last = done
+		mu.Unlock()
+		p.add(d)
+	}
+}

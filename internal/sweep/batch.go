@@ -212,6 +212,7 @@ func evalChunk(ctx context.Context, chunk []int, pts []Point, prep []genPoint, g
 		Record:        opts.Record,
 		LimitNs:       int64(opts.Limit),
 		WindowK:       opts.Window,
+		Confidence:    opts.Confidence,
 		AbstractGroup: lead.group,
 		Derive:        lead.dopts,
 		Cache:         cache,

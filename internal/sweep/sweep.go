@@ -179,6 +179,44 @@ type Generator func(Point) (*model.Architecture, error)
 // DefaultEngine evaluates the points when Options.Engine is empty.
 const DefaultEngine = "equivalent"
 
+// Point sources reported by sampled sweeps (PointResult.Source).
+const (
+	// SourceSimulated marks a point evaluated exactly by an engine.
+	SourceSimulated = "simulated"
+	// SourcePredicted marks a point filled in by the surrogate model.
+	SourcePredicted = "predicted"
+)
+
+// SampleOptions configures surrogate-guided sweep sampling: instead of
+// simulating every grid point, an active-sampling driver evaluates a
+// seed subset exactly, fits an analytical surrogate over the parameter
+// axes, keeps simulating the highest-uncertainty points until the
+// cross-validated error drops below Tolerance, and *predicts* the rest.
+// Predicted points are flagged per point (PointResult.Source,
+// PredBound) and counted in Stats.PredictedPoints.
+type SampleOptions struct {
+	// Tolerance is the target maximum relative prediction error on the
+	// gated metrics (end-to-end latency and cycle mean). Zero disables
+	// sampling entirely: the sweep degenerates to the exhaustive run,
+	// bit-exactly.
+	Tolerance float64
+	// Budget caps the number of points simulated exactly by the
+	// sampling loop (0: no cap). When the budget runs out before the
+	// tolerance is met, the remaining points are still predicted —
+	// with whatever error bound the model honestly reports.
+	Budget int
+	// Verify re-simulates every predicted point exactly after the
+	// sampling loop converges, replaces the predicted metrics with the
+	// exact results (keeping Source == "predicted" and filling
+	// PredObserved), and reports the maximum observed prediction error
+	// in Stats.MaxPredError. The escape hatch costs the full grid but
+	// measures the surrogate instead of trusting it.
+	Verify bool
+}
+
+// Enabled reports whether sampling is requested.
+func (s SampleOptions) Enabled() bool { return s.Tolerance > 0 }
+
 // Options configures a sweep.
 type Options struct {
 	// Workers sets the worker-pool size; 0 means GOMAXPROCS. Timings
@@ -189,8 +227,13 @@ type Options struct {
 	// (engine.Names() lists them); empty selects DefaultEngine.
 	Engine string
 	// Window sets the adaptive engine's steady-state confirmation window
-	// (0: the engine's default). Ignored by the other engines.
+	// (0: the engine's default, the confidence-driven detector). Ignored
+	// by the other engines.
 	Window int
+	// Confidence sets the adaptive engine's confidence-driven detector
+	// threshold when Window is zero (0: the engine default). Ignored by
+	// the other engines.
+	Confidence float64
 	// Group names the functions the hybrid engine abstracts on every
 	// point. Required by (and only read by) the hybrid engine.
 	Group []string
@@ -231,6 +274,14 @@ type Options struct {
 	// debugging and bit-exactness testing. Disables batching
 	// (BatchWidth): there is no batched interpreter.
 	Interpreted bool
+	// Sample enables surrogate-guided sampling (Sample.Tolerance > 0):
+	// only a model-chosen subset of the grid is simulated exactly and
+	// the rest is predicted by an analytical surrogate. Requires the
+	// sampling driver to be linked (import _ "dyncomp/internal/
+	// surrogate"); only Run/RunContext support it — a distributed
+	// chunk evaluation (RunIndices) rejects it, because the surrogate
+	// needs the whole grid to choose its samples.
+	Sample SampleOptions
 	// BatchWidth, when positive, groups grid points sharing one
 	// structural shape (derive.ShapeKey, same per-point derive options
 	// and group) into cohorts and evaluates each cohort in chunks of up
@@ -270,6 +321,15 @@ type PointResult struct {
 	BaselineTrace *observe.Trace
 	EventRatio    float64 // baseline activations / equivalent activations
 	SpeedUp       float64 // baseline wall / equivalent wall
+	// Source reports how a sampled sweep obtained this point:
+	// SourceSimulated or SourcePredicted. Empty in exhaustive sweeps.
+	Source string
+	// PredBound is the surrogate's relative error bound on this
+	// predicted point's gated metrics (predicted points only).
+	PredBound float64
+	// PredObserved is the observed relative prediction error against
+	// the exact re-simulation (predicted points under Sample.Verify).
+	PredObserved float64
 	// Err reports a failed point; the other fields are zero.
 	Err error
 }
@@ -303,6 +363,15 @@ type Stats struct {
 	Batches        int     `json:"batches"`
 	BatchedPoints  int     `json:"batched_points"`
 	BatchOccupancy float64 `json:"batch_occupancy"`
+	// Sampled-sweep accounting (zero in exhaustive sweeps):
+	// SimulatedPoints counts points evaluated exactly by the sampling
+	// loop, PredictedPoints the points filled in by the surrogate, and
+	// MaxPredError the maximum relative prediction error — observed
+	// (against exact re-simulation) under Sample.Verify, the model's
+	// own bound otherwise.
+	SimulatedPoints int     `json:"simulated_points,omitempty"`
+	PredictedPoints int     `json:"predicted_points,omitempty"`
+	MaxPredError    float64 `json:"max_pred_error,omitempty"`
 	// SpeedUp and EventRatio aggregate the per-point ratios when
 	// Options.Baseline was set.
 	SpeedUp    Aggregate `json:"speed_up"`
@@ -315,6 +384,20 @@ type Result struct {
 	Points []PointResult
 	Stats  Stats
 }
+
+// Sampler is the surrogate-guided sweep driver: it owns the whole grid,
+// simulates a subset of it exactly (through RunIndicesContext with
+// Sample cleared) and predicts the rest. internal/surrogate registers
+// one in init(); the indirection keeps this package free of a
+// dependency on its own driver.
+type Sampler func(ctx context.Context, axes []Axis, gen Generator, opts Options) (*Result, error)
+
+var sampler Sampler
+
+// RegisterSampler installs the surrogate sampling driver, following the
+// registry idiom of internal/engine: importing the driver package makes
+// Options.Sample work.
+func RegisterSampler(fn Sampler) { sampler = fn }
 
 // Run expands the grid, shards it across the worker pool and evaluates
 // every point. Per-point failures are reported in PointResult.Err (and
@@ -331,6 +414,15 @@ func Run(axes []Axis, gen Generator, opts Options) (*Result, error) {
 // the aggregate statistics cover them). In-flight points stop at their
 // engine's cancellation granularity.
 func RunContext(ctx context.Context, axes []Axis, gen Generator, opts Options) (*Result, error) {
+	if opts.Sample.Enabled() {
+		if sampler == nil {
+			return nil, fmt.Errorf(`sweep: sampling requested but no driver linked (import _ "dyncomp/internal/surrogate")`)
+		}
+		if ctx == nil {
+			ctx = context.Background()
+		}
+		return sampler(ctx, axes, gen, opts)
+	}
 	pts, err := Grid(axes)
 	if err != nil {
 		return nil, err
@@ -353,6 +445,11 @@ func RunIndices(axes []Axis, indices []int, gen Generator, opts Options) (*Resul
 // RunIndicesContext is RunIndices with cancellation, under the same
 // contract as RunContext.
 func RunIndicesContext(ctx context.Context, axes []Axis, indices []int, gen Generator, opts Options) (*Result, error) {
+	if opts.Sample.Enabled() {
+		// The surrogate chooses which indices to simulate from the whole
+		// grid; a pre-selected chunk contradicts that by construction.
+		return nil, fmt.Errorf("sweep: sampling (Options.Sample) is not supported on index subsets")
+	}
 	pts, err := GridSelect(axes, indices)
 	if err != nil {
 		return nil, err
@@ -433,7 +530,7 @@ func runPoints(ctx context.Context, pts []Point, gen Generator, opts Options) (*
 	}
 
 	res := &Result{Points: results}
-	res.Stats = summarize(results, cache, time.Since(start))
+	res.Stats = Summarize(results, cache, time.Since(start))
 	res.Stats.Batches = bstats.batches
 	res.Stats.BatchedPoints = bstats.points
 	if bstats.batches > 0 {
@@ -521,6 +618,7 @@ func evalPoint(ctx context.Context, p Point, gen Generator, eng, refEng engine.E
 		Record:        opts.Record,
 		LimitNs:       int64(opts.Limit),
 		WindowK:       opts.Window,
+		Confidence:    opts.Confidence,
 		AbstractGroup: group,
 		Derive:        dopts,
 		Cache:         cache,
@@ -584,7 +682,12 @@ func pointStats(r *engine.Result) PointStats {
 	}
 }
 
-func summarize(results []PointResult, cache *derive.Cache, wall time.Duration) Stats {
+// Summarize computes the aggregate statistics over evaluated points.
+// Exported for drivers that assemble a Result from several partial runs
+// (the surrogate sampler merges its simulation rounds and predictions
+// into one grid-ordered result) — reusing it keeps their aggregate
+// float math bit-identical to an exhaustive sweep over the same values.
+func Summarize(results []PointResult, cache *derive.Cache, wall time.Duration) Stats {
 	st := Stats{Points: len(results), Wall: wall, Shapes: cache.Shapes()}
 	st.CacheHits, st.DeriveCalls = cache.Stats()
 	var speedups, ratios []float64

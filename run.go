@@ -57,9 +57,13 @@ type EngineOptions struct {
 	// IterLimit, when positive, bounds the evolution to iterations
 	// [0, IterLimit): every source stops after token IterLimit-1.
 	IterLimit int
-	// WindowK is the adaptive engine's steady-state confirmation window
-	// (0: engine default).
+	// WindowK is the adaptive engine's fixed steady-state confirmation
+	// window; 0 selects its confidence-driven detector (see Confidence).
 	WindowK int
+	// Confidence is the adaptive engine's confidence-driven detector
+	// threshold in (0, 1), read when WindowK is 0 (0: the engine
+	// default, 0.9).
+	Confidence float64
 	// AbstractGroup names the functions the hybrid engine abstracts;
 	// required by the hybrid engine, ignored by the others.
 	AbstractGroup []string
@@ -141,6 +145,7 @@ func Run(ctx context.Context, engineName string, a *Architecture, opts EngineOpt
 		LimitNs:       opts.LimitNs,
 		IterLimit:     opts.IterLimit,
 		WindowK:       opts.WindowK,
+		Confidence:    opts.Confidence,
 		AbstractGroup: opts.AbstractGroup,
 		Derive:        derive.Options{Reduce: opts.Reduce},
 		Progress:      opts.Progress,

@@ -7,8 +7,30 @@ import (
 
 	"dyncomp/internal/derive"
 	"dyncomp/internal/sim"
+	"dyncomp/internal/surrogate"
 	"dyncomp/internal/sweep"
 )
+
+// SweepSampleOptions configures surrogate-guided sweep sampling: with a
+// positive Tolerance, a sweep evaluates an actively chosen subset of
+// the grid exactly, fits an analytical surrogate over the parameter
+// axes, and predicts the remaining points within the declared relative
+// tolerance. Budget caps the exact evaluations; Verify re-simulates
+// every predicted point and reports the observed error.
+type SweepSampleOptions = sweep.SampleOptions
+
+// Point sources reported by sampled sweeps (SweepPointResult.Source).
+const (
+	// SweepSourceSimulated marks a point evaluated exactly by an engine.
+	SweepSourceSimulated = sweep.SourceSimulated
+	// SweepSourcePredicted marks a point filled in by the surrogate.
+	SweepSourcePredicted = sweep.SourcePredicted
+)
+
+// The surrogate package registers the sampling driver with the sweep
+// engine; referencing it here makes SweepOptions.Sample work for every
+// facade user without a separate import.
+var _ = surrogate.Run
 
 // SweepAxis is one dimension of a design-space grid: a named list of
 // integer parameter values. A sweep evaluates the cartesian product of
@@ -78,9 +100,14 @@ type SweepOptions struct {
 	// Group names the functions the hybrid engine abstracts on every
 	// point; ignored by the other engines.
 	Group []string
-	// WindowK sets the adaptive engine's steady-state window (0: engine
-	// default); ignored by the other engines.
+	// WindowK sets the adaptive engine's fixed steady-state window; 0
+	// selects its confidence-driven detector (see Confidence). Ignored
+	// by the other engines.
 	WindowK int
+	// Confidence sets the adaptive engine's confidence-driven detector
+	// threshold, read when WindowK is 0 (0: the engine default, 0.9);
+	// ignored by the other engines.
+	Confidence float64
 	// Record keeps per-point evolution traces in the results.
 	Record bool
 	// LimitNs bounds the simulated time per point (0: run to completion).
@@ -100,6 +127,13 @@ type SweepOptions struct {
 	// block. A batched sweep (BatchWidth > 0) coalesces the
 	// notifications to one per finished batch.
 	Progress func(done, total int)
+	// Sample, when its Tolerance is positive, evaluates only an actively
+	// chosen subset of the grid exactly and predicts the rest from an
+	// analytical surrogate fitted over the parameter axes, within the
+	// given relative tolerance (see SweepSampleOptions). Every point is
+	// flagged in SweepPointResult.Source; Stats.SimulatedPoints,
+	// PredictedPoints and MaxPredError summarize the split.
+	Sample SweepSampleOptions
 	// BatchWidth, when positive, evaluates structurally identical grid
 	// points in batched lane groups of up to this many points — one
 	// compiled structure, one lockstep evaluation pass per iteration
@@ -132,6 +166,14 @@ type SweepPointResult struct {
 	// (zero for the other engines).
 	Switches  int
 	Fallbacks int
+	// Source reports how a sampled sweep obtained this point:
+	// SweepSourceSimulated or SweepSourcePredicted. Empty in exhaustive
+	// sweeps.
+	Source string
+	// PredBound is the surrogate's relative error bound on a predicted
+	// point; PredObserved the observed error after Sample.Verify.
+	PredBound    float64
+	PredObserved float64
 	// Err marks a failed point.
 	Err error
 }
@@ -173,12 +215,14 @@ func SweepContext(ctx context.Context, axes []SweepAxis, gen SweepGenerator, opt
 		Workers:    opts.Workers,
 		Engine:     name,
 		Window:     opts.WindowK,
+		Confidence: opts.Confidence,
 		Group:      opts.Group,
 		Record:     opts.Record,
 		Limit:      sim.Time(opts.LimitNs),
 		Baseline:   opts.Baseline,
 		Derive:     derive.Options{Reduce: opts.Reduce},
 		Progress:   opts.Progress,
+		Sample:     opts.Sample,
 		BatchWidth: opts.BatchWidth,
 	}
 	if opts.Cache != nil {
@@ -203,12 +247,15 @@ func SweepContext(ctx context.Context, axes []SweepAxis, gen SweepGenerator, opt
 				FinalTimeNs: pr.Run.FinalTimeNs,
 				GraphNodes:  pr.Run.GraphNodes,
 			},
-			Wall:       pr.Run.Wall,
-			EventRatio: pr.EventRatio,
-			SpeedUp:    pr.SpeedUp,
-			Switches:   pr.Run.Switches,
-			Fallbacks:  pr.Run.Fallbacks,
-			Err:        pr.Err,
+			Wall:         pr.Run.Wall,
+			EventRatio:   pr.EventRatio,
+			SpeedUp:      pr.SpeedUp,
+			Switches:     pr.Run.Switches,
+			Fallbacks:    pr.Run.Fallbacks,
+			Source:       pr.Source,
+			PredBound:    pr.PredBound,
+			PredObserved: pr.PredObserved,
+			Err:          pr.Err,
 		}
 		if pr.Baseline != nil {
 			sp.Baseline = &RunResult{
