@@ -1,0 +1,170 @@
+package dyncomp
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+// facadeSpec is a two-parameter single-stage model: 30 periodic tokens
+// through one function, final time exactly 29·period + work ns.
+const facadeSpec = `{
+  "version": 1,
+  "name": "facade",
+  "parameters": [
+    {"name": "period", "default": 900, "values": [700, 800, 900],
+     "power": {"scale": 1e5, "exp": -1}},
+    {"name": "work", "default": 120, "values": [60, 120],
+     "area": {"base": 1, "scale": 0.01}}
+  ],
+  "channels": [
+    {"name": "in", "kind": "rendezvous"},
+    {"name": "out", "kind": "rendezvous"}
+  ],
+  "functions": [
+    {"name": "F", "body": [
+      {"read": "in"},
+      {"exec": {"label": "T", "cost": {"kind": "fixed", "ops": "$work"}}},
+      {"write": "out"}
+    ]}
+  ],
+  "resources": [{"name": "P1", "kind": "processor", "ops_per_sec": 1e9}],
+  "mapping": [{"resource": "P1", "functions": ["F"]}],
+  "sources": [{"name": "src", "channel": "in", "count": 30,
+               "schedule": {"kind": "periodic", "period": "$period", "offset": 0}}],
+  "sinks": [{"name": "sink", "channel": "out"}]
+}`
+
+// A decoded spec builds, runs bit-exact across engines, and survives
+// an export → marshal → decode → rebuild round trip.
+func TestArchitectureFacadeRoundTrip(t *testing.T) {
+	spec, err := DecodeArchitecture([]byte(facadeSpec))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	a, err := BuildArchitecture(spec, map[string]int64{"period": 800})
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	ref, err := Run(context.Background(), "reference", a, EngineOptions{Record: true})
+	if err != nil {
+		t.Fatalf("reference: %v", err)
+	}
+	eq, err := Run(context.Background(), "equivalent", a, EngineOptions{Record: true})
+	if err != nil {
+		t.Fatalf("equivalent: %v", err)
+	}
+	if err := CompareTraces(ref.Trace, eq.Trace); err != nil {
+		t.Fatalf("engines disagree: %v", err)
+	}
+	const want = 29*800 + 120
+	if eq.FinalTimeNs != want {
+		t.Fatalf("final time %d, want %d", eq.FinalTimeNs, want)
+	}
+
+	exported, err := ExportArchitecture(a)
+	if err != nil {
+		t.Fatalf("export: %v", err)
+	}
+	data, err := MarshalArchitecture(exported)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	again, err := DecodeArchitecture(data)
+	if err != nil {
+		t.Fatalf("re-decode: %v", err)
+	}
+	b, err := BuildArchitecture(again, nil)
+	if err != nil {
+		t.Fatalf("rebuild: %v", err)
+	}
+	re, err := Run(context.Background(), "equivalent", b, EngineOptions{Record: true})
+	if err != nil {
+		t.Fatalf("rebuilt run: %v", err)
+	}
+	if err := CompareTraces(eq.Trace, re.Trace); err != nil {
+		t.Fatalf("round trip broke bit-exactness: %v", err)
+	}
+}
+
+// Facade errors carry the same stable codes the decoder and the HTTP
+// layer answer with.
+func TestArchitectureFacadeErrorCodes(t *testing.T) {
+	if _, err := DecodeArchitecture([]byte(`{"version": 1`)); ArchErrorCode(err) != ArchCodeInvalid {
+		t.Fatalf("truncated document: code %q, want %q", ArchErrorCode(err), ArchCodeInvalid)
+	}
+	if _, err := DecodeArchitecture([]byte(`{"version": 99, "name": "x"}`)); ArchErrorCode(err) != ArchCodeVersion {
+		t.Fatalf("future version: code %q, want %q", ArchErrorCode(err), ArchCodeVersion)
+	}
+	spec, err := DecodeArchitecture([]byte(facadeSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BuildArchitecture(spec, map[string]int64{"phase": 1}); ArchErrorCode(err) != ArchCodeInvalid {
+		t.Fatalf("unknown parameter: code %q, want %q", ArchErrorCode(err), ArchCodeInvalid)
+	}
+	if _, err := BuildArchitecture(spec, map[string]int64{"period": -5}); ArchErrorCode(err) != ArchCodeInvalid {
+		t.Fatalf("invalid binding: code %q, want %q", ArchErrorCode(err), ArchCodeInvalid)
+	}
+	if ArchErrorCode(nil) != "" {
+		t.Fatalf("nil error should have no code")
+	}
+}
+
+// Optimize explores the spec's declared 3×2 value grid: the surrogate
+// search reports the same front brute force does, constraints cut the
+// feasible set, and option errors surface as errors, not panics.
+func TestOptimizeFacade(t *testing.T) {
+	spec, err := DecodeArchitecture([]byte(facadeSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := NewCache()
+	exact, err := Optimize(context.Background(), spec, OptimizeOptions{
+		Exhaustive: true, Cache: cache,
+	})
+	if err != nil {
+		t.Fatalf("exhaustive: %v", err)
+	}
+	if exact.GridPoints != 6 || exact.Simulated != 6 || !exact.Converged {
+		t.Fatalf("exhaustive run: %+v", exact)
+	}
+	if len(exact.Front) == 0 {
+		t.Fatal("empty front")
+	}
+	guided, err := Optimize(context.Background(), spec, OptimizeOptions{Cache: cache})
+	if err != nil {
+		t.Fatalf("guided: %v", err)
+	}
+	if len(guided.Front) != len(exact.Front) {
+		t.Fatalf("guided front has %d points, exhaustive %d", len(guided.Front), len(exact.Front))
+	}
+	for i := range guided.Front {
+		if guided.Front[i].Index != exact.Front[i].Index ||
+			guided.Front[i].Objective != exact.Front[i].Objective {
+			t.Fatalf("front[%d] differs: %+v vs %+v", i, guided.Front[i], exact.Front[i])
+		}
+	}
+
+	constrained, err := Optimize(context.Background(), spec, OptimizeOptions{
+		Exhaustive:  true,
+		Constraints: []OptimizeConstraint{{Metric: MetricPower, Max: 130}},
+		Cache:       cache,
+	})
+	if err != nil {
+		t.Fatalf("constrained: %v", err)
+	}
+	if constrained.Feasible >= exact.Feasible {
+		t.Fatalf("power budget cut nothing: %d feasible of %d", constrained.Feasible, exact.Feasible)
+	}
+
+	if _, err := Optimize(context.Background(), spec, OptimizeOptions{Objective: "latency"}); err == nil ||
+		!strings.Contains(err.Error(), "objective") {
+		t.Fatalf("unknown objective: %v", err)
+	}
+	if _, err := Optimize(context.Background(), spec, OptimizeOptions{
+		Constraints: []OptimizeConstraint{{Metric: "joules", Max: 1}},
+	}); err == nil || !strings.Contains(err.Error(), "joules") {
+		t.Fatalf("unknown constraint metric: %v", err)
+	}
+}

@@ -9,7 +9,18 @@
 //	dyncomp-sweep -scenario forkjoin -engine hybrid -axes "workers=2:6:1;tokens=1000"
 //	dyncomp-sweep -scenario lte -axes "symbols=1000,2000" -format json
 //	dyncomp-sweep -scenario chain -axes "period=1100:1700:40;tokens=250" -tolerance 0.01 -verify
+//	dyncomp-sweep -arch soc.json
+//	dyncomp-sweep -arch soc.json -optimize -objective final_time -constraint "power<=300;area<=12"
 //	dyncomp-sweep -list
+//
+// -arch sweeps an inline JSON architecture (docs/MODEL_FORMAT.md)
+// instead of a registered scenario; without -axes, the grid spans the
+// candidate values the spec's parameters declare. -optimize (requires
+// -arch) searches that design space for the Pareto front of -objective
+// (cycle_mean | final_time) against the spec's analytic cost metrics,
+// under the -constraint budgets ("metric<=max", semicolon-separated);
+// -budget caps its exact simulations and -exhaustive forces brute
+// force.
 //
 // -list prints the full engine × scenario matrix: every engine
 // registered in the engine registry and every scenario in the scenario
@@ -37,15 +48,19 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 
+	"dyncomp/internal/archjson"
 	"dyncomp/internal/engine"
 	"dyncomp/internal/model"
+	"dyncomp/internal/optimize"
 	"dyncomp/internal/sim"
 	"dyncomp/internal/sweep"
 	"dyncomp/internal/zoo"
@@ -58,6 +73,12 @@ import (
 
 func main() {
 	scenario := flag.String("scenario", "pipeline", "architecture scenario: "+strings.Join(zoo.ScenarioNames(), "|"))
+	archFile := flag.String("arch", "", "inline JSON architecture file (instead of -scenario)")
+	optimizeFlag := flag.Bool("optimize", false, "search the -arch design space for the Pareto front instead of sweeping")
+	objective := flag.String("objective", "", "optimizer objective: cycle_mean|final_time (default cycle_mean)")
+	constraint := flag.String("constraint", "", `optimizer budgets, e.g. "power<=300;area<=12"`)
+	budget := flag.Int("budget", 0, "optimizer cap on exact simulations (0: no cap)")
+	exhaustive := flag.Bool("exhaustive", false, "optimizer brute force: simulate every feasible point")
 	axesSpec := flag.String("axes", "", `grid axes, e.g. "xsize=6,10,20;tokens=500:2000:500"`)
 	workers := flag.Int("workers", 0, "worker-pool size (0: all processors)")
 	batch := flag.Int("batch", 0, "batched-evaluation lane width for same-shape points (0: per-point)")
@@ -87,14 +108,86 @@ func main() {
 	if _, err := engine.Lookup(*engName); err != nil {
 		fatal(err)
 	}
-	sc, err := zoo.LookupScenario(*scenario)
-	if err != nil {
-		fatal(err)
+	scenarioSet := false
+	flag.Visit(func(f *flag.Flag) { scenarioSet = scenarioSet || f.Name == "scenario" })
+
+	var spec *archjson.Spec
+	if *archFile != "" {
+		if scenarioSet {
+			fatal(fmt.Errorf("-arch and -scenario are mutually exclusive"))
+		}
+		data, err := os.ReadFile(*archFile)
+		if err != nil {
+			fatal(err)
+		}
+		if spec, err = archjson.Decode(data); err != nil {
+			fatal(err)
+		}
 	}
-	gen := func(p sweep.Point) (*model.Architecture, error) { return sc.Build(p), nil }
-	axes, err := parseAxes(*axesSpec)
-	if err != nil {
-		fatal(err)
+	if *optimizeFlag {
+		if spec == nil {
+			fatal(fmt.Errorf("-optimize requires -arch (the optimizer searches a spec's declared parameter values)"))
+		}
+		cons, err := parseConstraints(*constraint)
+		if err != nil {
+			fatal(err)
+		}
+		grp := parseGroup(*group)
+		if *engName == "hybrid" && grp == nil {
+			grp = spec.CanonicalGroup()
+		}
+		res, err := optimize.Run(context.Background(), spec, optimize.Options{
+			Engine:      *engName,
+			Workers:     *workers,
+			BatchWidth:  *batch,
+			Objective:   *objective,
+			Constraints: cons,
+			Budget:      *budget,
+			Exhaustive:  *exhaustive,
+			Group:       grp,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		if err := writeFront(os.Stdout, res, *format); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	var gen sweep.Generator
+	var axes []sweep.Axis
+	var sc zoo.Scenario
+	if spec != nil {
+		gen = func(p sweep.Point) (*model.Architecture, error) { return spec.Build(p) }
+		if strings.TrimSpace(*axesSpec) == "" {
+			// Default grid: the candidate values the spec declares.
+			axes = specAxes(spec)
+			if len(axes) == 0 {
+				fatal(fmt.Errorf("architecture %q declares no parameter values; give -axes", spec.Name))
+			}
+		} else {
+			var err error
+			if axes, err = parseAxes(*axesSpec); err != nil {
+				fatal(err)
+			}
+			axisParams := map[string]int64{}
+			for _, ax := range axes {
+				axisParams[ax.Name] = ax.Values[0]
+			}
+			if err := spec.CheckParams(axisParams); err != nil {
+				fatal(err)
+			}
+		}
+	} else {
+		var err error
+		if sc, err = zoo.LookupScenario(*scenario); err != nil {
+			fatal(err)
+		}
+		gen = func(p sweep.Point) (*model.Architecture, error) { return sc.Build(p), nil }
+		if axes, err = parseAxes(*axesSpec); err != nil {
+			fatal(err)
+		}
 	}
 
 	if *tolerance < 0 {
@@ -118,11 +211,18 @@ func main() {
 		},
 	}
 	if *engName == "hybrid" {
-		if *group != "" {
+		switch {
+		case *group != "":
 			opts.Group = parseGroup(*group)
-		} else if sc.HybridGroup == nil {
+		case spec != nil:
+			// An inline spec's structure is point-independent: one group
+			// serves every point.
+			if opts.Group = spec.CanonicalGroup(); opts.Group == nil {
+				fatal(fmt.Errorf("architecture %q has no canonical hybrid group; use -group", spec.Name))
+			}
+		case sc.HybridGroup == nil:
 			fatal(fmt.Errorf("scenario %q has no canonical hybrid group; use -group", sc.Name))
-		} else {
+		default:
 			// Per point: axes may change the structure and with it the
 			// group (e.g. sweeping the fork-join worker count).
 			opts.GroupFor = func(p sweep.Point) []string { return sc.HybridGroup(p) }
@@ -195,6 +295,93 @@ func parseGroup(spec string) []string {
 		}
 	}
 	return group
+}
+
+// specAxes turns a spec's declared candidate values into grid axes,
+// in declaration order.
+func specAxes(spec *archjson.Spec) []sweep.Axis {
+	var axes []sweep.Axis
+	for i := range spec.Parameters {
+		p := &spec.Parameters[i]
+		if len(p.Values) > 0 {
+			axes = append(axes, sweep.Axis{Name: p.Name, Values: append([]int64(nil), p.Values...)})
+		}
+	}
+	return axes
+}
+
+// parseConstraints parses "power<=300;area<=12" into optimizer budgets.
+func parseConstraints(spec string) ([]optimize.Constraint, error) {
+	var cons []optimize.Constraint
+	for _, part := range strings.Split(spec, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		metric, max, ok := strings.Cut(part, "<=")
+		if !ok {
+			return nil, fmt.Errorf("constraint %q: want metric<=max", part)
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(max), 64)
+		if err != nil {
+			return nil, fmt.Errorf("constraint %q: %w", part, err)
+		}
+		cons = append(cons, optimize.Constraint{Metric: strings.TrimSpace(metric), Max: v})
+	}
+	return cons, nil
+}
+
+// writeFront renders an optimization result: the Pareto front first,
+// then the search summary.
+func writeFront(w *os.File, res *optimize.Result, format string) error {
+	if format == "json" {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(res)
+	}
+	var names []string
+	if len(res.Front) > 0 {
+		for n := range res.Front[0].Params {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+	}
+	if format == "csv" {
+		cols := append(append([]string{}, names...), "objective", "area", "power", "origin")
+		fmt.Fprintln(w, strings.Join(cols, ","))
+		for _, p := range res.Front {
+			row := make([]string, 0, len(cols))
+			for _, n := range names {
+				row = append(row, strconv.FormatInt(p.Params[n], 10))
+			}
+			row = append(row,
+				fmt.Sprintf("%.4f", p.Objective),
+				fmt.Sprintf("%.4f", p.Area),
+				fmt.Sprintf("%.4f", p.Power),
+				p.Origin)
+			fmt.Fprintln(w, strings.Join(row, ","))
+		}
+		return nil
+	}
+	for _, n := range names {
+		fmt.Fprintf(w, "%-10s ", n)
+	}
+	fmt.Fprintf(w, "%14s %10s %10s %-10s\n", res.Objective, "area", "power", "origin")
+	for _, p := range res.Front {
+		for _, n := range names {
+			fmt.Fprintf(w, "%-10d ", p.Params[n])
+		}
+		fmt.Fprintf(w, "%14.2f %10.2f %10.2f %-10s\n", p.Objective, p.Area, p.Power, p.Origin)
+	}
+	fmt.Fprintf(w, "\n%d front, %d feasible of %d grid points, %d simulated", len(res.Front), res.Feasible, res.GridPoints, res.Simulated)
+	if res.Exhaustive {
+		fmt.Fprintf(w, ", exhaustive")
+	}
+	if !res.Converged {
+		fmt.Fprintf(w, ", budget exhausted before convergence")
+	}
+	fmt.Fprintln(w)
+	return nil
 }
 
 // parseAxes parses "a=1,2,3;b=10:30:10" into grid axes.

@@ -1,0 +1,260 @@
+package archjson
+
+import (
+	"encoding/json"
+
+	"dyncomp/internal/model"
+)
+
+// Export turns a compiled-in architecture into a version-1 spec that
+// Decode+Build reproduce bit-exact: structure is copied field for
+// field, while Go closures (costs, schedules, token streams) — which
+// cannot be introspected — are tabulated over the finite iteration
+// range and compacted back to a closed form when one fits (all-equal
+// cost → fixed, affine schedule → periodic/eager, all-equal scalar →
+// fixed). Tabulated costs are evaluated through the same
+// ExecInfo.Load path the engines use, so the emitted table is by
+// construction the sequence of operation counts every engine would
+// compute.
+//
+// Export requires every source count to be at most the table bound
+// (65536); larger models have no finite exact tabulation and are
+// rejected with CodeInvalid. The exported spec carries no abstraction
+// groups (an Architecture does not know its hybrid group); callers
+// holding one can append it to Spec.Groups.
+func Export(a *model.Architecture) (*Spec, error) {
+	if err := a.Validate(); err != nil {
+		return nil, errf(CodeInvalid, "architecture %q does not validate: %v", a.Name, err)
+	}
+	s := &Spec{Version: Version, Name: a.Name}
+
+	for _, ch := range a.Channels {
+		c := Channel{Name: ch.Name, Kind: KindRendezvous}
+		if ch.Kind == model.FIFO {
+			c.Kind, c.Capacity = KindFIFO, ch.Capacity
+		}
+		s.Channels = append(s.Channels, c)
+	}
+	for _, f := range a.Functions {
+		ef := Function{Name: f.Name}
+		for i, st := range f.Body {
+			switch stmt := st.(type) {
+			case model.Read:
+				ef.Body = append(ef.Body, Stmt{Read: stmt.Ch.Name})
+			case model.Write:
+				ef.Body = append(ef.Body, Stmt{Write: stmt.Ch.Name})
+			case model.Exec:
+				cost, err := exportCost(a, f, i)
+				if err != nil {
+					return nil, err
+				}
+				ef.Body = append(ef.Body, Stmt{Exec: &Exec{Label: stmt.Label, Cost: cost}})
+			default:
+				return nil, errf(CodeInvalid, "function %q statement %d: unknown statement type %T", f.Name, i, st)
+			}
+		}
+		s.Functions = append(s.Functions, ef)
+	}
+	for _, r := range a.Resources {
+		kind := KindProcessor
+		if r.Kind == model.Hardware {
+			kind = KindHardware
+		}
+		s.Resources = append(s.Resources, Resource{Name: r.Name, Kind: kind, OpsPerSec: Num(r.OpsPerSec)})
+		if len(r.Rotation) > 0 {
+			m := Mapping{Resource: r.Name}
+			for _, f := range r.Rotation {
+				m.Functions = append(m.Functions, f.Name)
+			}
+			s.Mapping = append(s.Mapping, m)
+		}
+	}
+	for _, src := range a.Sources {
+		if src.Count > maxTableLen {
+			return nil, errf(CodeInvalid, "source %q: %d tokens exceed the exportable table bound %d", src.Name, src.Count, maxTableLen)
+		}
+		sched, err := exportSchedule(src)
+		if err != nil {
+			return nil, err
+		}
+		s.Sources = append(s.Sources, Source{
+			Name:     src.Name,
+			Channel:  src.Ch.Name,
+			Count:    Num(float64(src.Count)),
+			Schedule: sched,
+			Tokens:   exportTokens(src),
+		})
+	}
+	for _, sk := range a.Sinks {
+		s.Sinks = append(s.Sinks, Sink{Name: sk.Name, Channel: sk.Ch.Name})
+	}
+	if err := s.Check(); err != nil {
+		return nil, errf(CodeInvalid, "architecture %q does not re-check after export: %v", a.Name, err)
+	}
+	return s, nil
+}
+
+// Marshal encodes a spec as indented JSON.
+func Marshal(s *Spec) ([]byte, error) {
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return nil, errf(CodeInvalid, "encoding architecture %q: %v", s.Name, err)
+	}
+	return data, nil
+}
+
+// exportCost tabulates the operation counts of one Exec statement over
+// the iteration range of its provenance source, via the exact
+// ExecInfo.Load path the engines evaluate.
+func exportCost(a *model.Architecture, f *model.Function, stmtIndex int) (Cost, error) {
+	info, err := a.ExecInfoOf(f, stmtIndex)
+	if err != nil {
+		return Cost{}, errf(CodeInvalid, "function %q statement %d: %v", f.Name, stmtIndex, err)
+	}
+	src, err := provenanceSource(a, f, stmtIndex)
+	if err != nil {
+		return Cost{}, err
+	}
+	if src.Count > maxTableLen {
+		return Cost{}, errf(CodeInvalid, "function %q statement %d: source %q's %d tokens exceed the exportable table bound %d",
+			f.Name, stmtIndex, src.Name, src.Count, maxTableLen)
+	}
+	table := make([]float64, src.Count)
+	allEqual := true
+	for k := range table {
+		table[k] = info.Load(k).Ops
+		allEqual = allEqual && table[k] == table[0]
+	}
+	if allEqual {
+		return Cost{Kind: CostFixed, Ops: Num(table[0])}, nil
+	}
+	return Cost{Kind: CostTable, Table: table}, nil
+}
+
+// provenanceSource resolves the source feeding the last Read preceding
+// stmtIndex in f's body, walking last-read-before-write chains exactly
+// like model.ExecInfoOf does (via exported fields only).
+func provenanceSource(a *model.Architecture, f *model.Function, stmtIndex int) (*model.Source, error) {
+	var prov *model.Channel
+	for i := 0; i < stmtIndex; i++ {
+		if r, ok := f.Body[i].(model.Read); ok {
+			prov = r.Ch
+		}
+	}
+	if prov == nil {
+		return nil, errf(CodeInvalid, "function %q statement %d has no preceding read", f.Name, stmtIndex)
+	}
+	seen := map[*model.Channel]bool{}
+	cur := prov
+	for cur.Source == nil {
+		if seen[cur] {
+			return nil, errf(CodeInvalid, "token provenance cycle through channel %q", prov.Name)
+		}
+		seen[cur] = true
+		var last *model.Channel
+		done := false
+		for _, st := range cur.WriterFunc.Body {
+			switch stmt := st.(type) {
+			case model.Read:
+				last = stmt.Ch
+			case model.Write:
+				done = stmt.Ch == cur
+			}
+			if done {
+				break
+			}
+		}
+		if last == nil {
+			return nil, errf(CodeInvalid, "channel %q is written before any read; provenance undefined", cur.Name)
+		}
+		cur = last
+	}
+	return cur.Source, nil
+}
+
+// exportSchedule tabulates u(k) over the source's range and compacts:
+// all zero → eager, affine nondecreasing → periodic, else a table.
+func exportSchedule(src *model.Source) (*Schedule, error) {
+	n := src.Count
+	table := make([]int64, n)
+	for k := range table {
+		u := int64(src.Schedule(k))
+		if u < 0 {
+			return nil, errf(CodeInvalid, "source %q: schedule instant u(%d)=%d is negative; not exportable", src.Name, k, u)
+		}
+		table[k] = u
+	}
+	allZero := true
+	for _, u := range table {
+		allZero = allZero && u == 0
+	}
+	if allZero {
+		return nil, nil // the default: eager
+	}
+	if n == 1 {
+		return &Schedule{Kind: SchedulePeriodic, Period: Num(0), Offset: Num(float64(table[0]))}, nil
+	}
+	d := table[1] - table[0]
+	affine := d >= 0
+	for k := 2; affine && k < n; k++ {
+		affine = table[k]-table[k-1] == d
+	}
+	if affine {
+		return &Schedule{Kind: SchedulePeriodic, Period: Num(float64(d)), Offset: Num(float64(table[0]))}, nil
+	}
+	for k := 1; k < n; k++ {
+		if table[k] < table[k-1] {
+			return nil, errf(CodeInvalid, "source %q: schedule instants decrease at k=%d; not exportable", src.Name, k)
+		}
+	}
+	return &Schedule{Kind: ScheduleTable, Table: table}, nil
+}
+
+// exportTokens tabulates the source's token sizes and attributes.
+// These carry no bit-exactness weight (exported costs are tables over
+// the iteration index), but keep the spec a faithful description.
+func exportTokens(src *model.Source) *Tokens {
+	n := src.Count
+	sizes := make([]float64, n)
+	maxAttrs := 0
+	toks := make([]model.Token, n)
+	for k := 0; k < n; k++ {
+		toks[k] = src.Tokens(k)
+		sizes[k] = float64(toks[k].Size)
+		if len(toks[k].Attrs) > maxAttrs {
+			maxAttrs = len(toks[k].Attrs)
+		}
+	}
+	t := &Tokens{Size: compactScalar(sizes)}
+	for i := 0; i < maxAttrs; i++ {
+		vals := make([]float64, n)
+		for k := 0; k < n; k++ {
+			vals[k] = toks[k].Attr(i)
+		}
+		sc := compactScalar(vals)
+		if sc == nil {
+			sc = &Scalar{Kind: ScalarFixed, Value: Num(0)}
+		}
+		t.Attrs = append(t.Attrs, *sc)
+	}
+	if t.Size == nil && len(t.Attrs) == 0 {
+		return nil
+	}
+	return t
+}
+
+// compactScalar emits the shortest exact scalar: nil for all-zero,
+// fixed for all-equal, a table otherwise.
+func compactScalar(vals []float64) *Scalar {
+	allEqual := true
+	for _, v := range vals {
+		allEqual = allEqual && v == vals[0]
+	}
+	if allEqual {
+		if len(vals) == 0 || vals[0] == 0 {
+			return nil
+		}
+		return &Scalar{Kind: ScalarFixed, Value: Num(vals[0])}
+	}
+	return &Scalar{Kind: ScalarTable, Table: vals}
+}

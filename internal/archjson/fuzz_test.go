@@ -1,0 +1,58 @@
+package archjson
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzDecodeArchitecture is the decoder's panic/OOM wall: whatever the
+// bytes, Decode either returns a spec that builds (or fails to build)
+// with a structured error, or rejects the input with a structured
+// error — never a panic, never an unbounded allocation (every table
+// and list is capped before it is walked). CI runs this for a short
+// -fuzztime smoke on every push.
+func FuzzDecodeArchitecture(f *testing.F) {
+	files, err := filepath.Glob("testdata/*.json")
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, file := range files {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	for _, seed := range []string{
+		``,
+		`{`,
+		`42`,
+		`{"version": 1}`,
+		`{"version": 9, "name": "x"}`,
+		`{"version": 1, "name": "x", "channels": [{"name": "c", "kind": "fifo"}]}`,
+		`{"version": 1, "name": "x", "resources": [{"name": "P", "kind": "processor", "ops_per_sec": "$ghost"}]}`,
+		`{"version": 1, "name": "x", "sources": [{"name": "s", "channel": "c", "count": 1e99}]}`,
+		`{"version": 1, "name": "x", "functions": [{"name": "F", "body": [{"exec": {"cost": {"kind": "table", "table": [1e308, -1e308]}}}]}]}`,
+		`{"version": 1, "name": "x"} trailing`,
+	} {
+		f.Add([]byte(seed))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		spec, err := Decode(data)
+		if err != nil {
+			if ErrCode(err) == "" {
+				t.Fatalf("Decode returned an unstructured error %T: %v", err, err)
+			}
+			return
+		}
+		// A decoded spec must marshal, and build must either succeed or
+		// fail structured — no panics on any path.
+		if _, err := Marshal(spec); err != nil {
+			t.Fatalf("Marshal of a decoded spec failed: %v", err)
+		}
+		if _, err := spec.Build(nil); err != nil && ErrCode(err) == "" {
+			t.Fatalf("Build returned an unstructured error %T: %v", err, err)
+		}
+	})
+}

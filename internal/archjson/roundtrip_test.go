@@ -1,0 +1,104 @@
+package archjson_test
+
+import (
+	"context"
+	"testing"
+
+	"dyncomp/internal/archjson"
+	"dyncomp/internal/engine"
+	"dyncomp/internal/observe"
+	"dyncomp/internal/zoo"
+
+	// Link every executor and the LTE scenario into the test binary.
+	_ "dyncomp/internal/adaptive"
+	_ "dyncomp/internal/baseline"
+	_ "dyncomp/internal/core"
+	_ "dyncomp/internal/hybrid"
+	_ "dyncomp/internal/lte"
+)
+
+// Same sizing as the cross-engine property harness: small enough for a
+// property-style sweep, each builder picks the parameters it knows.
+var testParams = zoo.ParamMap{
+	"tokens":  60,
+	"symbols": 28,
+	"xsize":   5,
+	"stages":  2,
+	"workers": 3,
+	"seed":    3,
+}
+
+// The exporter's acceptance property: every registered zoo scenario
+// exports to JSON, re-imports through Decode+Build, and the rebuilt
+// architecture produces evolution instants bit-exact against the
+// compiled-in original on every registered engine. This is what makes
+// the open format trustworthy — a spec on the wire is not a lossy
+// approximation of the Go model, it *is* the model.
+func TestZooRoundTripBitExactOnEveryEngine(t *testing.T) {
+	ctx := context.Background()
+	ref, err := engine.Lookup("reference")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sc := range zoo.Scenarios() {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			orig := sc.Build(testParams)
+			spec, err := archjson.Export(orig)
+			if err != nil {
+				t.Fatalf("Export: %v", err)
+			}
+			data, err := archjson.Marshal(spec)
+			if err != nil {
+				t.Fatalf("Marshal: %v", err)
+			}
+			decoded, err := archjson.Decode(data)
+			if err != nil {
+				t.Fatalf("Decode of exported spec: %v", err)
+			}
+			refWant, err := ref.Run(ctx, sc.Build(testParams), engine.Options{Record: true})
+			if err != nil {
+				t.Fatalf("reference on original: %v", err)
+			}
+			for _, name := range engine.Names() {
+				group := sc.GroupFor(name, testParams)
+				if name == "hybrid" && group == nil {
+					continue // no canonical group to abstract
+				}
+				eng, err := engine.Lookup(name)
+				if err != nil {
+					t.Fatal(err)
+				}
+				opts := engine.Options{Record: true, AbstractGroup: group}
+				want, err := eng.Run(ctx, sc.Build(testParams), opts)
+				if err != nil {
+					t.Errorf("%s on original %s: %v", name, sc.Name, err)
+					continue
+				}
+				rebuilt, err := decoded.Build(nil)
+				if err != nil {
+					t.Fatalf("Build of exported spec: %v", err)
+				}
+				r, err := eng.Run(ctx, rebuilt, opts)
+				if err != nil {
+					t.Errorf("%s on round-tripped %s: %v", name, sc.Name, err)
+					continue
+				}
+				// Bit-exact against the same engine on the original (final
+				// time and iteration count are same-engine semantics), and
+				// instant-exact against the reference (the cross-engine
+				// anchor).
+				if err := observe.CompareInstants(want.Trace, r.Trace); err != nil {
+					t.Errorf("%s on round-tripped %s differs from original: %v", name, sc.Name, err)
+				}
+				if err := observe.CompareInstants(refWant.Trace, r.Trace); err != nil {
+					t.Errorf("%s on round-tripped %s differs from reference on original: %v", name, sc.Name, err)
+				}
+				if r.FinalTimeNs != want.FinalTimeNs || r.Iterations != want.Iterations {
+					t.Errorf("%s on round-tripped %s: final %d/%d iters %d/%d differ",
+						name, sc.Name, r.FinalTimeNs, want.FinalTimeNs, r.Iterations, want.Iterations)
+				}
+			}
+		})
+	}
+}

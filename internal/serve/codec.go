@@ -44,15 +44,21 @@ type RunOptions struct {
 	Reduce bool `json:"reduce,omitempty"`
 }
 
-// RunRequest is the body of POST /v1/run: one engine × scenario
-// evaluation. Params supplies the scenario's named integer parameters
-// (absent names fall back to scenario defaults, unknown names are
-// rejected).
+// RunRequest is the body of POST /v1/run: one engine × model
+// evaluation. The model is either a registered scenario by name or an
+// inline JSON architecture (the two are mutually exclusive). Params
+// supplies the model's named integer parameters (absent names fall
+// back to defaults, unknown names are rejected).
 type RunRequest struct {
-	Engine   string           `json:"engine,omitempty"` // default "equivalent"
-	Scenario string           `json:"scenario"`
-	Params   map[string]int64 `json:"params,omitempty"`
-	Options  RunOptions       `json:"options"`
+	Engine   string `json:"engine,omitempty"` // default "equivalent"
+	Scenario string `json:"scenario,omitempty"`
+	// Architecture is an inline architecture spec in the open JSON
+	// model format (docs/MODEL_FORMAT.md, internal/archjson version 1),
+	// validated and built through the same model.Validate path as the
+	// compiled-in scenarios.
+	Architecture json.RawMessage  `json:"architecture,omitempty"`
+	Params       map[string]int64 `json:"params,omitempty"`
+	Options      RunOptions       `json:"options"`
 }
 
 // EngineResult is the wire form of a completed run, mirroring
@@ -78,12 +84,15 @@ type CacheStats struct {
 	Misses int64 `json:"misses"`
 }
 
-// RunResponse is the body of a successful POST /v1/run.
+// RunResponse is the body of a successful POST /v1/run. Scenario names
+// the registered scenario that ran; Architecture the inline spec (by
+// its declared name) — exactly one of the two is set.
 type RunResponse struct {
-	Engine   string       `json:"engine"`
-	Scenario string       `json:"scenario"`
-	Result   EngineResult `json:"result"`
-	Cache    CacheStats   `json:"cache"`
+	Engine       string       `json:"engine"`
+	Scenario     string       `json:"scenario,omitempty"`
+	Architecture string       `json:"architecture,omitempty"`
+	Result       EngineResult `json:"result"`
+	Cache        CacheStats   `json:"cache"`
 }
 
 // Axis is one dimension of a sweep grid on the wire.
@@ -127,14 +136,18 @@ type SweepOptions struct {
 }
 
 // SweepRequest is the body of POST /v1/sweeps: an asynchronous grid
-// evaluation. Axes spans the grid; Params fixes additional scenario
-// parameters that are not swept (an axis of the same name wins).
+// evaluation of a registered scenario or an inline JSON architecture
+// (mutually exclusive, as in RunRequest; axes over an inline spec must
+// name its declared parameters). Axes spans the grid; Params fixes
+// additional parameters that are not swept (an axis of the same name
+// wins).
 type SweepRequest struct {
-	Engine   string           `json:"engine,omitempty"` // default "equivalent"
-	Scenario string           `json:"scenario"`
-	Axes     []Axis           `json:"axes"`
-	Params   map[string]int64 `json:"params,omitempty"`
-	Options  SweepOptions     `json:"options"`
+	Engine       string           `json:"engine,omitempty"` // default "equivalent"
+	Scenario     string           `json:"scenario,omitempty"`
+	Architecture json.RawMessage  `json:"architecture,omitempty"`
+	Axes         []Axis           `json:"axes"`
+	Params       map[string]int64 `json:"params,omitempty"`
+	Options      SweepOptions     `json:"options"`
 }
 
 // Job is the wire form of a sweep job's lifecycle state, returned by
@@ -238,6 +251,17 @@ const (
 	CodeQueueFull       = "queue_full"
 	CodeUnavailable     = "unavailable"
 	CodeBodyTooLarge    = "body_too_large"
+	// Inline-architecture codes: a spec that fails decoding, validation
+	// or building answers invalid_architecture; a spec with a version
+	// field this server does not speak answers unsupported_version (so a
+	// newer client learns the format gap, not a generic validation
+	// failure).
+	CodeInvalidArchitecture = "invalid_architecture"
+	CodeUnsupportedVersion  = "unsupported_version"
+	// Optimizer codes: unknown objective metric / malformed constraint
+	// on POST /v1/optimize.
+	CodeInvalidObjective  = "invalid_objective"
+	CodeInvalidConstraint = "invalid_constraint"
 )
 
 // engineOptions maps wire run options onto the unified engine options.

@@ -1,0 +1,70 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// FuzzRunRequest is the API's panic wall: whatever bytes arrive as a
+// POST /v1/run body — including inline architecture objects, which
+// open a much larger input surface than scenario names — the handler
+// answers a well-formed JSON response with one of the documented
+// status codes, and never panics the process. CI runs this for a short
+// -fuzztime smoke alongside FuzzDecodeArchitecture.
+func FuzzRunRequest(f *testing.F) {
+	for _, seed := range []string{
+		``,
+		`{}`,
+		`{"scenario": "didactic"}`,
+		`{"scenario": "didactic", "params": {"tokens": 50}}`,
+		`{"engine": "reference", "scenario": "pipeline", "options": {"limit_ns": 1000}}`,
+		`{"engine": "hybrid", "scenario": "didactic"}`,
+		`{"scenario": "ghost"}`,
+		`{"scenario": "didactic", "params": {"ghost": 1}}`,
+		`{"architecture": {"version": 1}}`,
+		`{"architecture": {"version": 99, "name": "x"}}`,
+		`{"scenario": "didactic", "architecture": {"version": 1, "name": "x"}}`,
+		`{"architecture": ` + inlineSpec + `}`,
+		`{"architecture": ` + inlineSpec + `, "params": {"period": -1}}`,
+		`{"architecture": ` + inlineSpec + `, "params": {"ghost": 3}}`,
+		`{"scenario": "didactic"} trailing`,
+		`[1, 2, 3]`,
+		`{"options": {"group": ["F1"]}}`,
+	} {
+		f.Add([]byte(seed))
+	}
+
+	s := New(Config{})
+	defer s.Close()
+	h := s.Handler()
+
+	allowed := map[int]bool{
+		http.StatusOK:                    true,
+		http.StatusBadRequest:            true,
+		http.StatusRequestEntityTooLarge: true,
+		http.StatusUnprocessableEntity:   true,
+	}
+	f.Fuzz(func(t *testing.T, body []byte) {
+		req := httptest.NewRequest(http.MethodPost, "/v1/run", strings.NewReader(string(body)))
+		req.Header.Set("Content-Type", "application/json")
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+
+		if !allowed[rec.Code] {
+			t.Fatalf("status %d for body %q", rec.Code, body)
+		}
+		var payload json.RawMessage
+		if err := json.Unmarshal(rec.Body.Bytes(), &payload); err != nil {
+			t.Fatalf("non-JSON response %q for body %q", rec.Body.String(), body)
+		}
+		if rec.Code != http.StatusOK {
+			var er ErrorResponse
+			if err := json.Unmarshal(rec.Body.Bytes(), &er); err != nil || er.Err.Code == "" {
+				t.Fatalf("status %d without a structured error: %q", rec.Code, rec.Body.String())
+			}
+		}
+	})
+}

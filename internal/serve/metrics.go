@@ -64,6 +64,7 @@ const (
 	metricRuns     = "dyncomp_serve_runs_total"
 	metricJobs     = "dyncomp_serve_jobs_total"
 	metricChunks   = "dyncomp_serve_chunks_total"
+	metricOptimize = "dyncomp_serve_optimizations_total"
 )
 
 // predErrBuckets are the upper bounds of the prediction-error histogram
@@ -128,6 +129,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "# TYPE %s counter\n", metricJobs)
 	fmt.Fprintf(w, "# HELP %s Distributed sweep chunks evaluated for a coordinator, by engine.\n", metricChunks)
 	fmt.Fprintf(w, "# TYPE %s counter\n", metricChunks)
+	fmt.Fprintf(w, "# HELP %s Design-space optimizations completed, by engine.\n", metricOptimize)
+	fmt.Fprintf(w, "# TYPE %s counter\n", metricOptimize)
 	for _, line := range s.metrics.snapshot() {
 		fmt.Fprintln(w, line)
 	}

@@ -104,6 +104,10 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		writeError(w, aerr.Status, aerr.Code, "%s", aerr.Msg)
 		return
 	}
+	if hasArchitecture(req.Architecture) {
+		s.handleRunInline(w, r, req)
+		return
+	}
 	eng, sc, pm, aerr := resolve(req.Engine, req.Scenario, req.Params)
 	if aerr != nil {
 		writeError(w, aerr.Status, aerr.Code, "%s", aerr.Msg)

@@ -7,12 +7,16 @@
 // The service exposes three groups of endpoints:
 //
 //   - Synchronous evaluation: POST /v1/run runs one engine on one
-//     scenario configuration and returns the unified result. Every run
-//     shares one process-wide structure-keyed derivation cache
-//     (derive.Cache), so structurally identical requests — the common
-//     case for a service hammered with parameter variations of a few
-//     architectures — rebind a cached temporal dependency graph instead
-//     of re-deriving it.
+//     model — a registered scenario by name, or an inline architecture
+//     in the open JSON model format (internal/archjson) — and returns
+//     the unified result. POST /v1/optimize runs the surrogate-driven
+//     Pareto design-space optimizer (internal/optimize) over an inline
+//     architecture's declared parameter space. Every run shares one
+//     process-wide structure-keyed derivation cache (derive.Cache), so
+//     structurally identical requests — the common case for a service
+//     hammered with parameter variations of a few architectures —
+//     rebind a cached temporal dependency graph instead of re-deriving
+//     it, whether the model came from the registry or the wire.
 //
 //   - Asynchronous sweeps: POST /v1/sweeps queues a design-space sweep
 //     job on a bounded worker pool and returns a job id; GET
@@ -207,6 +211,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/engines", s.countRequests("engines", s.handleEngines))
 	s.mux.HandleFunc("GET /v1/scenarios", s.countRequests("scenarios", s.handleScenarios))
 	s.mux.HandleFunc("POST /v1/run", s.countRequests("run", s.handleRun))
+	s.mux.HandleFunc("POST /v1/optimize", s.countRequests("optimize", s.handleOptimize))
 	s.mux.HandleFunc("POST /v1/chunks", s.countRequests("chunk_run", s.handleChunkRun))
 	s.mux.HandleFunc("POST /v1/sweeps", s.countRequests("sweep_create", s.handleSweepCreate))
 	s.mux.HandleFunc("GET /v1/sweeps", s.countRequests("sweep_list", s.handleSweepList))

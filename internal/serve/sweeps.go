@@ -57,10 +57,54 @@ type SweepDefaults struct {
 	MaxGridPoints int
 }
 
+// compileSweepOptions validates and maps the wire sweep options every
+// model source (scenario or inline architecture) shares: batch width,
+// sampling knobs, worker count, engine options. Group resolution stays
+// with the caller — it differs between the two sources.
+func compileSweepOptions(o SweepOptions, d SweepDefaults, engineName string) (sweep.Options, *RequestError) {
+	if o.BatchWidth < 0 {
+		return sweep.Options{}, requestErrorf(http.StatusBadRequest, CodeBadJSON,
+			"options.batch_width must be non-negative, got %d", o.BatchWidth)
+	}
+	if o.SampleTolerance < 0 {
+		return sweep.Options{}, requestErrorf(http.StatusBadRequest, CodeInvalidSample,
+			"options.sample_tolerance must be non-negative, got %g", o.SampleTolerance)
+	}
+	if o.SampleBudget < 0 {
+		return sweep.Options{}, requestErrorf(http.StatusBadRequest, CodeInvalidSample,
+			"options.sample_budget must be non-negative, got %d", o.SampleBudget)
+	}
+	workers := o.Workers
+	if workers <= 0 {
+		workers = d.Workers
+	}
+	batchWidth := o.BatchWidth
+	if batchWidth == 0 {
+		batchWidth = d.BatchWidth
+	}
+	opts := sweep.Options{
+		Workers:    workers,
+		Engine:     engineName,
+		Window:     o.WindowK,
+		Confidence: o.Confidence,
+		Baseline:   o.Baseline,
+		Limit:      sim.Time(o.LimitNs),
+		BatchWidth: batchWidth,
+		Sample: sweep.SampleOptions{
+			Tolerance: o.SampleTolerance,
+			Budget:    o.SampleBudget,
+			Verify:    o.SampleVerify,
+		},
+	}
+	opts.Derive.Reduce = o.Reduce
+	return opts, nil
+}
+
 // CompileSweep validates everything about a sweep request that can fail
-// fast — registry names, parameters, axes, grid size, group, batch
-// width — and compiles it into a SweepPlan ready for sweep.Run,
-// sweep.RunIndices or distributed planning.
+// fast — registry names (or the inline architecture spec), parameters,
+// axes, grid size, group, batch width — and compiles it into a
+// SweepPlan ready for sweep.Run, sweep.RunIndices or distributed
+// planning.
 func CompileSweep(req SweepRequest, d SweepDefaults) (*SweepPlan, *RequestError) {
 	if d.Workers <= 0 {
 		d.Workers = runtime.GOMAXPROCS(0)
@@ -70,6 +114,9 @@ func CompileSweep(req SweepRequest, d SweepDefaults) (*SweepPlan, *RequestError)
 	}
 	if d.MaxGridPoints <= 0 {
 		d.MaxGridPoints = 100000
+	}
+	if hasArchitecture(req.Architecture) {
+		return compileSweepInline(req, d)
 	}
 	eng, sc, fixed, aerr := resolve(req.Engine, req.Scenario, req.Params)
 	if aerr != nil {
@@ -101,41 +148,10 @@ func CompileSweep(req SweepRequest, d SweepDefaults) (*SweepPlan, *RequestError)
 		return nil, aerr
 	}
 
-	if req.Options.BatchWidth < 0 {
-		return nil, requestErrorf(http.StatusBadRequest, CodeBadJSON,
-			"options.batch_width must be non-negative, got %d", req.Options.BatchWidth)
+	opts, aerr := compileSweepOptions(req.Options, d, eng.Name())
+	if aerr != nil {
+		return nil, aerr
 	}
-	if req.Options.SampleTolerance < 0 {
-		return nil, requestErrorf(http.StatusBadRequest, CodeInvalidSample,
-			"options.sample_tolerance must be non-negative, got %g", req.Options.SampleTolerance)
-	}
-	if req.Options.SampleBudget < 0 {
-		return nil, requestErrorf(http.StatusBadRequest, CodeInvalidSample,
-			"options.sample_budget must be non-negative, got %d", req.Options.SampleBudget)
-	}
-	workers := req.Options.Workers
-	if workers <= 0 {
-		workers = d.Workers
-	}
-	batchWidth := req.Options.BatchWidth
-	if batchWidth == 0 {
-		batchWidth = d.BatchWidth
-	}
-	opts := sweep.Options{
-		Workers:    workers,
-		Engine:     eng.Name(),
-		Window:     req.Options.WindowK,
-		Confidence: req.Options.Confidence,
-		Baseline:   req.Options.Baseline,
-		Limit:      sim.Time(req.Options.LimitNs),
-		BatchWidth: batchWidth,
-		Sample: sweep.SampleOptions{
-			Tolerance: req.Options.SampleTolerance,
-			Budget:    req.Options.SampleBudget,
-			Verify:    req.Options.SampleVerify,
-		},
-	}
-	opts.Derive.Reduce = req.Options.Reduce
 	if len(req.Options.Group) > 0 {
 		opts.Group = req.Options.Group
 	} else if eng.Name() == "hybrid" {

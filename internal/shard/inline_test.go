@@ -1,0 +1,148 @@
+package shard
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+
+	"dyncomp/internal/serve"
+)
+
+// shardInlineSpec is the inline architecture the fabric tests sweep:
+// final time is exactly (count-1)·period + work, so any fabric-level
+// corruption of the pinned spec would be visible in the merged numbers.
+const shardInlineSpec = `{
+  "version": 1,
+  "name": "fabricgrid",
+  "parameters": [
+    {"name": "period", "default": 700, "values": [500, 600, 700]},
+    {"name": "work", "default": 100, "values": [50, 100, 150, 200]}
+  ],
+  "channels": [
+    {"name": "in", "kind": "rendezvous"},
+    {"name": "out", "kind": "rendezvous"}
+  ],
+  "functions": [
+    {"name": "F", "body": [
+      {"read": "in"},
+      {"exec": {"label": "T", "cost": {"kind": "fixed", "ops": "$work"}}},
+      {"write": "out"}
+    ]}
+  ],
+  "resources": [{"name": "P1", "kind": "processor", "ops_per_sec": 1e9}],
+  "mapping": [{"resource": "P1", "functions": ["F"]}],
+  "sources": [{"name": "src", "channel": "in", "count": 25,
+               "schedule": {"kind": "periodic", "period": "$period", "offset": 0}}],
+  "sinks": [{"name": "sink", "channel": "out"}]
+}`
+
+// inlineReq sweeps the full 12-point grid of shardInlineSpec.
+var inlineReq = serve.SweepRequest{
+	Architecture: json.RawMessage(shardInlineSpec),
+	Axes: []serve.Axis{
+		{Name: "period", Values: []int64{500, 600, 700}},
+		{Name: "work", Values: []int64{50, 100, 150, 200}},
+	},
+	Options: serve.SweepOptions{Workers: 2},
+}
+
+// An inline-architecture sweep distributes like a scenario sweep: the
+// coordinator plans from the spec carried in the request, every chunk
+// ships the spec to its worker, and the merged result is bit-identical
+// to the single-process evaluation.
+func TestInlineArchitectureSweepThroughFleet(t *testing.T) {
+	workers := newFleet(t, 2)
+	tr := newFaultTransport(nil)
+	_, ts := newCoord(t, Config{Workers: workers, ChunkPoints: 3, Transport: tr})
+
+	job := submitSweep(t, ts.URL, inlineReq)
+	if job.Scenario != "fabricgrid" {
+		t.Fatalf("job names %q, want the spec name", job.Scenario)
+	}
+	res := waitTerminal(t, ts.URL, job.ID)
+	assertBitIdentical(t, res, localSweep(t, inlineReq))
+	uniqueIndexParams(t, res.Points)
+	tr.deliveredOnce(t, res.Total)
+}
+
+// The tentpole's durability property: the inline spec is pinned in the
+// coordinator's job store, so a restarted coordinator — whose registry
+// knows nothing about this architecture — replans the identical chunk
+// list from the persisted bytes and finishes the job bit-identically,
+// re-evaluating only the chunks whose records were lost.
+func TestInlineArchitecturePinnedAcrossRestart(t *testing.T) {
+	workers := newFleet(t, 2)
+	storePath := t.TempDir() + "/jobs.ndjson"
+
+	c1, ts1 := newCoord(t, Config{Workers: workers, ChunkPoints: 3, StorePath: storePath})
+	job := submitSweep(t, ts1.URL, inlineReq)
+	waitTerminal(t, ts1.URL, job.ID)
+	ts1.Close()
+	c1.Close()
+
+	// Simulate a crash that lost the tail: drop the terminal state and
+	// tear the last chunk record. 4 chunks were persisted; 3 survive.
+	raw, err := os.ReadFile(storePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitAfter(strings.TrimSuffix(string(raw), "\n"), "\n")
+	if len(lines) != 6 { // job + 4 chunks + state
+		t.Fatalf("store holds %d records, expected 6", len(lines))
+	}
+	var keep strings.Builder
+	for _, l := range lines[:4] {
+		keep.WriteString(l)
+	}
+	keep.WriteString(lines[4][:len(lines[4])/2])
+	if err := os.WriteFile(storePath, []byte(keep.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	tr := newFaultTransport(nil)
+	c2, err := New(Config{Workers: workers, ChunkPoints: 3, StorePath: storePath, Transport: tr})
+	if err != nil {
+		t.Fatalf("coordinator refused the store: %v", err)
+	}
+	ts2 := httptest.NewServer(c2.Handler())
+	t.Cleanup(func() {
+		ts2.Close()
+		c2.Close()
+	})
+
+	res := waitTerminal(t, ts2.URL, job.ID)
+	assertBitIdentical(t, res, localSweep(t, inlineReq))
+	uniqueIndexParams(t, res.Points)
+
+	// Only the torn chunk's 3 points were re-evaluated — the pinned spec
+	// replanned the same cuts, and the recorded chunks replayed.
+	tr.mu.Lock()
+	redone := len(tr.delivered)
+	tr.mu.Unlock()
+	if redone != 3 {
+		t.Fatalf("recovery re-evaluated %d points, want the torn chunk's 3", redone)
+	}
+}
+
+// Inline validation failures surface at submission with the same codes
+// a worker would answer.
+func TestInlineArchitectureSubmitErrors(t *testing.T) {
+	workers := newFleet(t, 1)
+	_, ts := newCoord(t, Config{Workers: workers})
+
+	bad := inlineReq
+	bad.Architecture = json.RawMessage(`{"version": 99, "name": "x"}`)
+	resp := postJSON(t, ts.URL+"/v1/sweeps", bad)
+	if code := errorCode(t, resp); code != serve.CodeUnsupportedVersion {
+		t.Fatalf("future version: code %q", code)
+	}
+
+	bad = inlineReq
+	bad.Axes = []serve.Axis{{Name: "phase", Values: []int64{1}}}
+	resp = postJSON(t, ts.URL+"/v1/sweeps", bad)
+	if code := errorCode(t, resp); code != serve.CodeInvalidAxes {
+		t.Fatalf("undeclared axis: code %q", code)
+	}
+}

@@ -1,0 +1,74 @@
+package surrogate
+
+import "fmt"
+
+// This file is the surrogate's exported face for callers outside the
+// sweep sampling loop — today the design-space optimizer
+// (internal/optimize), which uses the same ridge-polynomial fit as an
+// acquisition model: fit the objective on the simulated subset,
+// predict value + uncertainty everywhere else, and simulate where the
+// optimistic bound keeps a point competitive. Keeping the wrapper here
+// (instead of exporting the internals) pins one property: the
+// optimizer's acquisition math is *identical* to the sampled sweep's —
+// same normalizer, same adaptive basis, same closed-form LOO bound.
+
+// Model is a fitted surrogate over a grid's axis values, safe for
+// concurrent Predict calls.
+type Model struct {
+	nz   *normalizer
+	kind basisKind
+	f    *fit
+}
+
+// FitValues trains a surrogate on observed grid points: axes declares
+// each dimension's value list (for normalization), pts holds one
+// axis-value vector per observation, y the observed metric. The basis
+// adapts to the sample size (constant → linear → quadratic); an error
+// means the sample cannot support even the constant basis or the
+// normal equations are singular — callers should fall back to
+// exhaustive simulation, as the sampled sweep does.
+func FitValues(axes [][]int64, pts [][]int64, y []float64) (*Model, error) {
+	if len(pts) != len(y) {
+		return nil, fmt.Errorf("surrogate: %d points vs %d observations", len(pts), len(y))
+	}
+	nz := newNormalizer(axes)
+	kind := basisFor(nz.dims(), len(pts))
+	need := basisTerms(nz.dims(), kind) + 2
+	if need < 4 {
+		need = 4
+	}
+	if len(pts) < need {
+		return nil, fmt.Errorf("surrogate: %d observations cannot support a %d-term basis (need %d)",
+			len(pts), basisTerms(nz.dims(), kind), need)
+	}
+	X := make([][]float64, len(pts))
+	for i, p := range pts {
+		if len(p) != len(axes) {
+			return nil, fmt.Errorf("surrogate: point %d has %d values for %d axes", i, len(p), len(axes))
+		}
+		X[i] = features(nz.z(p), kind)
+	}
+	f, err := fitMetric(X, y)
+	if err != nil {
+		return nil, err
+	}
+	return &Model{nz: nz, kind: kind, f: f}, nil
+}
+
+// Predict returns the fitted metric at the grid point and the
+// half-width of its uncertainty interval in the metric's own units
+// (the fit's relative bound scaled back by the training magnitude), so
+// value±halfWidth brackets the observation with the same confidence
+// the sampled sweep's pred_bound carries.
+func (m *Model) Predict(values []int64) (value, halfWidth float64) {
+	v, rel := m.f.predict(features(m.nz.z(values), m.kind))
+	return v, rel * m.f.scale
+}
+
+// SeedIndices exposes the sampled sweep's deterministic seed plan —
+// grid corners, center, and an even row-major stride sized to train
+// the quadratic basis with headroom — for callers driving their own
+// sampling loop over a grid of the given total size and axis count.
+func SeedIndices(total, dims, budget int) []int {
+	return seedIndices(total, dims, budget)
+}
