@@ -136,6 +136,10 @@ func main() {
 	compare := flag.String("compare", "", "baseline BENCH_compute.json to guard against; exits 1 if compiled or batched ns/step regresses >10% at any size")
 	sweepOut := flag.String("sweep-o", "BENCH_sweep.json", "sampled-sweep benchmark output file (- for stdout, empty to skip)")
 	sweepCompare := flag.String("sweep-compare", "", "baseline BENCH_sweep.json to guard against; exits 1 if the sampler simulates more points or predicts worse")
+	serveOut := flag.String("serve-o", "", "HTTP load benchmark output file (- for stdout, empty to skip)")
+	serveCompare := flag.String("serve-compare", "", "baseline BENCH_serve.json to guard against; exits 1 on unstructured failures or a shed phase that never shed")
+	serveClients := flag.Int("serve-clients", 8, "concurrent clients for the HTTP load benchmark")
+	serveDuration := flag.Duration("serve-duration", 2*time.Second, "per-phase duration of the HTTP load benchmark")
 	flag.Parse()
 
 	if *reps < 1 {
@@ -198,6 +202,16 @@ func main() {
 			}
 		}
 		writeJSON(*sweepOut, srep)
+	}
+	if *serveOut != "" {
+		lrep := serveLoadReport(*serveClients, *serveDuration)
+		if *serveCompare != "" {
+			if err := compareServe(*serveCompare, lrep); err != nil {
+				writeJSON(*serveOut, lrep)
+				fatal(err)
+			}
+		}
+		writeJSON(*serveOut, lrep)
 	}
 }
 

@@ -1,0 +1,180 @@
+package main
+
+// The HTTP load benchmark: an in-process dyncomp-serve instance
+// hammered by concurrent clients, reported as BENCH_serve.json. Two
+// phases: an open-throttle run measuring synchronous-run throughput and
+// the derivation-cache hit ratio, and a shed run with MaxInFlight 1
+// that forces the admission layer to reject most of the offered load.
+// Wall-clock throughput drifts with the host, so the -serve-compare
+// guard checks only the deterministic invariants: zero unstructured
+// failures anywhere and a shedding path that actually shed.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dyncomp/internal/chaos"
+	"dyncomp/internal/serve"
+)
+
+// servePhase is one traffic phase of the load benchmark.
+type servePhase struct {
+	Requests     int64            `json:"requests"`
+	OK           int64            `json:"ok"`
+	Rejected     map[string]int64 `json:"rejected,omitempty"` // by envelope code
+	Unstructured int64            `json:"unstructured"`
+	RunsPerSec   float64          `json:"runs_per_sec,omitempty"`
+	ShedRatio    float64          `json:"shed_ratio,omitempty"`
+}
+
+type serveReport struct {
+	Clients       int        `json:"clients"`
+	DurationMs    int64      `json:"duration_ms"`
+	Load          servePhase `json:"load"`
+	CacheHitRatio float64    `json:"cache_hit_ratio"`
+	Shed          servePhase `json:"shed"`
+}
+
+// hammer drives clients concurrent POST /v1/run loops against url for
+// dur, rotating params across a small shape set so the derivation cache
+// sees repeats, and classifies every response through the chaos
+// envelope checker.
+func hammer(url string, clients int, dur time.Duration) servePhase {
+	ph := servePhase{Rejected: map[string]int64{}}
+	var (
+		mu           sync.Mutex
+		requests, ok atomic.Int64
+		unstructured atomic.Int64
+	)
+	deadline := time.Now().Add(dur)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			client := &http.Client{Timeout: 30 * time.Second}
+			for n := 0; time.Now().Before(deadline); n++ {
+				tokens := 20 * (1 + (c+n)%4)
+				body := fmt.Sprintf(`{"scenario":"pipeline","params":{"tokens":%d}}`, tokens)
+				resp, err := client.Post(url+"/v1/run", "application/json",
+					bytes.NewReader([]byte(body)))
+				if err != nil {
+					unstructured.Add(1)
+					continue
+				}
+				requests.Add(1)
+				code, cerr := chaos.CheckEnvelope(resp)
+				switch {
+				case cerr != nil:
+					unstructured.Add(1)
+				case code == "":
+					ok.Add(1)
+				default:
+					mu.Lock()
+					ph.Rejected[code]++
+					mu.Unlock()
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	ph.Requests = requests.Load()
+	ph.OK = ok.Load()
+	ph.Unstructured = unstructured.Load()
+	return ph
+}
+
+// metricValue scrapes one un-labeled series from a /metrics body.
+func metricValue(body, name string) float64 {
+	for _, line := range strings.Split(body, "\n") {
+		if rest, found := strings.CutPrefix(line, name+" "); found {
+			v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+			if err == nil {
+				return v
+			}
+		}
+	}
+	return 0
+}
+
+// serveLoadReport runs both phases against fresh in-process servers.
+func serveLoadReport(clients int, dur time.Duration) serveReport {
+	rep := serveReport{Clients: clients, DurationMs: dur.Milliseconds()}
+
+	// Phase 1: open throttle. Throughput and cache behavior.
+	s1 := serve.New(serve.Config{})
+	ts1 := httptest.NewServer(s1.Handler())
+	start := time.Now()
+	rep.Load = hammer(ts1.URL, clients, dur)
+	elapsed := time.Since(start).Seconds()
+	if elapsed > 0 {
+		rep.Load.RunsPerSec = float64(rep.Load.OK) / elapsed
+	}
+	resp, err := http.Get(ts1.URL + "/metrics")
+	if err != nil {
+		fatal(err)
+	}
+	rawMetrics, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		fatal(err)
+	}
+	metrics := string(rawMetrics)
+	hits := metricValue(metrics, "dyncomp_serve_derive_cache_hits_total")
+	misses := metricValue(metrics, "dyncomp_serve_derive_cache_misses_total")
+	if hits+misses > 0 {
+		rep.CacheHitRatio = hits / (hits + misses)
+	}
+	ts1.Close()
+	s1.Close()
+
+	// Phase 2: MaxInFlight 1 against the same offered load — the shed
+	// path must reject with the structured overloaded envelope.
+	s2 := serve.New(serve.Config{MaxInFlight: 1})
+	ts2 := httptest.NewServer(s2.Handler())
+	rep.Shed = hammer(ts2.URL, clients, dur)
+	if rep.Shed.Requests > 0 {
+		rep.Shed.ShedRatio = float64(rep.Shed.Rejected["overloaded"]) / float64(rep.Shed.Requests)
+	}
+	ts2.Close()
+	s2.Close()
+	return rep
+}
+
+// compareServe guards the load benchmark against a committed baseline.
+// Throughput and ratios drift with the host, so only the deterministic
+// resilience invariants are enforced: no request anywhere may produce
+// an unstructured failure, and the shed phase must actually shed.
+func compareServe(path string, fresh serveReport) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("-serve-compare: %w", err)
+	}
+	var base serveReport
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("-serve-compare %s: %w", path, err)
+	}
+	var bad []string
+	if n := fresh.Load.Unstructured + fresh.Shed.Unstructured; n > 0 {
+		bad = append(bad, fmt.Sprintf("%d unstructured failures under load (want 0)", n))
+	}
+	if fresh.Shed.Rejected["overloaded"] == 0 {
+		bad = append(bad, "shed phase rejected nothing as overloaded")
+	}
+	if len(bad) > 0 {
+		return fmt.Errorf("serve load benchmark regressed against %s:\n  %s",
+			path, strings.Join(bad, "\n  "))
+	}
+	fmt.Fprintf(os.Stderr, "dyncomp-bench: serve load invariants hold against %s\n", path)
+	return nil
+}

@@ -33,6 +33,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -56,6 +57,13 @@ func main() {
 	batchWidth := flag.Int("batch-width", 0, "default batched-evaluation lane width pinned into jobs (0: per-point)")
 	maxPoints := flag.Int("max-grid-points", 100000, "largest accepted sweep grid")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown budget for in-flight requests")
+	breakerThreshold := flag.Int("breaker-threshold", 1, "consecutive dispatch failures before a worker's breaker opens")
+	probeBase := flag.Duration("probe-base", 500*time.Millisecond, "first /readyz probe delay for an open breaker")
+	probeMax := flag.Duration("probe-max", 30*time.Second, "probe backoff ceiling for an open breaker")
+	jobTTL := flag.Duration("job-ttl", 0, "evict settled jobs this long after finishing (0: keep forever)")
+	maxJobs := flag.Int("max-jobs", 0, "retained jobs before the oldest settled ones are evicted (0: unbounded)")
+	streamWriteTimeout := flag.Duration("stream-write-timeout", 0, "per-write deadline on SSE/NDJSON streams (0: default 30s, <0: off)")
+	logRequests := flag.Bool("log", false, "structured request log on stderr")
 	flag.Parse()
 
 	var fleet []string
@@ -63,6 +71,11 @@ func main() {
 		if w = strings.TrimSpace(w); w != "" {
 			fleet = append(fleet, strings.TrimRight(w, "/"))
 		}
+	}
+
+	var logger *slog.Logger
+	if *logRequests {
+		logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
 	}
 
 	coord, err := shard.New(shard.Config{
@@ -76,6 +89,13 @@ func main() {
 			BatchWidth:    *batchWidth,
 			MaxGridPoints: *maxPoints,
 		},
+		BreakerThreshold:   *breakerThreshold,
+		ProbeBase:          *probeBase,
+		ProbeMax:           *probeMax,
+		JobTTL:             *jobTTL,
+		MaxJobs:            *maxJobs,
+		StreamWriteTimeout: *streamWriteTimeout,
+		Logger:             logger,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "dyncomp-coord: %v\n", err)

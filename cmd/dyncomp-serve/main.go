@@ -29,6 +29,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -39,6 +40,47 @@ import (
 
 	"dyncomp/internal/serve"
 )
+
+// tokenFlags collects repeated -auth-token token=caller values.
+type tokenFlags map[string]string
+
+func (tf tokenFlags) String() string { return fmt.Sprintf("%d tokens", len(tf)) }
+
+func (tf *tokenFlags) Set(v string) error {
+	tok, caller, ok := strings.Cut(v, "=")
+	if !ok || tok == "" || caller == "" {
+		return fmt.Errorf("want token=caller, got %q", v)
+	}
+	if *tf == nil {
+		*tf = tokenFlags{}
+	}
+	(*tf)[tok] = caller
+	return nil
+}
+
+// loadTokenFile merges token=caller lines from path into tokens
+// (blank lines and # comments skipped).
+func loadTokenFile(path string, tokens map[string]string) (map[string]string, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if tokens == nil {
+		tokens = map[string]string{}
+	}
+	for i, line := range strings.Split(string(raw), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		tok, caller, ok := strings.Cut(line, "=")
+		if !ok || tok == "" || caller == "" {
+			return nil, fmt.Errorf("%s:%d: want token=caller, got %q", path, i+1, line)
+		}
+		tokens[tok] = caller
+	}
+	return tokens, nil
+}
 
 // registerWorker announces self to a coordinator's POST /v1/workers,
 // retrying while the coordinator boots.
@@ -71,15 +113,50 @@ func main() {
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown budget for in-flight requests")
 	register := flag.String("register", "", "comma-separated dyncomp-coord base URLs to join as a fleet worker")
 	advertise := flag.String("advertise", "", "base URL coordinators reach this worker at (default http://<bound-addr>)")
+	var authTokens tokenFlags
+	flag.Var(&authTokens, "auth-token", "token=caller bearer credential; repeatable (empty: auth disabled)")
+	authTokenFile := flag.String("auth-token-file", "", "file of token=caller lines, one per caller (# comments allowed)")
+	quotaJobs := flag.Int("quota-jobs", 0, "concurrently queued-or-running sweep jobs per caller (0: unlimited)")
+	quotaPoints := flag.Int("quota-points", 0, "grid points one caller may admit per -quota-window (0: unlimited)")
+	quotaWindow := flag.Duration("quota-window", time.Minute, "fixed accounting window for -quota-points")
+	maxInFlight := flag.Int("max-inflight", 0, "work requests in flight before shedding with 429 (0: default 512, <0: unlimited)")
+	requestTimeout := flag.Duration("request-timeout", 0, "end-to-end deadline per work request (0: unbounded)")
+	jobTTL := flag.Duration("job-ttl", 0, "evict settled jobs this long after finishing (0: keep forever)")
+	maxJobs := flag.Int("max-jobs", 0, "retained jobs before the oldest settled ones are evicted (0: unbounded)")
+	streamWriteTimeout := flag.Duration("stream-write-timeout", 0, "per-write deadline on SSE/NDJSON streams (0: default 30s, <0: off)")
+	logRequests := flag.Bool("log", false, "structured request log on stderr")
 	flag.Parse()
 
+	tokens := map[string]string(authTokens)
+	if *authTokenFile != "" {
+		var err error
+		if tokens, err = loadTokenFile(*authTokenFile, tokens); err != nil {
+			fmt.Fprintf(os.Stderr, "dyncomp-serve: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	var logger *slog.Logger
+	if *logRequests {
+		logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	}
+
 	srv := serve.New(serve.Config{
-		JobWorkers:      *jobWorkers,
-		JobQueue:        *jobQueue,
-		SweepWorkers:    *sweepWorkers,
-		SweepBatchWidth: *batchWidth,
-		MaxGridPoints:   *maxPoints,
-		CacheEntries:    *cacheEntries,
+		JobWorkers:         *jobWorkers,
+		JobQueue:           *jobQueue,
+		SweepWorkers:       *sweepWorkers,
+		SweepBatchWidth:    *batchWidth,
+		MaxGridPoints:      *maxPoints,
+		CacheEntries:       *cacheEntries,
+		AuthTokens:         tokens,
+		QuotaJobs:          *quotaJobs,
+		QuotaPoints:        *quotaPoints,
+		QuotaWindow:        *quotaWindow,
+		MaxInFlight:        *maxInFlight,
+		RequestTimeout:     *requestTimeout,
+		JobTTL:             *jobTTL,
+		MaxJobs:            *maxJobs,
+		StreamWriteTimeout: *streamWriteTimeout,
+		Logger:             logger,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

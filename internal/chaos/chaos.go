@@ -1,0 +1,94 @@
+// Package chaos is the fault-injection harness behind the resilience
+// soak wall: it wraps real serving-layer workers in scripted faults —
+// torn connections, structured denials, hangs — and checks the one
+// invariant every failure path of the system must satisfy: errors reach
+// the caller as the structured envelope with a stable code, never as a
+// torn or unstructured 500, and no settled result is ever lost.
+//
+// The package holds only reusable harness pieces; the soak scenarios
+// themselves live in the package's tests.
+package chaos
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync/atomic"
+
+	"dyncomp/internal/serve"
+)
+
+// Mode is one scripted fault behavior of a Flaky wrapper.
+type Mode int32
+
+const (
+	// Pass serves normally.
+	Pass Mode = iota
+	// Tear hijacks the connection and closes it without answering —
+	// what a caller sees when the process dies mid-request.
+	Tear
+	// Deny answers 500 with the structured envelope — an unhealthy but
+	// well-behaved worker.
+	Deny
+)
+
+// Flaky wraps a handler with a switchable fault mode applied to one
+// path prefix; everything else (health, readiness, registration) passes
+// through untouched, so recovery probes behave exactly as they would
+// against a worker whose chunk path is broken but whose process lives.
+type Flaky struct {
+	next   http.Handler
+	prefix string
+	mode   atomic.Int32
+}
+
+// NewFlaky wraps next, faulting only requests under pathPrefix.
+func NewFlaky(next http.Handler, pathPrefix string) *Flaky {
+	return &Flaky{next: next, prefix: pathPrefix}
+}
+
+// Set switches the fault mode; safe under concurrent traffic.
+func (f *Flaky) Set(m Mode) { f.mode.Store(int32(m)) }
+
+func (f *Flaky) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if strings.HasPrefix(r.URL.Path, f.prefix) {
+		switch Mode(f.mode.Load()) {
+		case Tear:
+			conn, _, err := http.NewResponseController(w).Hijack()
+			if err == nil {
+				conn.Close()
+			}
+			return
+		case Deny:
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusInternalServerError)
+			_ = json.NewEncoder(w).Encode(serve.ErrorResponse{Err: serve.Error{
+				Code: "internal", Message: "chaos: injected denial",
+			}})
+			return
+		}
+	}
+	f.next.ServeHTTP(w, r)
+}
+
+// CheckEnvelope enforces the structured-failure invariant on one
+// response: any non-2xx status must carry the uniform error envelope
+// with a non-empty code. It returns that code ("" on a 2xx) and
+// consumes the response body.
+func CheckEnvelope(resp *http.Response) (string, error) {
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return "", fmt.Errorf("chaos: reading %d response: %w", resp.StatusCode, err)
+	}
+	if resp.StatusCode >= 200 && resp.StatusCode < 300 {
+		return "", nil
+	}
+	var env serve.ErrorResponse
+	if err := json.Unmarshal(raw, &env); err != nil || env.Err.Code == "" {
+		return "", fmt.Errorf("chaos: unstructured %d response: %q", resp.StatusCode, raw)
+	}
+	return env.Err.Code, nil
+}

@@ -73,11 +73,19 @@ func (s *Server) handleChunkRun(w http.ResponseWriter, r *http.Request) {
 			"options.sample_tolerance is not supported on chunk evaluation")
 		return
 	}
+	if !s.admitPoints(w, r, len(req.Indices)) {
+		return
+	}
 
 	opts := plan.Opts
 	opts.Cache = s.cache
 	res, err := sweep.RunIndicesContext(r.Context(), plan.Axes, req.Indices, plan.Gen, opts)
 	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			writeError(w, http.StatusGatewayTimeout, CodeDeadlineExceeded,
+				"chunk evaluation exceeded the request deadline")
+			return
+		}
 		if errors.Is(err, context.Canceled) {
 			// The coordinator went away; there is nobody to answer.
 			return

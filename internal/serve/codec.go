@@ -262,6 +262,17 @@ const (
 	// on POST /v1/optimize.
 	CodeInvalidObjective  = "invalid_objective"
 	CodeInvalidConstraint = "invalid_constraint"
+	// Admission-control codes (docs/OPERATIONS.md): a missing or unknown
+	// bearer token answers unauthorized; a caller over its concurrent-job
+	// or grid-point quota answers quota_exceeded with Retry-After; a
+	// server past its in-flight bound sheds with overloaded and
+	// Retry-After; a request that outran -request-timeout answers
+	// deadline_exceeded; a recovered handler panic answers internal.
+	CodeUnauthorized     = "unauthorized"
+	CodeQuotaExceeded    = "quota_exceeded"
+	CodeOverloaded       = "overloaded"
+	CodeDeadlineExceeded = "deadline_exceeded"
+	CodeInternal         = "internal"
 )
 
 // engineOptions maps wire run options onto the unified engine options.

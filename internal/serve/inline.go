@@ -111,11 +111,19 @@ func (s *Server) handleRunInline(w http.ResponseWriter, r *http.Request, req Run
 		writeError(w, http.StatusBadRequest, CodeInvalidArchitecture, "%v", err)
 		return
 	}
+	if !s.admitPoints(w, r, 1) {
+		return
+	}
 
 	opts := req.Options.engineOptions(group)
 	opts.Cache = s.cache
 	res, err := runEngine(r.Context(), eng, a, opts)
 	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			writeError(w, http.StatusGatewayTimeout, CodeDeadlineExceeded,
+				"run exceeded the request deadline")
+			return
+		}
 		if errors.Is(err, context.Canceled) {
 			// The caller went away; there is nobody to answer.
 			return

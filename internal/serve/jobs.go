@@ -325,6 +325,61 @@ func (st *jobStore) list() []*job {
 	return out
 }
 
+// saturation reports the store's drain state and queue occupancy, the
+// two signals /readyz gates on.
+func (st *jobStore) saturation() (closed bool, queueLen, queueCap int) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.closed, len(st.queue), cap(st.queue)
+}
+
+// evict removes settled jobs: first everything past the TTL (measured
+// from its finish time), then — still beyond maxJobs — the oldest
+// settled jobs until the bound holds. Queued and running jobs are never
+// evicted, so a max-jobs bound smaller than the live set is simply not
+// yet enforceable. Returns how many jobs were dropped.
+func (st *jobStore) evict(now time.Time, ttl time.Duration, maxJobs int) int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	drop := map[string]bool{}
+	var settled []string // still-kept settled jobs, creation order
+	for _, id := range st.order {
+		j := st.jobs[id]
+		j.mu.Lock()
+		if j.state.terminal() {
+			if ttl > 0 && now.Sub(j.finished) >= ttl {
+				drop[id] = true
+			} else {
+				settled = append(settled, id)
+			}
+		}
+		j.mu.Unlock()
+	}
+	if maxJobs > 0 {
+		kept := len(st.order) - len(drop)
+		for _, id := range settled {
+			if kept <= maxJobs {
+				break
+			}
+			drop[id] = true
+			kept--
+		}
+	}
+	if len(drop) == 0 {
+		return 0
+	}
+	order := st.order[:0]
+	for _, id := range st.order {
+		if drop[id] {
+			delete(st.jobs, id)
+			continue
+		}
+		order = append(order, id)
+	}
+	st.order = order
+	return len(drop)
+}
+
 // active counts queued and running jobs (for /metrics and /healthz).
 func (st *jobStore) active() (queued, running int) {
 	st.mu.Lock()

@@ -60,11 +60,12 @@ func (m *metrics) snapshot() []string {
 // Metric names. Requests are counted per endpoint and status class;
 // runs and jobs per engine / terminal state.
 const (
-	metricRequests = "dyncomp_serve_requests_total"
-	metricRuns     = "dyncomp_serve_runs_total"
-	metricJobs     = "dyncomp_serve_jobs_total"
-	metricChunks   = "dyncomp_serve_chunks_total"
-	metricOptimize = "dyncomp_serve_optimizations_total"
+	metricRequests   = "dyncomp_serve_requests_total"
+	metricRuns       = "dyncomp_serve_runs_total"
+	metricJobs       = "dyncomp_serve_jobs_total"
+	metricChunks     = "dyncomp_serve_chunks_total"
+	metricOptimize   = "dyncomp_serve_optimizations_total"
+	metricRejections = "dyncomp_serve_rejections_total"
 )
 
 // predErrBuckets are the upper bounds of the prediction-error histogram
@@ -131,9 +132,20 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "# TYPE %s counter\n", metricChunks)
 	fmt.Fprintf(w, "# HELP %s Design-space optimizations completed, by engine.\n", metricOptimize)
 	fmt.Fprintf(w, "# TYPE %s counter\n", metricOptimize)
+	fmt.Fprintf(w, "# HELP %s Requests rejected by admission control, by reason (unauthorized, quota_jobs, quota_points, overloaded).\n", metricRejections)
+	fmt.Fprintf(w, "# TYPE %s counter\n", metricRejections)
 	for _, line := range s.metrics.snapshot() {
 		fmt.Fprintln(w, line)
 	}
+	fmt.Fprintf(w, "# HELP dyncomp_serve_inflight_requests Work requests currently in flight (run/optimize/chunks/sweep submissions).\n")
+	fmt.Fprintf(w, "# TYPE dyncomp_serve_inflight_requests gauge\n")
+	fmt.Fprintf(w, "dyncomp_serve_inflight_requests %d\n", s.inflight.Load())
+	fmt.Fprintf(w, "# HELP dyncomp_serve_jobs_evicted_total Settled jobs evicted by TTL or the max-jobs bound.\n")
+	fmt.Fprintf(w, "# TYPE dyncomp_serve_jobs_evicted_total counter\n")
+	fmt.Fprintf(w, "dyncomp_serve_jobs_evicted_total %d\n", s.jobsEvicted.Load())
+	fmt.Fprintf(w, "# HELP dyncomp_serve_panics_total Handler panics recovered into structured 500s.\n")
+	fmt.Fprintf(w, "# TYPE dyncomp_serve_panics_total counter\n")
+	fmt.Fprintf(w, "dyncomp_serve_panics_total %d\n", s.panics.Load())
 	fmt.Fprintf(w, "# HELP dyncomp_serve_chunk_points_total Grid points evaluated through the chunk endpoint.\n")
 	fmt.Fprintf(w, "# TYPE dyncomp_serve_chunk_points_total counter\n")
 	fmt.Fprintf(w, "dyncomp_serve_chunk_points_total %d\n", s.chunkPoints.Load())

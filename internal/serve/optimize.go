@@ -149,6 +149,11 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 			"architecture %q declares no parameter values to optimize over", spec.Name)
 		return
 	}
+	// Charge the full design space against the caller's point quota: the
+	// optimizer may simulate any subset of it.
+	if !s.admitPoints(w, r, points) {
+		return
+	}
 	group, aerr := inlineHybridGroup(eng, spec, req.Options.Group)
 	if aerr != nil {
 		writeError(w, aerr.Status, aerr.Code, "%s", aerr.Msg)
@@ -175,6 +180,11 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 		Cache:       s.cache,
 	})
 	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			writeError(w, http.StatusGatewayTimeout, CodeDeadlineExceeded,
+				"optimization exceeded the request deadline")
+			return
+		}
 		if errors.Is(err, context.Canceled) {
 			// The caller went away; there is nobody to answer.
 			return

@@ -44,6 +44,7 @@ package serve
 
 import (
 	"context"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"sync"
@@ -93,6 +94,42 @@ type Config struct {
 	// bound protects long-lived servers against unbounded memory growth
 	// from streams of structurally distinct models.
 	CacheEntries int
+	// AuthTokens maps bearer tokens to caller names. Empty disables
+	// authentication: every caller passes, identified by remote IP.
+	AuthTokens map[string]string
+	// QuotaJobs bounds concurrently queued-or-running sweep jobs per
+	// caller (0: unlimited); beyond it POST /v1/sweeps answers 429
+	// quota_exceeded.
+	QuotaJobs int
+	// QuotaPoints bounds the grid points one caller may admit per
+	// QuotaWindow across runs, sweeps, chunks and optimizations (0:
+	// unlimited).
+	QuotaPoints int
+	// QuotaWindow is the fixed window QuotaPoints is accounted over
+	// (default 1m).
+	QuotaWindow time.Duration
+	// MaxInFlight sheds work requests (run/optimize/chunks/sweep
+	// submissions) beyond this many concurrently in flight with 429
+	// overloaded + Retry-After (default 512; negative disables).
+	MaxInFlight int
+	// RequestTimeout bounds each work request end to end, honored down
+	// through the engine run via its context (0: unbounded). Expired
+	// requests answer 504 deadline_exceeded.
+	RequestTimeout time.Duration
+	// JobTTL evicts settled jobs this long after they finished (0: keep
+	// forever).
+	JobTTL time.Duration
+	// MaxJobs bounds retained jobs, evicting the oldest settled ones
+	// beyond it (0: unbounded). Queued and running jobs never count
+	// against eviction.
+	MaxJobs int
+	// StreamWriteTimeout bounds every single write on the SSE and NDJSON
+	// streams, so a stalled consumer cannot pin a stream goroutine
+	// (default 30s; negative disables).
+	StreamWriteTimeout time.Duration
+	// Logger, when set, receives one structured access-log line per
+	// request and one error line per recovered panic (see AccessLog).
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -115,6 +152,19 @@ func (c Config) withDefaults() Config {
 		c.CacheEntries = derive.DefaultEntries
 	} else if c.CacheEntries < 0 {
 		c.CacheEntries = 0 // unbounded
+	}
+	if c.QuotaWindow <= 0 {
+		c.QuotaWindow = time.Minute
+	}
+	if c.MaxInFlight == 0 {
+		c.MaxInFlight = 512
+	} else if c.MaxInFlight < 0 {
+		c.MaxInFlight = 0 // shedding disabled
+	}
+	if c.StreamWriteTimeout == 0 {
+		c.StreamWriteTimeout = 30 * time.Second
+	} else if c.StreamWriteTimeout < 0 {
+		c.StreamWriteTimeout = 0 // per-write deadline disabled
 	}
 	return c
 }
@@ -148,6 +198,13 @@ type Server struct {
 	sweepPredicted atomic.Int64
 	predErrors     errHist
 
+	// Admission-control state: per-caller quotas, the in-flight work
+	// gauge the shed middleware gates on, and the resilience counters.
+	quotas      *quotas
+	inflight    atomic.Int64
+	jobsEvicted atomic.Int64
+	panics      atomic.Int64
+
 	baseCtx context.Context
 	stop    context.CancelFunc
 	wg      sync.WaitGroup
@@ -162,6 +219,7 @@ func New(cfg Config) *Server {
 		cache:   derive.NewCacheLimit(cfg.CacheEntries),
 		jobs:    newJobStore(cfg.JobQueue),
 		metrics: newMetrics(),
+		quotas:  newQuotas(),
 		mux:     http.NewServeMux(),
 		started: time.Now(),
 		baseCtx: ctx,
@@ -172,11 +230,43 @@ func New(cfg Config) *Server {
 		s.wg.Add(1)
 		go s.jobWorker()
 	}
+	if cfg.JobTTL > 0 || cfg.MaxJobs > 0 {
+		s.wg.Add(1)
+		go s.jobJanitor()
+	}
 	return s
 }
 
-// Handler returns the root handler serving the full API.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the root handler serving the full API, behind the
+// panic-recovery and access-logging layer.
+func (s *Server) Handler() http.Handler {
+	return AccessLog{Logger: s.cfg.Logger, OnPanic: func() { s.panics.Add(1) }}.Wrap(s.mux)
+}
+
+// jobJanitor periodically evicts settled jobs past the TTL or the
+// max-jobs bound.
+func (s *Server) jobJanitor() {
+	defer s.wg.Done()
+	interval := s.cfg.JobTTL / 4
+	if interval <= 0 || interval > time.Second {
+		interval = time.Second
+	}
+	if interval < 25*time.Millisecond {
+		interval = 25 * time.Millisecond
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.baseCtx.Done():
+			return
+		case <-t.C:
+			if n := s.jobs.evict(time.Now(), s.cfg.JobTTL, s.cfg.MaxJobs); n > 0 {
+				s.jobsEvicted.Add(int64(n))
+			}
+		}
+	}
+}
 
 // Close shuts the job pool down: new job submissions are rejected,
 // running jobs are cancelled (they settle as "cancelled" with their
@@ -204,20 +294,24 @@ func (s *Server) Close() {
 	}
 }
 
-// routes wires every endpoint, wrapped in the request counter.
+// routes wires every endpoint through its admission class (see
+// admission.go): probes stay reachable without credentials, reads are
+// authenticated, work endpoints additionally shed load and carry the
+// request deadline, streams are bounded per write instead.
 func (s *Server) routes() {
-	s.mux.HandleFunc("GET /healthz", s.countRequests("healthz", s.handleHealthz))
-	s.mux.HandleFunc("GET /metrics", s.countRequests("metrics", s.handleMetrics))
-	s.mux.HandleFunc("GET /v1/engines", s.countRequests("engines", s.handleEngines))
-	s.mux.HandleFunc("GET /v1/scenarios", s.countRequests("scenarios", s.handleScenarios))
-	s.mux.HandleFunc("POST /v1/run", s.countRequests("run", s.handleRun))
-	s.mux.HandleFunc("POST /v1/optimize", s.countRequests("optimize", s.handleOptimize))
-	s.mux.HandleFunc("POST /v1/chunks", s.countRequests("chunk_run", s.handleChunkRun))
-	s.mux.HandleFunc("POST /v1/sweeps", s.countRequests("sweep_create", s.handleSweepCreate))
-	s.mux.HandleFunc("GET /v1/sweeps", s.countRequests("sweep_list", s.handleSweepList))
-	s.mux.HandleFunc("GET /v1/sweeps/{id}", s.countRequests("sweep_get", s.handleSweepGet))
-	s.mux.HandleFunc("DELETE /v1/sweeps/{id}", s.countRequests("sweep_cancel", s.handleSweepCancel))
-	s.mux.HandleFunc("GET /v1/sweeps/{id}/events", s.countRequests("sweep_events", s.handleSweepEvents))
+	s.mux.HandleFunc("GET /healthz", s.probe("healthz", s.handleHealthz))
+	s.mux.HandleFunc("GET /readyz", s.probe("readyz", s.handleReadyz))
+	s.mux.HandleFunc("GET /metrics", s.probe("metrics", s.handleMetrics))
+	s.mux.HandleFunc("GET /v1/engines", s.light("engines", s.handleEngines))
+	s.mux.HandleFunc("GET /v1/scenarios", s.light("scenarios", s.handleScenarios))
+	s.mux.HandleFunc("POST /v1/run", s.work("run", s.handleRun))
+	s.mux.HandleFunc("POST /v1/optimize", s.work("optimize", s.handleOptimize))
+	s.mux.HandleFunc("POST /v1/chunks", s.work("chunk_run", s.handleChunkRun))
+	s.mux.HandleFunc("POST /v1/sweeps", s.work("sweep_create", s.handleSweepCreate))
+	s.mux.HandleFunc("GET /v1/sweeps", s.light("sweep_list", s.handleSweepList))
+	s.mux.HandleFunc("GET /v1/sweeps/{id}", s.light("sweep_get", s.handleSweepGet))
+	s.mux.HandleFunc("DELETE /v1/sweeps/{id}", s.light("sweep_cancel", s.handleSweepCancel))
+	s.mux.HandleFunc("GET /v1/sweeps/{id}/events", s.stream("sweep_events", s.handleSweepEvents))
 }
 
 // Health is the body of GET /healthz.
@@ -238,6 +332,25 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		JobsRunning: running,
 		CacheShapes: s.cache.Shapes(),
 	})
+}
+
+// handleReadyz is the readiness probe: unlike /healthz (pure liveness)
+// it answers 503 while the server drains and while the job queue is
+// saturated, so load balancers and the shard coordinator's breaker
+// probes steer work away before it would be rejected.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	closed, queueLen, queueCap := s.jobs.saturation()
+	switch {
+	case closed:
+		writeError(w, http.StatusServiceUnavailable, CodeUnavailable, "draining")
+	case queueCap > 0 && queueLen >= queueCap:
+		writeError(w, http.StatusServiceUnavailable, CodeOverloaded,
+			"job queue saturated (%d/%d)", queueLen, queueCap)
+	default:
+		writeJSON(w, http.StatusOK, struct {
+			Status string `json:"status"`
+		}{"ready"})
+	}
 }
 
 // EngineInfo is one entry of GET /v1/engines.

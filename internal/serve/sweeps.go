@@ -195,6 +195,18 @@ func (s *Server) handleSweepCreate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, aerr.Status, aerr.Code, "%s", aerr.Msg)
 		return
 	}
+	caller := callerID(r)
+	if !s.quotas.reserveJob(caller, s.cfg.QuotaJobs) {
+		s.metrics.inc(metricRejections, `reason="quota_jobs"`)
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, CodeQuotaExceeded,
+			"caller %q already has %d jobs in flight", caller, s.cfg.QuotaJobs)
+		return
+	}
+	if !s.admitPoints(w, r, plan.Total) {
+		s.quotas.releaseJob(caller)
+		return
+	}
 	j := &job{
 		engine:   plan.Engine,
 		scenario: plan.Scenario,
@@ -204,15 +216,20 @@ func (s *Server) handleSweepCreate(w http.ResponseWriter, r *http.Request) {
 		created:  time.Now(),
 		gen:      plan.Gen,
 		// Count every terminal state exactly once, wherever the job
-		// settles (worker, queued-cancel, shutdown drain).
+		// settles (worker, queued-cancel, shutdown drain) — and return
+		// the caller's concurrent-job quota slot there, the single point
+		// every settle path funnels through.
 		onSettle: func(st jobState) {
+			s.quotas.releaseJob(caller)
 			s.metrics.inc(metricJobs, fmt.Sprintf(`state=%q`, st.String()))
 		},
 	}
 	if err := s.jobs.add(j); err != nil {
+		s.quotas.releaseJob(caller) // never enqueued: onSettle will not run
 		if errors.Is(err, errShuttingDown) {
 			writeError(w, http.StatusServiceUnavailable, CodeUnavailable, "%v", err)
 		} else {
+			w.Header().Set("Retry-After", "1")
 			writeError(w, http.StatusTooManyRequests, CodeQueueFull, "%v", err)
 		}
 		return
@@ -287,6 +304,12 @@ func (s *Server) handleSweepEvents(w http.ResponseWriter, r *http.Request) {
 		data, err := json.Marshal(ev.Data)
 		if err != nil {
 			return false
+		}
+		// A stalled consumer fails the write at the deadline instead of
+		// pinning this goroutine; SetWriteDeadline errors (recorders,
+		// exotic transports) leave the stream unbounded rather than dead.
+		if d := s.cfg.StreamWriteTimeout; d > 0 {
+			_ = rc.SetWriteDeadline(time.Now().Add(d))
 		}
 		if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Name, data); err != nil {
 			return false

@@ -1,0 +1,114 @@
+package shard
+
+// Circuit-breaking worker health. Before this layer the coordinator
+// benched a worker on the first transport failure until it re-registered
+// — a flapping worker degraded the fleet until an operator restarted
+// it. Now each fleet member carries a breaker:
+//
+//	closed ──consecutive transport failures ≥ threshold──► open
+//	open ──jittered exponential backoff elapsed──► half-open
+//	half-open ──readiness probe ok──► closed
+//	half-open ──probe failed──► open (backoff doubles)
+//
+// Only closed members take chunks. The recovery probe hits the worker's
+// GET /readyz — its readiness signal, not bare liveness — so a worker
+// that is up but draining or queue-saturated stays benched. Worker
+// re-registration (POST /v1/workers) still closes the breaker
+// immediately, exactly as before.
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// breakerState is one member's position in the breaker state machine.
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case breakerClosed:
+		return "closed"
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// Prober checks whether a benched worker is ready to take chunks again.
+// It is an interface so tests can pin a worker open or script recovery.
+type Prober interface {
+	Probe(ctx context.Context, workerURL string) error
+}
+
+// ProberFunc adapts a function to the Prober interface.
+type ProberFunc func(ctx context.Context, workerURL string) error
+
+// Probe implements Prober.
+func (f ProberFunc) Probe(ctx context.Context, workerURL string) error {
+	return f(ctx, workerURL)
+}
+
+// httpProber is the production prober: GET {worker}/readyz, any 2xx is
+// ready.
+type httpProber struct {
+	client *http.Client
+}
+
+func (p *httpProber) Probe(ctx context.Context, workerURL string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		strings.TrimRight(workerURL, "/")+"/readyz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := p.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
+		return fmt.Errorf("worker %s not ready: status %d", workerURL, resp.StatusCode)
+	}
+	return nil
+}
+
+// jitter spreads a delay over [d/2, d), so the probes of several open
+// breakers (or several coordinators sharing a fleet) never synchronize.
+func jitter(d time.Duration) time.Duration {
+	if d <= time.Nanosecond {
+		return d
+	}
+	half := d / 2
+	return half + time.Duration(rand.Int63n(int64(half)))
+}
+
+// nextBackoff is decorrelated-jitter backoff: each delay is drawn from
+// [base, prev*3], capped — retries spread out instead of marching in
+// the lockstep graded schedule they replaced.
+func nextBackoff(prev, base, max time.Duration) time.Duration {
+	if base <= 0 {
+		base = time.Millisecond
+	}
+	hi := 3 * prev
+	if hi < base {
+		hi = base
+	}
+	d := base + time.Duration(rand.Int63n(int64(hi-base)+1))
+	if d > max {
+		d = max
+	}
+	return d
+}

@@ -1,0 +1,131 @@
+package shard
+
+// Store compaction tests: evicting settled jobs shrinks the on-disk
+// log, a restart over the compacted store replays only the live jobs,
+// and the torn-tail recovery contract survives compaction.
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"testing"
+	"time"
+)
+
+func storeSize(t *testing.T, path string) int64 {
+	t.Helper()
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fi.Size()
+}
+
+// MaxJobs eviction drops the oldest settled job, compacts the store
+// past it, and a coordinator restarted over the compacted store —
+// including a torn tail appended after compaction — replays exactly the
+// surviving job with full results.
+func TestEvictionCompactsStoreAcrossRestart(t *testing.T) {
+	workers := newFleet(t, 2)
+	storePath := t.TempDir() + "/jobs.ndjson"
+	c1, ts1 := newCoord(t, Config{
+		Workers: workers, ChunkPoints: 2, StorePath: storePath, MaxJobs: 1,
+	})
+
+	a := submitSweep(t, ts1.URL, faultReq)
+	waitTerminal(t, ts1.URL, a.ID)
+	b := submitSweep(t, ts1.URL, faultReq)
+	waitTerminal(t, ts1.URL, b.ID)
+
+	before := storeSize(t, storePath)
+	c1.evictJobs(time.Now())
+	if n := c1.jobsEvicted.Load(); n != 1 {
+		t.Fatalf("evicted %d jobs, want 1", n)
+	}
+	if n := c1.compactions.Load(); n != 1 {
+		t.Fatalf("%d compactions, want 1", n)
+	}
+	if after := storeSize(t, storePath); after >= before {
+		t.Fatalf("store %d bytes after compaction, was %d — nothing reclaimed", after, before)
+	}
+
+	// The evicted job is gone from the API; the survivor is intact.
+	resp, err := http.Get(ts1.URL + "/v1/sweeps/" + a.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("evicted job answered %d, want 404", resp.StatusCode)
+	}
+	if code := errorCode(t, resp); code != "job_not_found" {
+		t.Fatalf("evicted job code %q, want job_not_found", code)
+	}
+	assertBitIdentical(t, getResult(t, ts1.URL, b.ID), localSweep(t, faultReq))
+
+	// The store still appends after compaction (the fd was swapped): a
+	// third job persists and survives too.
+	cJob := submitSweep(t, ts1.URL, faultReq)
+	waitTerminal(t, ts1.URL, cJob.ID)
+
+	ts1.Close()
+	c1.Close()
+
+	// Tear the tail of the compacted store: recovery must still truncate
+	// to the last intact record.
+	f, err := os.OpenFile(storePath, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"type":"state","job":"job-9`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	c2, err := New(Config{Workers: workers, ChunkPoints: 2, StorePath: storePath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(c2.Handler())
+	t.Cleanup(func() {
+		ts2.Close()
+		c2.Close()
+	})
+	if _, ok := c2.get(a.ID); ok {
+		t.Fatalf("evicted job %s resurrected by restart", a.ID)
+	}
+	assertBitIdentical(t, getResult(t, ts2.URL, b.ID), localSweep(t, faultReq))
+	assertBitIdentical(t, getResult(t, ts2.URL, cJob.ID), localSweep(t, faultReq))
+}
+
+// TTL eviction through the janitor: settled jobs age out without any
+// explicit call, live jobs stay.
+func TestJobTTLEvictsSettledJobs(t *testing.T) {
+	workers := newFleet(t, 2)
+	c, ts := newCoord(t, Config{
+		Workers: workers, ChunkPoints: 2,
+		JobTTL: 50 * time.Millisecond,
+	})
+
+	job := submitSweep(t, ts.URL, faultReq)
+	waitTerminal(t, ts.URL, job.ID)
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(ts.URL + "/v1/sweeps/" + job.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode == http.StatusNotFound {
+			resp.Body.Close()
+			break
+		}
+		resp.Body.Close()
+		if time.Now().After(deadline) {
+			t.Fatalf("settled job never aged out past the TTL")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if n := c.jobsEvicted.Load(); n != 1 {
+		t.Fatalf("evicted %d jobs, want 1", n)
+	}
+}

@@ -35,10 +35,12 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"net/url"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dyncomp/internal/serve"
@@ -74,6 +76,36 @@ type Config struct {
 	// Defaults are the sweep-compilation defaults applied to request
 	// fields left at zero, exactly as a worker's serve.Config would.
 	Defaults serve.SweepDefaults
+	// BreakerThreshold is the consecutive transport-failure count that
+	// opens a worker's circuit breaker (default 1: the first failure
+	// benches the worker, as before the breaker existed).
+	BreakerThreshold int
+	// ProbeBase / ProbeMax bound the jittered exponential backoff
+	// between recovery probes of an open breaker (defaults 500ms / 30s).
+	ProbeBase time.Duration
+	ProbeMax  time.Duration
+	// ProbeTimeout bounds one probe attempt (default 2s).
+	ProbeTimeout time.Duration
+	// Prober checks readiness of a benched worker; nil selects
+	// GET /readyz over Client. Tests inject outcomes here.
+	Prober Prober
+	// RetryBase / RetryMax bound the decorrelated-jitter backoff between
+	// dispatch attempts of one chunk (defaults 10ms / 1s).
+	RetryBase time.Duration
+	RetryMax  time.Duration
+	// JobTTL evicts settled jobs this long after they finish (0: keep
+	// forever); MaxJobs additionally evicts the oldest settled jobs
+	// beyond the count (0: unbounded). Eviction compacts the store past
+	// the dropped jobs.
+	JobTTL  time.Duration
+	MaxJobs int
+	// StreamWriteTimeout bounds each write on the SSE and NDJSON streams
+	// so one stalled consumer cannot pin a handler goroutine forever
+	// (default 30s; negative disables).
+	StreamWriteTimeout time.Duration
+	// Logger receives structured access logs (nil: no request logging;
+	// panic recovery stays active).
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -86,12 +118,39 @@ func (c Config) withDefaults() Config {
 	if c.Dispatch <= 0 {
 		c.Dispatch = 4
 	}
+	client := c.Client
+	if client == nil {
+		client = &http.Client{}
+	}
 	if c.Transport == nil {
-		client := c.Client
-		if client == nil {
-			client = &http.Client{}
-		}
 		c.Transport = &httpTransport{client: client}
+	}
+	if c.BreakerThreshold <= 0 {
+		c.BreakerThreshold = 1
+	}
+	if c.ProbeBase <= 0 {
+		c.ProbeBase = 500 * time.Millisecond
+	}
+	if c.ProbeMax <= 0 {
+		c.ProbeMax = 30 * time.Second
+	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = 2 * time.Second
+	}
+	if c.Prober == nil {
+		c.Prober = &httpProber{client: client}
+	}
+	if c.RetryBase <= 0 {
+		c.RetryBase = 10 * time.Millisecond
+	}
+	if c.RetryMax <= 0 {
+		c.RetryMax = time.Second
+	}
+	switch {
+	case c.StreamWriteTimeout == 0:
+		c.StreamWriteTimeout = 30 * time.Second
+	case c.StreamWriteTimeout < 0:
+		c.StreamWriteTimeout = 0
 	}
 	return c
 }
@@ -114,6 +173,14 @@ type Coordinator struct {
 	baseCtx context.Context
 	stop    context.CancelFunc
 	wg      sync.WaitGroup
+
+	// Resilience counters, exported by GET /metrics.
+	breakerOpened  atomic.Int64
+	breakerClosedN atomic.Int64
+	chunkRetries   atomic.Int64
+	jobsEvicted    atomic.Int64
+	compactions    atomic.Int64
+	panics         atomic.Int64
 }
 
 // New creates a Coordinator: opens the store (when configured), replays
@@ -142,7 +209,86 @@ func New(cfg Config) (*Coordinator, error) {
 		}
 	}
 	c.routes()
+	if cfg.JobTTL > 0 || cfg.MaxJobs > 0 {
+		c.wg.Add(1)
+		go c.jobJanitor()
+	}
 	return c, nil
+}
+
+// jobJanitor periodically evicts settled jobs past the TTL or beyond
+// MaxJobs and compacts the store past them.
+func (c *Coordinator) jobJanitor() {
+	defer c.wg.Done()
+	interval := c.cfg.JobTTL / 4
+	if interval < 25*time.Millisecond {
+		interval = 25 * time.Millisecond
+	}
+	if interval > time.Second || c.cfg.JobTTL <= 0 {
+		interval = time.Second
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.baseCtx.Done():
+			return
+		case now := <-t.C:
+			c.evictJobs(now)
+		}
+	}
+}
+
+// evictJobs drops settled jobs past the TTL (by finish time) plus the
+// oldest settled jobs beyond MaxJobs, then compacts the store down to
+// the survivors: neither the job table nor the on-disk log grows
+// without bound under sustained traffic. Running jobs are never
+// touched.
+func (c *Coordinator) evictJobs(now time.Time) {
+	c.mu.Lock()
+	drop := map[string]bool{}
+	var settled []string // creation order
+	for _, id := range c.order {
+		if at, ok := c.jobs[id].settledAt(); ok {
+			if c.cfg.JobTTL > 0 && now.Sub(at) >= c.cfg.JobTTL {
+				drop[id] = true
+			} else {
+				settled = append(settled, id)
+			}
+		}
+	}
+	if c.cfg.MaxJobs > 0 {
+		kept := len(c.order) - len(drop)
+		for _, id := range settled {
+			if kept <= c.cfg.MaxJobs {
+				break
+			}
+			drop[id] = true
+			kept--
+		}
+	}
+	if len(drop) == 0 {
+		c.mu.Unlock()
+		return
+	}
+	order := c.order[:0]
+	live := map[string]bool{}
+	for _, id := range c.order {
+		if drop[id] {
+			delete(c.jobs, id)
+			continue
+		}
+		order = append(order, id)
+		live[id] = true
+	}
+	c.order = order
+	c.mu.Unlock()
+	c.jobsEvicted.Add(int64(len(drop)))
+	if c.store != nil {
+		if _, _, err := c.store.Compact(live); err == nil {
+			c.compactions.Add(1)
+		}
+	}
 }
 
 // recoverJob rebuilds one persisted job: replan deterministically from
@@ -203,8 +349,15 @@ func idSeq(id string) int64 {
 	return n
 }
 
-// Handler returns the root handler serving the coordinator API.
-func (c *Coordinator) Handler() http.Handler { return c.mux }
+// Handler returns the root handler serving the coordinator API,
+// wrapped in the same panic-recovery and access-logging middleware the
+// serving layer uses.
+func (c *Coordinator) Handler() http.Handler {
+	return serve.AccessLog{
+		Logger:  c.cfg.Logger,
+		OnPanic: func() { c.panics.Add(1) },
+	}.Wrap(c.mux)
+}
 
 // Close stops the coordinator: running jobs are interrupted mid-dispatch
 // WITHOUT settling a terminal state — their store records end at the
@@ -219,6 +372,8 @@ func (c *Coordinator) Close() {
 
 func (c *Coordinator) routes() {
 	c.mux.HandleFunc("GET /healthz", c.handleHealthz)
+	c.mux.HandleFunc("GET /readyz", c.handleReadyz)
+	c.mux.HandleFunc("GET /metrics", c.handleMetrics)
 	c.mux.HandleFunc("GET /v1/workers", c.handleWorkersList)
 	c.mux.HandleFunc("POST /v1/workers", c.handleWorkersAdd)
 	c.mux.HandleFunc("POST /v1/sweeps", c.handleSweepCreate)
@@ -309,19 +464,35 @@ func (c *Coordinator) runJob(j *job) {
 
 // dispatchChunk delivers one chunk: look the owning worker up on the
 // ring, post the chunk, and on failure re-hash to the next surviving
-// worker — transport-level failures additionally take the worker out of
-// rotation for the whole fleet. A 4xx answer is permanent (every worker
-// validates identically); retries are bounded by Config.Retries and by
-// fleet exhaustion, after which the chunk's points settle with the
-// fabric error.
+// worker under a decorrelated-jitter backoff — transport-level failures
+// additionally count against the worker's circuit breaker, benching it
+// fleet-wide once the threshold trips. A permanent 4xx answer settles
+// the chunk (every worker validates identically); retries are bounded
+// by Config.Retries and by fleet exhaustion, after which the chunk's
+// points settle with the fabric error.
 func (c *Coordinator) dispatchChunk(ctx context.Context, j *job, ci int) {
 	cp := j.chunks[ci]
 	req := serve.ChunkRequest{SweepRequest: j.spec, Indices: cp.indices}
 	exclude := map[string]bool{}
 	var lastErr error
+	var backoff time.Duration
 	for attempt := 0; attempt < c.cfg.Retries; attempt++ {
 		if ctx.Err() != nil {
 			return
+		}
+		if attempt > 0 {
+			// Decorrelated-jitter pause before re-dispatching: a fleet-wide
+			// hiccup (worker restart, network blip) clears instead of being
+			// hammered through the retry budget in microseconds.
+			backoff = nextBackoff(backoff, c.cfg.RetryBase, c.cfg.RetryMax)
+			t := time.NewTimer(backoff)
+			select {
+			case <-ctx.Done():
+				t.Stop()
+				return
+			case <-t.C:
+			}
+			c.chunkRetries.Add(1)
 		}
 		worker, ok := c.ring.lookup(cp.shape, exclude)
 		if !ok {
@@ -338,6 +509,7 @@ func (c *Coordinator) dispatchChunk(ctx context.Context, j *job, ci int) {
 		}
 		resp, err := c.cfg.Transport.RunChunk(actx, worker, req)
 		if err == nil {
+			c.ring.recordSuccess(worker)
 			if j.applyChunk(ci, resp.Points, resp.Batches, resp.BatchedPoints) {
 				_ = c.store.AppendChunk(j.id, ci, worker, resp)
 			}
@@ -352,19 +524,69 @@ func (c *Coordinator) dispatchChunk(ctx context.Context, j *job, ci int) {
 			j.failChunk(ci, err)
 			return
 		case errors.As(err, &we):
-			// 5xx: the worker answered, so it is alive but unhealthy —
-			// steer this chunk elsewhere without benching the worker.
+			// The worker answered (5xx, or a per-worker 429/408), so it is
+			// alive but unhealthy or shedding — steer this chunk elsewhere
+			// without benching the worker.
 			exclude[worker] = true
 		default:
 			// Transport-level: connection refused, torn response,
-			// per-attempt timeout. Treat the worker as down for
-			// everyone until it re-registers.
-			c.ring.markDown(worker)
+			// per-attempt timeout. Count it against the worker's breaker;
+			// past the threshold the breaker opens and a probe loop owns
+			// bringing the worker back.
+			c.benchWorker(worker)
 			exclude[worker] = true
 		}
 		lastErr = err
 	}
 	j.failChunk(ci, fmt.Errorf("shard: chunk undeliverable: %w", lastErr))
+}
+
+// benchWorker records one transport-level dispatch failure against a
+// worker's breaker; on the closed→open transition it starts the
+// recovery probe loop (exactly one per open breaker).
+func (c *Coordinator) benchWorker(url string) {
+	if !c.ring.recordFailure(url, c.cfg.BreakerThreshold) {
+		return
+	}
+	c.breakerOpened.Add(1)
+	c.wg.Add(1)
+	go c.probeWorker(url)
+}
+
+// probeWorker drives one open breaker back to closed: wait out a
+// jittered exponential backoff, half-open the breaker, probe the
+// worker's readiness, and either close the breaker (success) or re-open
+// it and back off further. The loop also exits when the worker closes
+// by other means (re-registration) or the coordinator shuts down.
+func (c *Coordinator) probeWorker(url string) {
+	defer c.wg.Done()
+	defer c.ring.probeDone(url)
+	backoff := c.cfg.ProbeBase
+	for {
+		t := time.NewTimer(jitter(backoff))
+		select {
+		case <-c.baseCtx.Done():
+			t.Stop()
+			return
+		case <-t.C:
+		}
+		if !c.ring.beginProbe(url) {
+			return
+		}
+		pctx, cancel := context.WithTimeout(c.baseCtx, c.cfg.ProbeTimeout)
+		err := c.cfg.Prober.Probe(pctx, url)
+		cancel()
+		if err == nil {
+			c.ring.probeSucceeded(url)
+			c.breakerClosedN.Add(1)
+			return
+		}
+		c.ring.probeFailed(url)
+		backoff *= 2
+		if backoff > c.cfg.ProbeMax {
+			backoff = c.cfg.ProbeMax
+		}
+	}
 }
 
 // cancelled reports whether a cancel was requested.

@@ -155,6 +155,12 @@ func TestFaultDelayTimesOutAndRehashes(t *testing.T) {
 	c, ts := newCoord(t, Config{
 		Workers: workers, ChunkPoints: 2, Transport: tr,
 		ChunkTimeout: 50 * time.Millisecond,
+		// Pin benched workers open: the real prober would revive the
+		// worker (it is alive, only the injected attempt was slow) and
+		// race the alive() assertion below.
+		Prober: ProberFunc(func(context.Context, string) error {
+			return errors.New("probing disabled")
+		}),
 	})
 
 	job := submitSweep(t, ts.URL, faultReq)
@@ -214,7 +220,13 @@ func killableFleet(t *testing.T, n int) (urls []string, victimServed *atomic.Int
 func TestFaultWorkerKilledMidChunk(t *testing.T) {
 	workers, victimServed := killableFleet(t, 3)
 	tr := newFaultTransport(nil)
-	c, ts := newCoord(t, Config{Workers: workers, ChunkPoints: 2, Transport: tr})
+	c, ts := newCoord(t, Config{Workers: workers, ChunkPoints: 2, Transport: tr,
+		// The victim only tears /v1/chunks; its /readyz still answers, so
+		// the real prober would un-bench it and race the alive() check.
+		Prober: ProberFunc(func(context.Context, string) error {
+			return errors.New("probing disabled")
+		}),
+	})
 
 	job := submitSweep(t, ts.URL, faultReq)
 	res := waitTerminal(t, ts.URL, job.ID)

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"time"
 
 	"dyncomp/internal/serve"
 )
@@ -86,6 +87,12 @@ func (c *Coordinator) handleSweepEvents(w http.ResponseWriter, r *http.Request) 
 		if err != nil {
 			return false
 		}
+		// A per-write deadline bounds how long one stalled consumer can
+		// pin this goroutine; errors are ignored because test recorders
+		// do not implement the controller.
+		if d := c.cfg.StreamWriteTimeout; d > 0 {
+			_ = rc.SetWriteDeadline(time.Now().Add(d))
+		}
 		if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", name, raw); err != nil {
 			return false
 		}
@@ -159,6 +166,14 @@ func (c *Coordinator) handleSweepResults(w http.ResponseWriter, r *http.Request)
 	streamed := 0
 	for {
 		points, state, changed := j.arrivedSince(streamed)
+		if len(points) > 0 {
+			// One deadline per drained batch: a consumer that stops
+			// reading gets the connection torn down instead of pinning
+			// this goroutine and the job's arrival buffer forever.
+			if d := c.cfg.StreamWriteTimeout; d > 0 {
+				_ = rc.SetWriteDeadline(time.Now().Add(d))
+			}
+		}
 		for i := range points {
 			if err := enc.Encode(ResultLine{Point: &points[i]}); err != nil {
 				return

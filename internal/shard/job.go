@@ -214,6 +214,17 @@ func (j *job) settle(st jobState, errMsg string, now time.Time) {
 	j.bumpLocked()
 }
 
+// settledAt reports when a terminal job finished (ok false while live),
+// feeding the coordinator's TTL eviction.
+func (j *job) settledAt() (time.Time, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if !j.state.terminal() {
+		return time.Time{}, false
+	}
+	return j.finished, true
+}
+
 // complete reports whether every chunk has been merged.
 func (j *job) complete() bool {
 	j.mu.Lock()

@@ -1,0 +1,88 @@
+package shard
+
+// Coordinator observability: GET /metrics exposes the fabric's
+// resilience counters in the Prometheus text format (hand-rolled like
+// the serving layer's — stdlib only), and GET /readyz is the readiness
+// probe load balancers and upstream breakers key on: a coordinator with
+// no live worker accepts jobs it cannot dispatch, so it reports not
+// ready.
+
+import (
+	"fmt"
+	"net/http"
+
+	"dyncomp/internal/serve"
+)
+
+func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	ws := c.ring.workers()
+	alive := 0
+	for _, m := range ws {
+		if !m.Down {
+			alive++
+		}
+	}
+	c.mu.Lock()
+	jobs := len(c.jobs)
+	c.mu.Unlock()
+
+	fmt.Fprintf(w, "# HELP dyncomp_coord_workers Registered fleet members.\n")
+	fmt.Fprintf(w, "# TYPE dyncomp_coord_workers gauge\n")
+	fmt.Fprintf(w, "dyncomp_coord_workers %d\n", len(ws))
+	fmt.Fprintf(w, "# HELP dyncomp_coord_workers_alive Fleet members with a closed breaker (in rotation).\n")
+	fmt.Fprintf(w, "# TYPE dyncomp_coord_workers_alive gauge\n")
+	fmt.Fprintf(w, "dyncomp_coord_workers_alive %d\n", alive)
+	fmt.Fprintf(w, "# HELP dyncomp_coord_breaker_state Breaker state per worker (0 closed, 1 open, 2 half-open).\n")
+	fmt.Fprintf(w, "# TYPE dyncomp_coord_breaker_state gauge\n")
+	for _, m := range ws {
+		v := 0
+		switch m.Breaker {
+		case breakerOpen.String():
+			v = 1
+		case breakerHalfOpen.String():
+			v = 2
+		}
+		fmt.Fprintf(w, "dyncomp_coord_breaker_state{worker=%q} %d\n", m.URL, v)
+	}
+	fmt.Fprintf(w, "# HELP dyncomp_coord_breaker_opened_total Breakers opened (worker benched).\n")
+	fmt.Fprintf(w, "# TYPE dyncomp_coord_breaker_opened_total counter\n")
+	fmt.Fprintf(w, "dyncomp_coord_breaker_opened_total %d\n", c.breakerOpened.Load())
+	fmt.Fprintf(w, "# HELP dyncomp_coord_breaker_closed_total Breakers closed by a successful readiness probe.\n")
+	fmt.Fprintf(w, "# TYPE dyncomp_coord_breaker_closed_total counter\n")
+	fmt.Fprintf(w, "dyncomp_coord_breaker_closed_total %d\n", c.breakerClosedN.Load())
+	fmt.Fprintf(w, "# HELP dyncomp_coord_chunk_retries_total Chunk dispatch attempts past the first.\n")
+	fmt.Fprintf(w, "# TYPE dyncomp_coord_chunk_retries_total counter\n")
+	fmt.Fprintf(w, "dyncomp_coord_chunk_retries_total %d\n", c.chunkRetries.Load())
+	fmt.Fprintf(w, "# HELP dyncomp_coord_jobs Jobs in the table.\n")
+	fmt.Fprintf(w, "# TYPE dyncomp_coord_jobs gauge\n")
+	fmt.Fprintf(w, "dyncomp_coord_jobs %d\n", jobs)
+	fmt.Fprintf(w, "# HELP dyncomp_coord_jobs_evicted_total Settled jobs evicted by TTL or the MaxJobs cap.\n")
+	fmt.Fprintf(w, "# TYPE dyncomp_coord_jobs_evicted_total counter\n")
+	fmt.Fprintf(w, "dyncomp_coord_jobs_evicted_total %d\n", c.jobsEvicted.Load())
+	fmt.Fprintf(w, "# HELP dyncomp_coord_store_compactions_total Store compactions past evicted jobs.\n")
+	fmt.Fprintf(w, "# TYPE dyncomp_coord_store_compactions_total counter\n")
+	fmt.Fprintf(w, "dyncomp_coord_store_compactions_total %d\n", c.compactions.Load())
+	fmt.Fprintf(w, "# HELP dyncomp_coord_panics_total Handler panics recovered by the middleware.\n")
+	fmt.Fprintf(w, "# TYPE dyncomp_coord_panics_total counter\n")
+	fmt.Fprintf(w, "dyncomp_coord_panics_total %d\n", c.panics.Load())
+}
+
+// handleReadyz answers whether the coordinator can make progress:
+// not shutting down and at least one worker in rotation. /healthz stays
+// pure liveness.
+func (c *Coordinator) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if c.baseCtx.Err() != nil {
+		writeError(w, &serve.RequestError{Status: http.StatusServiceUnavailable,
+			Code: serve.CodeUnavailable, Msg: "coordinator shutting down"})
+		return
+	}
+	if c.ring.alive() == 0 {
+		writeError(w, &serve.RequestError{Status: http.StatusServiceUnavailable,
+			Code: serve.CodeUnavailable, Msg: "no worker in rotation"})
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Status string `json:"status"`
+	}{Status: "ready"})
+}

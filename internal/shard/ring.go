@@ -20,12 +20,14 @@ type ring struct {
 	vnodes  []vnode // sorted by hash
 }
 
-// member is one registered worker. A down member stays on the ring —
-// its vnodes are skipped by lookup — so re-registering it restores the
-// original shape assignment instead of reshuffling the fleet.
+// member is one registered worker. A benched (non-closed) member stays
+// on the ring — its vnodes are skipped by lookup — so recovery restores
+// the original shape assignment instead of reshuffling the fleet.
 type member struct {
-	url  string
-	down bool
+	url     string
+	state   breakerState
+	fails   int  // consecutive dispatch failures while closed
+	probing bool // a probe goroutine owns recovery for this member
 }
 
 type vnode struct {
@@ -46,12 +48,15 @@ func newRing(workers []string) *ring {
 	return r
 }
 
-// add registers a worker (idempotent) or revives a down one.
+// add registers a worker (idempotent) or revives a benched one:
+// re-registration closes the breaker immediately, no probe needed —
+// the worker itself is asserting readiness.
 func (r *ring) add(url string) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if m, ok := r.members[url]; ok {
-		m.down = false
+		m.state = breakerClosed
+		m.fails = 0
 		return
 	}
 	r.members[url] = &member{url: url}
@@ -61,19 +66,88 @@ func (r *ring) add(url string) {
 	sort.Slice(r.vnodes, func(i, j int) bool { return r.vnodes[i].hash < r.vnodes[j].hash })
 }
 
-// markDown takes a worker out of rotation without forgetting it.
-func (r *ring) markDown(url string) {
+// recordFailure counts one transport-level dispatch failure against a
+// worker. When the consecutive count reaches threshold on a closed
+// breaker the breaker opens; opened is true only on that transition and
+// only when no probe goroutine already owns recovery — the caller then
+// starts one.
+func (r *ring) recordFailure(url string, threshold int) (opened bool) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if m, ok := r.members[url]; ok {
-		m.down = true
+	m, ok := r.members[url]
+	if !ok {
+		return false
+	}
+	m.fails++
+	if m.state == breakerClosed && m.fails >= threshold {
+		m.state = breakerOpen
+		if !m.probing {
+			m.probing = true
+			return true
+		}
+	}
+	return false
+}
+
+// recordSuccess resets the consecutive-failure count after a delivered
+// chunk, so sporadic failures spread over hours never sum to an open
+// breaker.
+func (r *ring) recordSuccess(url string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.members[url]; ok && m.state == breakerClosed {
+		m.fails = 0
 	}
 }
 
-// lookup returns the worker owning key: the first alive member at or
-// clockwise after the key's hash, skipping down members and everything
-// in exclude (the workers a chunk already failed on). ok is false when
-// the fleet is exhausted.
+// beginProbe moves an open breaker to half-open for one probe attempt.
+// false means the member closed by other means (re-registration) or
+// left the ring; the probe goroutine should exit.
+func (r *ring) beginProbe(url string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m, ok := r.members[url]
+	if !ok || m.state == breakerClosed {
+		return false
+	}
+	m.state = breakerHalfOpen
+	return true
+}
+
+// probeFailed re-opens a half-open breaker after a failed probe.
+func (r *ring) probeFailed(url string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.members[url]; ok && m.state == breakerHalfOpen {
+		m.state = breakerOpen
+	}
+}
+
+// probeSucceeded closes the breaker: the worker answered its readiness
+// probe and rejoins rotation.
+func (r *ring) probeSucceeded(url string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.members[url]; ok {
+		m.state = breakerClosed
+		m.fails = 0
+	}
+}
+
+// probeDone releases the single-prober guard when a probe goroutine
+// exits, whatever the outcome.
+func (r *ring) probeDone(url string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.members[url]; ok {
+		m.probing = false
+	}
+}
+
+// lookup returns the worker owning key: the first closed-breaker member
+// at or clockwise after the key's hash, skipping benched members and
+// everything in exclude (the workers a chunk already failed on). ok is
+// false when the fleet is exhausted.
 func (r *ring) lookup(key string, exclude map[string]bool) (string, bool) {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
@@ -89,7 +163,7 @@ func (r *ring) lookup(key string, exclude map[string]bool) (string, bool) {
 			continue
 		}
 		seen[vn.url] = true
-		if exclude[vn.url] || r.members[vn.url].down {
+		if exclude[vn.url] || r.members[vn.url].state != breakerClosed {
 			continue
 		}
 		return vn.url, true
@@ -100,8 +174,12 @@ func (r *ring) lookup(key string, exclude map[string]bool) (string, bool) {
 // WorkerStatus is the wire form of one fleet member, served by
 // GET /v1/workers.
 type WorkerStatus struct {
-	URL  string `json:"url"`
-	Down bool   `json:"down,omitempty"`
+	URL string `json:"url"`
+	// Down is kept for wire compatibility: true whenever the breaker is
+	// not closed.
+	Down bool `json:"down,omitempty"`
+	// Breaker is the breaker state: closed, open or half-open.
+	Breaker string `json:"breaker"`
 }
 
 // workers lists the fleet, sorted by URL for stable output.
@@ -110,19 +188,23 @@ func (r *ring) workers() []WorkerStatus {
 	defer r.mu.RUnlock()
 	out := make([]WorkerStatus, 0, len(r.members))
 	for _, m := range r.members {
-		out = append(out, WorkerStatus{URL: m.url, Down: m.down})
+		out = append(out, WorkerStatus{
+			URL:     m.url,
+			Down:    m.state != breakerClosed,
+			Breaker: m.state.String(),
+		})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].URL < out[j].URL })
 	return out
 }
 
-// alive counts members in rotation.
+// alive counts members in rotation (breaker closed).
 func (r *ring) alive() int {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	n := 0
 	for _, m := range r.members {
-		if !m.down {
+		if m.state == breakerClosed {
 			n++
 		}
 	}

@@ -206,6 +206,88 @@ func (st *Store) AppendState(id, state, errMsg string) error {
 	return st.append(record{Type: "state", Job: id, State: state, Error: errMsg})
 }
 
+// Compact rewrites the store keeping only records of jobs in live,
+// dropping everything the coordinator has evicted — the log stays
+// proportional to the retained jobs instead of the all-time history.
+// The rewrite goes through a synced temp file renamed over the
+// original, so a crash at any instant leaves either the old complete
+// log or the new complete log, never a mix; replay semantics
+// (stop-at-first-bad-line) are preserved because compaction copies the
+// same prefix replay would accept.
+func (st *Store) Compact(live map[string]bool) (kept, dropped int, err error) {
+	if st == nil {
+		return 0, 0, nil
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.f == nil {
+		return 0, 0, fmt.Errorf("shard: store closed")
+	}
+	if _, err := st.f.Seek(0, io.SeekStart); err != nil {
+		return 0, 0, err
+	}
+	raw, err := io.ReadAll(st.f)
+	if err != nil {
+		return 0, 0, err
+	}
+	var out bytes.Buffer
+	for off := 0; off < len(raw); {
+		nl := bytes.IndexByte(raw[off:], '\n')
+		if nl < 0 {
+			break
+		}
+		line := raw[off : off+nl]
+		var rec record
+		if err := json.Unmarshal(line, &rec); err != nil || rec.Job == "" {
+			break // mirror replay: nothing past the first bad line survives
+		}
+		if live[rec.Job] {
+			out.Write(line)
+			out.WriteByte('\n')
+			kept++
+		} else {
+			dropped++
+		}
+		off += nl + 1
+	}
+
+	path := st.f.Name()
+	tmp := path + ".compact"
+	nf, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return 0, 0, err
+	}
+	if _, err := nf.Write(out.Bytes()); err != nil {
+		nf.Close()
+		os.Remove(tmp)
+		return 0, 0, err
+	}
+	if err := nf.Sync(); err != nil {
+		nf.Close()
+		os.Remove(tmp)
+		return 0, 0, err
+	}
+	if err := nf.Close(); err != nil {
+		os.Remove(tmp)
+		return 0, 0, err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return 0, 0, err
+	}
+	reopened, err := os.OpenFile(path, os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		// The rename landed but we lost our handle to the new file;
+		// further appends would go to the unlinked old inode. Fail closed.
+		st.f.Close()
+		st.f = nil
+		return kept, dropped, err
+	}
+	st.f.Close()
+	st.f = reopened
+	return kept, dropped, nil
+}
+
 // Close closes the store file.
 func (st *Store) Close() error {
 	if st == nil {

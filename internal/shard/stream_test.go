@@ -1,0 +1,109 @@
+package shard
+
+// Stalled-consumer tests: a client that connects to a streaming
+// endpoint and never reads must not pin the handler goroutine forever —
+// the per-write deadline tears the connection down and the handler
+// returns.
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dyncomp/internal/serve"
+)
+
+// stalledStream opens a raw TCP connection to the server, sends a GET
+// for path, and never reads the response — the rudest consumer there
+// is. It returns a cleanup that closes the connection.
+func stalledStream(t *testing.T, tsURL, path string) func() {
+	t.Helper()
+	addr := strings.TrimPrefix(tsURL, "http://")
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Fprintf(conn, "GET %s HTTP/1.1\r\nHost: %s\r\nAccept: */*\r\n\r\n", path, addr)
+	return func() { conn.Close() }
+}
+
+// waitHandlerDone fails the test unless done closes within the window.
+func waitHandlerDone(t *testing.T, done <-chan struct{}, what string) {
+	t.Helper()
+	select {
+	case <-done:
+	case <-time.After(15 * time.Second):
+		t.Fatalf("%s handler still pinned by a stalled consumer after 15s", what)
+	}
+}
+
+// streamCoord builds a coordinator with a tight stream write deadline
+// and a handler wrapper that closes done when a request to markerPath
+// finishes.
+func streamCoord(t *testing.T, markerPath string) (*Coordinator, *httptest.Server, <-chan struct{}) {
+	t.Helper()
+	c, err := New(Config{Workers: []string{"http://127.0.0.1:1"},
+		StreamWriteTimeout: 100 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	var once atomic.Bool
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		c.Handler().ServeHTTP(w, r)
+		if strings.Contains(r.URL.Path, markerPath) && once.CompareAndSwap(false, true) {
+			close(done)
+		}
+	})
+	ts := httptest.NewServer(h)
+	t.Cleanup(func() {
+		ts.Close()
+		c.Close()
+	})
+	return c, ts, done
+}
+
+// A never-reading NDJSON /results consumer of a job with megabytes of
+// buffered points is disconnected by the write deadline.
+func TestResultsStreamWriteDeadline(t *testing.T) {
+	c, ts, done := streamCoord(t, "/results")
+
+	// Fabricate a running job with ~8MB of arrived points: replay blocks
+	// on the socket once the kernel buffers fill.
+	j := &job{id: "job-900001", state: jobRunning, changed: make(chan struct{})}
+	padding := strings.Repeat("x", 4096)
+	for i := 0; i < 2000; i++ {
+		j.arrived = append(j.arrived, serve.ChunkPoint{
+			Index:      i,
+			SweepPoint: serve.SweepPoint{Error: padding},
+		})
+	}
+	c.register(j)
+
+	stop := stalledStream(t, ts.URL, "/v1/sweeps/job-900001/results")
+	defer stop()
+	waitHandlerDone(t, done, "NDJSON results")
+}
+
+// A never-reading SSE /events consumer of a chatty job is disconnected
+// by the write deadline instead of pinning the emitter.
+func TestEventsStreamWriteDeadline(t *testing.T) {
+	c, ts, done := streamCoord(t, "/events")
+
+	// A snapshot bigger than any socket buffer: the initial state event
+	// cannot complete against a non-reading consumer, so the write
+	// deadline is the only way out.
+	j := &job{id: "job-900002", state: jobRunning, total: 1,
+		scenario: strings.Repeat("x", 32<<20),
+		changed:  make(chan struct{})}
+	c.register(j)
+
+	stop := stalledStream(t, ts.URL, "/v1/sweeps/job-900002/events")
+	defer stop()
+	waitHandlerDone(t, done, "SSE events")
+}

@@ -38,8 +38,14 @@ func (e *WorkerError) Error() string {
 
 // Permanent reports whether retrying the same request elsewhere is
 // pointless: a 4xx is the request's fault and every worker validates
-// identically, so the first rejection settles the chunk.
-func (e *WorkerError) Permanent() bool { return e.Status >= 400 && e.Status < 500 }
+// identically, so the first rejection settles the chunk. Two 4xx codes
+// are per-worker conditions, not verdicts on the request — 429 (the
+// worker is shedding load or throttling this caller) and 408 — so those
+// re-steer to another worker like a 5xx.
+func (e *WorkerError) Permanent() bool {
+	return e.Status >= 400 && e.Status < 500 &&
+		e.Status != http.StatusTooManyRequests && e.Status != http.StatusRequestTimeout
+}
 
 // httpTransport is the production transport: plain JSON over the
 // injected client (which sets the per-attempt timeout policy; the
